@@ -1,0 +1,126 @@
+package lbe_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds the command-line tools and drives the full
+// pipeline the README documents: generate -> digest -> cluster -> index
+// -> search (with FDR) -> convert. It is the integration test of record
+// for the binaries; run with -short to skip.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI integration test")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go binary not in PATH")
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "bin")
+	if err := os.MkdirAll(bin, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(name, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v failed: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// Build all binaries.
+	repo, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(goBin, "build", "-o", bin+string(os.PathSeparator), "./cmd/...")
+	cmd.Dir = repo
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	tool := func(name string) string { return filepath.Join(bin, name) }
+
+	// 1. Generate a small dataset.
+	out := run(tool("lbe-gen"), "-fasta", "db.fasta", "-ms2", "run.ms2",
+		"-families", "12", "-spectra", "60", "-seed", "9")
+	if !strings.Contains(out, "wrote db.fasta") {
+		t.Fatalf("lbe-gen output: %s", out)
+	}
+
+	// 2. Digest.
+	out = run(tool("lbe-digest"), "-in", "db.fasta", "-out", "peps.fasta")
+	if !strings.Contains(out, "peptides") {
+		t.Fatalf("lbe-digest output: %s", out)
+	}
+
+	// 3. Cluster.
+	out = run(tool("lbe-cluster"), "-in", "peps.fasta", "-out", "clustered.fasta")
+	if !strings.Contains(out, "groups") {
+		t.Fatalf("lbe-cluster output: %s", out)
+	}
+
+	// 4. Index stats.
+	out = run(tool("lbe-index"), "-in", "peps.fasta", "-max-mods", "1")
+	if !strings.Contains(out, "index rows") {
+		t.Fatalf("lbe-index output: %s", out)
+	}
+
+	// 5. Distributed search with FDR.
+	out = run(tool("lbe-search"), "-db", "peps.fasta", "-ms2", "run.ms2",
+		"-ranks", "3", "-policy", "cyclic", "-fdr", "-out", "psms.tsv")
+	if !strings.Contains(out, "load imbalance") || !strings.Contains(out, "FDR") {
+		t.Fatalf("lbe-search output: %s", out)
+	}
+	tsv, err := os.ReadFile(filepath.Join(dir, "psms.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(tsv)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("psms.tsv has no rows:\n%s", tsv)
+	}
+	if !strings.HasPrefix(lines[0], "scan\t") || !strings.Contains(lines[0], "qvalue") {
+		t.Fatalf("psms.tsv header: %s", lines[0])
+	}
+
+	// 6. Serial baseline produces the same PSM count.
+	run(tool("lbe-search"), "-db", "peps.fasta", "-ms2", "run.ms2",
+		"-serial", "-out", "psms_serial.tsv")
+	serialTSV, err := os.ReadFile(filepath.Join(dir, "psms_serial.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialLines := strings.Split(strings.TrimSpace(string(serialTSV)), "\n")
+	// FDR run searched targets+decoys, so compare a fresh non-FDR run.
+	run(tool("lbe-search"), "-db", "peps.fasta", "-ms2", "run.ms2",
+		"-ranks", "3", "-out", "psms_plain.tsv")
+	plainTSV, _ := os.ReadFile(filepath.Join(dir, "psms_plain.tsv"))
+	plainLines := strings.Split(strings.TrimSpace(string(plainTSV)), "\n")
+	if len(plainLines) != len(serialLines) {
+		t.Fatalf("distributed (%d rows) and serial (%d rows) reports differ",
+			len(plainLines), len(serialLines))
+	}
+
+	// 7. Convert MS2 -> mzML -> MS2.
+	run(tool("lbe-convert"), "-in", "run.ms2", "-out", "run.mzML")
+	out = run(tool("lbe-convert"), "-in", "run.mzML", "-out", "back.ms2")
+	if !strings.Contains(out, "converted") {
+		t.Fatalf("lbe-convert output: %s", out)
+	}
+
+	// 8. One quick benchmark figure.
+	out = run(tool("lbe-bench"), "-fig", "transport", "-scale", "0.00005", "-queries", "30", "-ranks", "2")
+	if !strings.Contains(out, "Transport ablation") {
+		t.Fatalf("lbe-bench output: %s", out)
+	}
+}

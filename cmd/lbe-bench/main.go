@@ -1,0 +1,90 @@
+// Command lbe-bench regenerates the paper's evaluation: every figure
+// (Figs. 5-11), the in-text setup statistics, and the design-choice
+// ablations, printing markdown tables suitable for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	lbe-bench                    # everything, laptop scale (1/1000 of paper)
+//	lbe-bench -fig 6             # just the load-imbalance figure
+//	lbe-bench -scale 0.01 -out EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"lbe/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbe-bench: ")
+
+	var (
+		fig     = flag.String("fig", "all", "which experiment: all|setup|5|6|7|8|9|10|11|grouping|transport|hetero")
+		scale   = flag.Float64("scale", 1.0/1000, "fraction of the paper's index sizes")
+		ranks   = flag.Int("ranks", 16, "partitions for the LI figures")
+		queries = flag.Int("queries", 800, "query spectra per run")
+		seed    = flag.Uint64("seed", 1, "dataset seed")
+		out     = flag.String("out", "", "write markdown to this file instead of stdout")
+	)
+	flag.Parse()
+
+	o := bench.DefaultOptions()
+	o.Scale = *scale
+	o.Ranks = *ranks
+	o.Queries = *queries
+	o.Seed = *seed
+
+	runners := map[string]func(bench.Options) (bench.Figure, error){
+		"setup":      bench.SetupStats,
+		"5":          bench.Fig5,
+		"6":          bench.Fig6,
+		"7":          bench.Fig7,
+		"8":          bench.Fig8,
+		"9":          bench.Fig9,
+		"10":         bench.Fig10,
+		"11":         bench.Fig11,
+		"grouping":   bench.AblationGrouping,
+		"transport":  bench.AblationTransport,
+		"hetero":     bench.AblationHeterogeneous,
+		"filtration": bench.FiltrationComparison,
+	}
+
+	var sb strings.Builder
+	start := time.Now()
+	if *fig == "all" {
+		figs, err := bench.All(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range figs {
+			sb.WriteString(f.Markdown())
+			sb.WriteString("\n")
+		}
+	} else {
+		run, ok := runners[*fig]
+		if !ok {
+			log.Fatalf("unknown -fig %q; options: all setup 5 6 7 8 9 10 11 grouping transport hetero", *fig)
+		}
+		f, err := run(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sb.WriteString(f.Markdown())
+	}
+	log.Printf("experiments completed in %v", time.Since(start).Round(time.Millisecond))
+
+	if *out == "" {
+		fmt.Print(sb.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -1,0 +1,59 @@
+// Command lbe-convert converts MS/MS spectra files between the mzML and
+// MS2 formats — the role msconvert (ProteoWizard) plays in the paper's
+// pipeline (§III-E). The direction is inferred from file extensions.
+//
+// Usage:
+//
+//	lbe-convert -in run.mzML -out run.ms2
+//	lbe-convert -in run.ms2 -out run.mzML -compress
+package main
+
+import (
+	"flag"
+	"log"
+	"strings"
+
+	"lbe"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbe-convert: ")
+
+	var (
+		in       = flag.String("in", "", "input spectra file: .ms2 or .mzML (required)")
+		out      = flag.String("out", "", "output spectra file: .ms2 or .mzML (required)")
+		compress = flag.Bool("compress", true, "zlib-compress mzML binary arrays")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		log.Fatal("-in and -out are required")
+	}
+
+	var scans []lbe.Spectrum
+	var err error
+	switch {
+	case strings.HasSuffix(strings.ToLower(*in), ".ms2"):
+		scans, err = lbe.ReadMS2(*in)
+	case strings.HasSuffix(strings.ToLower(*in), ".mzml"):
+		scans, err = lbe.ReadMzML(*in)
+	default:
+		log.Fatalf("unrecognized input extension: %s", *in)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case strings.HasSuffix(strings.ToLower(*out), ".ms2"):
+		err = lbe.WriteMS2(*out, scans)
+	case strings.HasSuffix(strings.ToLower(*out), ".mzml"):
+		err = lbe.WriteMzML(*out, scans, *compress)
+	default:
+		log.Fatalf("unrecognized output extension: %s", *out)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("converted %d spectra: %s -> %s", len(scans), *in, *out)
+}

@@ -1,0 +1,93 @@
+// Command lbe-gen generates synthetic proteomics data: a protein database
+// in FASTA format and/or an MS/MS query run in MS2 format. It stands in
+// for downloading UniProt UP000005640 and PRIDE PXD009072 (paper §V-A).
+//
+// Usage:
+//
+//	lbe-gen -fasta db.fasta -ms2 run.ms2 -families 400 -spectra 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"lbe"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbe-gen: ")
+
+	var (
+		fastaOut = flag.String("fasta", "", "output FASTA path for the protein database")
+		ms2Out   = flag.String("ms2", "", "output MS2 path for the query run")
+		families = flag.Int("families", 400, "protein families")
+		homologs = flag.Int("homologs", 4, "homologs per family")
+		meanLen  = flag.Int("mean-len", 450, "mean protein length")
+		mutation = flag.Float64("mutation", 0.03, "homolog mutation rate")
+		spectra  = flag.Int("spectra", 2000, "query spectra to sample")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		zipf     = flag.Float64("zipf", 1.1, "abundance skew exponent")
+		dropout  = flag.Float64("dropout", 0.2, "peak dropout probability")
+		noise    = flag.Int("noise", 10, "noise peaks per spectrum")
+		modProb  = flag.Float64("mod-prob", 0.3, "probability a spectrum is modified")
+	)
+	flag.Parse()
+
+	if *fastaOut == "" && *ms2Out == "" {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -fasta and/or -ms2")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pcfg := lbe.ProteomeConfig{
+		Seed:         *seed,
+		NumFamilies:  *families,
+		Homologs:     *homologs,
+		MeanLen:      *meanLen,
+		MutationRate: *mutation,
+	}
+	recs, err := lbe.GenerateProteome(pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("generated %d proteins (%d families x %d copies)", len(recs), *families, *homologs+1)
+
+	if *fastaOut != "" {
+		if err := lbe.WriteFasta(*fastaOut, recs); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *fastaOut)
+	}
+
+	if *ms2Out != "" {
+		proteins := make([]string, len(recs))
+		for i, r := range recs {
+			proteins[i] = r.Sequence
+		}
+		peps, err := lbe.Digest(lbe.DefaultDigestConfig(), proteins)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peps = lbe.Dedup(peps)
+		peptides := lbe.PeptideSequences(peps)
+
+		scfg := lbe.DefaultSpectraConfig()
+		scfg.Seed = *seed + 1
+		scfg.NumSpectra = *spectra
+		scfg.ZipfExponent = *zipf
+		scfg.Dropout = *dropout
+		scfg.NoisePeaks = *noise
+		scfg.ModProb = *modProb
+		queries, _, err := lbe.GenerateSpectra(peptides, scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := lbe.WriteMS2(*ms2Out, queries); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d spectra from %d peptides)", *ms2Out, len(queries), len(peptides))
+	}
+}

@@ -1,0 +1,191 @@
+// Command lbe-search runs the LBE-distributed peptide search: it reads a
+// peptide FASTA database and an MS2 query file, partitions the database
+// across a virtual cluster under the chosen policy, searches every query,
+// and writes a TSV report of peptide-to-spectrum matches. Per-rank load
+// statistics (the paper's Eq. 1 LI) are printed at the end.
+//
+// Usage:
+//
+//	lbe-search -db peptides.fasta -ms2 run.ms2 -ranks 16 -policy cyclic -out psms.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lbe"
+	"lbe/internal/core"
+	"lbe/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbe-search: ")
+
+	var (
+		db      = flag.String("db", "", "peptide FASTA database (required)")
+		ms2In   = flag.String("ms2", "", "MS2 query file (required)")
+		out     = flag.String("out", "", "output TSV report ('-' or empty for stdout)")
+		ranks   = flag.Int("ranks", 4, "virtual cluster size (MPI processes)")
+		policy  = flag.String("policy", "cyclic", "distribution policy: chunk|cyclic|random")
+		seed    = flag.Int64("seed", 0, "seed for the random policy")
+		topK    = flag.Int("topk", 5, "PSMs reported per query")
+		maxMods = flag.Int("max-mods", 2, "max modified residues per peptide")
+		serial  = flag.Bool("serial", false, "run the shared-memory baseline instead")
+		tcp     = flag.Bool("tcp", false, "connect ranks over loopback TCP instead of channels")
+		threads = flag.Int("threads", 1, "intra-rank search threads (hybrid mode)")
+		weights = flag.String("weights", "", "comma-separated machine speeds for heterogeneous clusters")
+		withFDR = flag.Bool("fdr", false, "append reversed decoys and report q-values per PSM")
+		fdrCut  = flag.Float64("fdr-threshold", 0.01, "FDR acceptance threshold reported with -fdr")
+	)
+	flag.Parse()
+	if *db == "" || *ms2In == "" {
+		log.Fatal("-db and -ms2 are required")
+	}
+
+	recs, err := lbe.ReadFasta(*db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peptides := make([]string, len(recs))
+	for i, r := range recs {
+		peptides[i] = r.Sequence
+	}
+	firstDecoy := len(peptides)
+	if *withFDR {
+		peptides, firstDecoy = lbe.DecoyDB(peptides)
+		log.Printf("appended %d decoys (target-decoy FDR)", len(peptides)-firstDecoy)
+	}
+	queries, err := lbe.ReadMS2(*ms2In)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("database: %d peptides; queries: %d spectra", firstDecoy, len(queries))
+
+	cfg := lbe.DefaultEngineConfig()
+	cfg.Params.Mods.MaxPerPep = *maxMods
+	cfg.Seed = *seed
+	cfg.TopK = *topK
+	pol, err := core.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Policy = pol
+	cfg.ThreadsPerRank = *threads
+	if *weights != "" {
+		for _, tok := range strings.Split(*weights, ",") {
+			w, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				log.Fatalf("bad weight %q: %v", tok, err)
+			}
+			cfg.Weights = append(cfg.Weights, w)
+		}
+	}
+
+	start := time.Now()
+	var res *lbe.Result
+	switch {
+	case *serial:
+		res, err = lbe.RunSerial(peptides, queries, cfg)
+	case *tcp:
+		res, err = lbe.RunOverTCP(*ranks, peptides, queries, cfg)
+	default:
+		res, err = lbe.RunInProcess(*ranks, peptides, queries, cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+
+	// TSV report.
+	var w *bufio.Writer
+	if *out == "" || *out == "-" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	// With -fdr, compute q-values over the best PSM per query.
+	var qvals []float64
+	var flat []lbe.ScoredPSM
+	psmQval := map[[2]int]float64{} // (query, rank within query) -> q
+	if *withFDR {
+		for q, psms := range res.PSMs {
+			for i, p := range psms {
+				flat = append(flat, lbe.ScoredPSM{
+					Query:   q,
+					Peptide: p.Peptide,
+					Score:   p.Score,
+					IsDecoy: int(p.Peptide) >= firstDecoy,
+				})
+				psmQval[[2]int{q, i}] = 1
+			}
+		}
+		qvals = lbe.QValues(flat)
+		k := 0
+		for q, psms := range res.PSMs {
+			for i := range psms {
+				psmQval[[2]int{q, i}] = qvals[k]
+				k++
+			}
+		}
+	}
+
+	if *withFDR {
+		fmt.Fprintln(w, "scan\trank\tpeptide\tsequence\tshared\tscore\tprecursor\tdecoy\tqvalue")
+	} else {
+		fmt.Fprintln(w, "scan\trank\tpeptide\tsequence\tshared\tscore\tprecursor")
+	}
+	reported := 0
+	for q, psms := range res.PSMs {
+		for rank, p := range psms {
+			if *withFDR {
+				decoy := 0
+				if int(p.Peptide) >= firstDecoy {
+					decoy = 1
+				}
+				fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%d\t%.4f\t%.4f\t%d\t%.4f\n",
+					queries[q].Scan, rank+1, p.Peptide, peptides[p.Peptide],
+					p.Shared, p.Score, p.Precursor, decoy, psmQval[[2]int{q, rank}])
+			} else {
+				fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%d\t%.4f\t%.4f\n",
+					queries[q].Scan, rank+1, p.Peptide, peptides[p.Peptide], p.Shared, p.Score, p.Precursor)
+			}
+			reported++
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if *withFDR {
+		accepted, err := lbe.AcceptedAt(flat, qvals, *fdrCut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("target PSMs accepted at %.1f%% FDR: %d", 100**fdrCut, accepted)
+	}
+
+	// Load statistics (stderr, so the TSV stays clean on stdout).
+	log.Printf("searched %d spectra in %v; %d PSMs reported; %d cPSMs scored",
+		len(queries), wall.Round(time.Millisecond), reported, res.CandidatePSMs())
+	if !*serial {
+		wu := lbe.WorkUnits(res.Stats)
+		log.Printf("policy %s on %d ranks: load imbalance %.1f%% (work units), wasted CPU work %.0f units",
+			cfg.Policy, len(res.Stats), 100*stats.LoadImbalance(wu), stats.WastedCPUTime(wu))
+		for _, s := range res.Stats {
+			log.Printf("  rank %2d: %7d peptides %8d rows %12d work units  query %8.3fms",
+				s.Rank, s.Peptides, s.Rows, s.Work.IonHits+s.Work.Scored,
+				float64(s.QueryNanos)/1e6)
+		}
+	}
+}

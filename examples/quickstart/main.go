@@ -1,0 +1,60 @@
+// Quickstart: digest a few proteins, build a distributed search across a
+// 4-rank virtual cluster, and identify one noisy query spectrum.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lbe"
+)
+
+func main() {
+	// A toy protein database. In real use, load UniProt with lbe.ReadFasta.
+	proteins := []string{
+		"MKWVTFISLLLLFSSAYSRGVFRRDTHKSEIAHRFKDLGEEHFKGLVLIAFSQYLQQCPFDEHVK",
+		"MALWMRLLPLLALLALWGPDPAAAFVNQHLCGSHLVEALYLVCGERGFFYTPKTRREAEDLQVGQVELGG",
+		"MTEYKLVVVGAGGVGKSALTIQLIQNHFVDEYDPTIEDSYRKQVVIDGETCLLDILDTAGQEEYSAMRDQ",
+	}
+
+	// In-silico tryptic digestion with the paper's settings.
+	peps, err := lbe.Digest(lbe.DefaultDigestConfig(), proteins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peps = lbe.Dedup(peps)
+	peptides := lbe.PeptideSequences(peps)
+	fmt.Printf("digested %d proteins into %d unique peptides\n", len(proteins), len(peptides))
+
+	// Sample one synthetic query spectrum from the database (a stand-in
+	// for reading an instrument run with lbe.ReadMS2).
+	scfg := lbe.DefaultSpectraConfig()
+	scfg.NumSpectra = 1
+	queries, truth, err := lbe.GenerateSpectra(peptides, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query spectrum: %d peaks, precursor m/z %.4f (true peptide: %s)\n",
+		len(queries[0].Peaks), queries[0].PrecursorMZ, peptides[truth[0].Peptide])
+
+	// Distributed search on a 4-rank virtual cluster with LBE's cyclic
+	// partitioning.
+	cfg := lbe.DefaultEngineConfig()
+	cfg.TopK = 3
+	res, err := lbe.RunInProcess(4, peptides, queries, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("top matches:")
+	for i, p := range res.PSMs[0] {
+		marker := ""
+		if int(p.Peptide) == truth[0].Peptide {
+			marker = "   <- correct"
+		}
+		fmt.Printf("  %d. %-24s shared=%2d score=%7.3f (from rank %d)%s\n",
+			i+1, peptides[p.Peptide], p.Shared, p.Score, p.Origin, marker)
+	}
+}

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"lbe/internal/core"
+	"lbe/internal/engine"
+	"lbe/internal/stats"
+)
+
+// AblationGrouping sweeps the Algorithm 1 design choices the paper calls
+// out in §III-C — grouping criterion, d/d', group-size cap, and a
+// no-grouping baseline — and reports the resulting load imbalance for the
+// chunk and cyclic policies. It demonstrates which part of LBE does the
+// balancing work.
+func AblationGrouping(o Options) (Figure, error) {
+	fig := Figure{
+		ID:     "ablation-grouping",
+		Title:  fmt.Sprintf("Grouping ablation: LI%% by configuration, %d partitions", o.Ranks),
+		XLabel: "config #",
+		YLabel: "LI %",
+	}
+	c, err := o.corpusAt(paperSizesM[1])
+	if err != nil {
+		return fig, err
+	}
+
+	type variant struct {
+		name string
+		raw  bool
+		gcfg core.GroupConfig
+	}
+	variants := []variant{
+		{name: "no grouping (raw order)", raw: true},
+		{name: "criterion1 d=2 gsize=20", gcfg: core.GroupConfig{Criterion: core.AbsoluteEdit, D: 2, GroupSize: 20}},
+		{name: "criterion2 d'=0.86 gsize=20 (paper)", gcfg: core.DefaultGroupConfig()},
+		{name: "criterion2 d'=0.86 gsize=5", gcfg: core.GroupConfig{Criterion: core.NormalizedEdit, DPrime: 0.86, GroupSize: 5}},
+		{name: "criterion2 d'=0.86 gsize=100", gcfg: core.GroupConfig{Criterion: core.NormalizedEdit, DPrime: 0.86, GroupSize: 100}},
+		{name: "criterion2 d'=0.30 gsize=20", gcfg: core.GroupConfig{Criterion: core.NormalizedEdit, DPrime: 0.30, GroupSize: 20}},
+	}
+	policies := []core.Policy{core.Chunk, core.Cyclic, core.RandomWithinGroups}
+	series := make([]Series, len(policies))
+	for i, p := range policies {
+		series[i] = Series{Label: p.String()}
+	}
+	for i, v := range variants {
+		for pi, policy := range policies {
+			cfg := engineConfig()
+			cfg.Policy = policy
+			cfg.RawOrder = v.raw
+			if !v.raw {
+				cfg.Group = v.gcfg
+			}
+			res, err := engine.RunInProcess(o.Ranks, c.Peptides, c.Queries, cfg)
+			if err != nil {
+				return fig, err
+			}
+			li := 100 * stats.LoadImbalance(engine.WorkUnits(res.Stats))
+			series[pi].X = append(series[pi].X, float64(i))
+			series[pi].Y = append(series[pi].Y, li)
+		}
+		fig.Notes = append(fig.Notes, fmt.Sprintf("config %d: %s", i, v.name))
+	}
+	fig.Notes = append(fig.Notes,
+		"chunk/cyclic depend on the clustered ORDER only; group boundaries matter for the within-group policy")
+	fig.Series = series
+	return fig, nil
+}
+
+// AblationTransport compares the in-process transport against real TCP
+// loopback links for the same distributed search, isolating the messaging
+// overhead of the runtime (§IV discusses the MPI port).
+func AblationTransport(o Options) (Figure, error) {
+	fig := Figure{
+		ID:     "ablation-transport",
+		Title:  "Transport ablation: in-process vs TCP loopback",
+		XLabel: "ranks",
+		YLabel: "wall time (s)",
+	}
+	c, err := o.corpusAt(paperSizesM[0])
+	if err != nil {
+		return fig, err
+	}
+	inproc := Series{Label: "in-process"}
+	tcp := Series{Label: "tcp"}
+	for _, p := range []int{2, 4} {
+		cfg := engineConfig()
+		start := time.Now()
+		if _, err := engine.RunInProcess(p, c.Peptides, c.Queries, cfg); err != nil {
+			return fig, err
+		}
+		inproc.X = append(inproc.X, float64(p))
+		inproc.Y = append(inproc.Y, time.Since(start).Seconds())
+
+		start = time.Now()
+		if _, err := engine.RunOverTCP(p, c.Peptides, c.Queries, cfg); err != nil {
+			return fig, err
+		}
+		tcp.X = append(tcp.X, float64(p))
+		tcp.Y = append(tcp.Y, time.Since(start).Seconds())
+	}
+	fig.Series = []Series{inproc, tcp}
+	fig.Notes = append(fig.Notes,
+		"result correctness across transports is asserted by the engine test suite")
+	return fig, nil
+}
+
+// AblationHeterogeneous evaluates the §VIII load-predicting model on a
+// simulated heterogeneous cluster: the first machine is 4x and the second
+// 2x the speed of the rest. Modeled per-rank time is work/speed; the
+// weighted partitioner should restore balance that uniform partitioning
+// cannot provide.
+func AblationHeterogeneous(o Options) (Figure, error) {
+	fig := Figure{
+		ID:     "ablation-heterogeneous",
+		Title:  fmt.Sprintf("Heterogeneous cluster (speeds 4,2,1,...): modeled LI%%, %d partitions", o.Ranks),
+		XLabel: "index size (rows)",
+		YLabel: "LI %",
+	}
+	speeds := make([]float64, o.Ranks)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	speeds[0] = 4
+	if o.Ranks > 1 {
+		speeds[1] = 2
+	}
+
+	uniform := Series{Label: "uniform partition"}
+	weighted := Series{Label: "speed-weighted partition"}
+	for _, sizeM := range paperSizesM[:2] { // two notches keep it quick
+		c, err := o.corpusAt(sizeM)
+		if err != nil {
+			return fig, err
+		}
+		for _, useWeights := range []bool{false, true} {
+			cfg := engineConfig()
+			cfg.Policy = core.Cyclic
+			if useWeights {
+				cfg.Weights = speeds
+			}
+			res, err := engine.RunInProcess(o.Ranks, c.Peptides, c.Queries, cfg)
+			if err != nil {
+				return fig, err
+			}
+			wu := engine.WorkUnits(res.Stats)
+			times := make([]float64, len(wu))
+			for i := range wu {
+				times[i] = wu[i] / speeds[i]
+			}
+			li := 100 * stats.LoadImbalance(times)
+			if useWeights {
+				weighted.X = append(weighted.X, float64(c.Rows))
+				weighted.Y = append(weighted.Y, li)
+			} else {
+				uniform.X = append(uniform.X, float64(c.Rows))
+				uniform.Y = append(uniform.Y, li)
+			}
+		}
+	}
+	fig.Series = []Series{uniform, weighted}
+	fig.Notes = append(fig.Notes,
+		"future-work feature (§VIII): peptide shares proportional to machine speed")
+	return fig, nil
+}
+
+// All runs every experiment and returns the figures in paper order.
+func All(o Options) ([]Figure, error) {
+	type runner struct {
+		name string
+		fn   func(Options) (Figure, error)
+	}
+	runners := []runner{
+		{"setup", SetupStats},
+		{"fig5", Fig5},
+		{"fig6", Fig6},
+		{"fig7", Fig7},
+		{"fig8", Fig8},
+		{"fig9", Fig9},
+		{"fig10", Fig10},
+		{"fig11", Fig11},
+		{"ablation-grouping", AblationGrouping},
+		{"ablation-transport", AblationTransport},
+		{"ablation-heterogeneous", AblationHeterogeneous},
+		{"filtration", FiltrationComparison},
+	}
+	var figs []Figure
+	for _, r := range runners {
+		f, err := r.fn(o)
+		if err != nil {
+			return figs, fmt.Errorf("bench: %s: %w", r.name, err)
+		}
+		figs = append(figs, f)
+	}
+	return figs, nil
+}

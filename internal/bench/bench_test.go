@@ -1,0 +1,336 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"lbe/internal/engine"
+	"lbe/internal/mods"
+)
+
+// tinyOptions shrinks everything so each experiment runs in well under a
+// second; the full-scale runs happen in cmd/lbe-bench and the top-level
+// benchmarks.
+func tinyOptions() Options {
+	return Options{
+		Scale:     1.0 / 20000,
+		Ranks:     4,
+		RankSweep: []int{2, 4},
+		Queries:   60,
+		Seed:      3,
+	}
+}
+
+func TestSizedCorpus(t *testing.T) {
+	mc := mods.Config{Mods: mods.PaperSet(), MaxPerPep: 2}
+	c, err := SizedCorpus(1500, 40, 7, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Peptides) == 0 || len(c.Queries) != 40 || len(c.Truth) != 40 {
+		t.Fatalf("corpus shape: %d peptides, %d queries", len(c.Peptides), len(c.Queries))
+	}
+	// Row target respected within one peptide's variant count.
+	if c.Rows < 1500 {
+		t.Errorf("rows %d below target", c.Rows)
+	}
+	total := 0
+	for _, seq := range c.Peptides {
+		total += mc.Count(seq)
+	}
+	if total != c.Rows {
+		t.Errorf("rows %d != recount %d", c.Rows, total)
+	}
+}
+
+func TestSizedCorpusDeterminism(t *testing.T) {
+	mc := mods.Config{Mods: mods.PaperSet(), MaxPerPep: 1}
+	a, _ := SizedCorpus(800, 10, 9, mc)
+	b, _ := SizedCorpus(800, 10, 9, mc)
+	if len(a.Peptides) != len(b.Peptides) || a.Rows != b.Rows {
+		t.Fatal("corpus not deterministic")
+	}
+	for i := range a.Peptides {
+		if a.Peptides[i] != b.Peptides[i] {
+			t.Fatal("peptides differ")
+		}
+	}
+}
+
+func TestSizedCorpusErrors(t *testing.T) {
+	if _, err := SizedCorpus(0, 10, 1, mods.DefaultConfig()); err == nil {
+		t.Error("zero target must fail")
+	}
+}
+
+func TestCalibrateAndModel(t *testing.T) {
+	mc := mods.Config{Mods: mods.PaperSet(), MaxPerPep: 1}
+	c, err := SizedCorpus(600, 30, 5, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engineConfig()
+	serial, err := engine.RunSerial(c.Peptides, c.Queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := Calibrate(serial)
+	if model.QueryRate <= 0 || model.BuildRate <= 0 {
+		t.Fatalf("model = %+v", model)
+	}
+	res, err := engine.RunInProcess(3, c.Peptides, c.Queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt := model.QueryTime(res)
+	et := model.ExecutionTime(res, 0.01)
+	if qt <= 0 || et <= qt {
+		t.Errorf("modeled times: query %v, exec %v", qt, et)
+	}
+	prt := model.PerRankQueryTimes(res)
+	if len(prt) != 3 {
+		t.Errorf("per-rank times: %v", prt)
+	}
+	maxT := 0.0
+	for _, v := range prt {
+		if v > maxT {
+			maxT = v
+		}
+	}
+	if maxT != qt {
+		t.Errorf("QueryTime %v must equal max per-rank %v", qt, maxT)
+	}
+}
+
+func TestFigureMarkdown(t *testing.T) {
+	f := Figure{
+		ID:     "figX",
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{0.5, 1.25}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{3, 4}},
+		},
+		Notes: []string{"note1"},
+	}
+	md := f.Markdown()
+	for _, want := range []string{"### FigX — demo", "| x |", "a (y)", "b (y)", "| 1 |", "0.5", "1.25", "> note1"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:    "1.5",
+		2.0:    "2",
+		0:      "0",
+		0.1234: "0.1234",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	fig, err := Fig6(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// Chunk (series 0) must dominate cyclic (series 1) at every notch.
+	for i := range fig.Series[0].Y {
+		if fig.Series[1].Y[i] >= fig.Series[0].Y[i] {
+			t.Errorf("notch %d: cyclic LI %.1f%% !< chunk %.1f%%",
+				i, fig.Series[1].Y[i], fig.Series[0].Y[i])
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	o := tinyOptions()
+	fig, err := Fig5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	shared, dist := fig.Series[0], fig.Series[1]
+	for i := range shared.Y {
+		if dist.Y[i] <= shared.Y[i] {
+			t.Errorf("notch %d: distributed %0.3fMB not above shared %0.3fMB", i, dist.Y[i], shared.Y[i])
+		}
+	}
+	// The paper's claim: the distributed overhead varies inversely with
+	// partition size, so the overhead ratio must shrink as the index grows.
+	first := dist.Y[0] / shared.Y[0]
+	last := dist.Y[len(dist.Y)-1] / shared.Y[len(shared.Y)-1]
+	if last >= first {
+		t.Errorf("overhead ratio did not shrink with index size: %0.3f -> %0.3f", first, last)
+	}
+	// Memory grows with index size.
+	if shared.Y[len(shared.Y)-1] <= shared.Y[0] {
+		t.Errorf("shared memory not growing: %v", shared.Y)
+	}
+}
+
+func TestScalabilityFigures(t *testing.T) {
+	o := tinyOptions()
+	f7, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := Fig8(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10, err := Fig10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query time decreases with more ranks for every size.
+	for _, s := range f7.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] >= s.Y[i-1] {
+				t.Errorf("fig7 %s: time did not drop from p=%v to p=%v (%v >= %v)",
+					s.Label, s.X[i-1], s.X[i], s.Y[i], s.Y[i-1])
+			}
+		}
+	}
+	// Query speedup is near-linear: at the largest p it reaches at least
+	// 60% of ideal.
+	for _, s := range f8.Series[1:] { // skip ideal
+		last := len(s.Y) - 1
+		if s.Y[last] < 0.6*s.X[last] {
+			t.Errorf("fig8 %s: speedup %v at p=%v too sub-linear", s.Label, s.Y[last], s.X[last])
+		}
+	}
+	// Execution speedup carries the serial grouping/partitioning term, so
+	// at the largest CPU count it should not meaningfully exceed the
+	// query speedup (build scales perfectly, so a small excess is
+	// possible) and must stay below ideal.
+	for i := 1; i < len(f8.Series); i++ {
+		q := f8.Series[i]
+		e := f10.Series[i]
+		last := len(q.Y) - 1
+		if e.Y[last] > 1.15*q.Y[last] {
+			t.Errorf("fig10 %s: exec speedup %v far exceeds query speedup %v",
+				e.Label, e.Y[last], q.Y[last])
+		}
+		if e.Y[last] > e.X[last]+1e-9 {
+			t.Errorf("fig10 %s: exec speedup %v exceeds ideal %v", e.Label, e.Y[last], e.X[last])
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	fig, err := Fig11(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk over itself is exactly 1; cyclic/random must beat it.
+	for i, v := range fig.Series[0].Y {
+		if v != 1 {
+			t.Errorf("chunk self-speedup[%d] = %v", i, v)
+		}
+	}
+	for _, s := range fig.Series[1:] {
+		for i, v := range s.Y {
+			if v <= 1 {
+				t.Errorf("%s speedup[%d] = %v, want > 1", s.Label, i, v)
+			}
+		}
+	}
+}
+
+func TestSetupStats(t *testing.T) {
+	fig, err := SetupStats(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Notes) < 6 {
+		t.Fatalf("notes = %v", fig.Notes)
+	}
+	md := fig.Markdown()
+	if !strings.Contains(md, "cPSMs") {
+		t.Error("setup stats missing cPSM counts")
+	}
+}
+
+func TestAblationGrouping(t *testing.T) {
+	fig, err := AblationGrouping(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 || len(fig.Series[0].Y) != 6 {
+		t.Fatalf("ablation shape: %d series x %d", len(fig.Series), len(fig.Series[0].Y))
+	}
+}
+
+func TestFiltrationComparison(t *testing.T) {
+	fig, err := FiltrationComparison(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 || len(fig.Series[0].Y) != 3 {
+		t.Fatalf("filtration shape: %d series x %d", len(fig.Series), len(fig.Series[0].Y))
+	}
+	recallUnmod := fig.Series[1].Y // per method
+	recallMod := fig.Series[3].Y
+	// Precursor filter (method 0): high unmodified recall, collapses on
+	// modified spectra. Shared-peak (method 2): high recall on both.
+	if recallUnmod[0] < 90 {
+		t.Errorf("precursor unmodified recall %.1f%% too low", recallUnmod[0])
+	}
+	if recallMod[0] > 30 {
+		t.Errorf("precursor modified recall %.1f%% suspiciously high", recallMod[0])
+	}
+	if recallMod[2] < 60 {
+		t.Errorf("shared-peak modified recall %.1f%% too low", recallMod[2])
+	}
+	if recallUnmod[2] < 90 {
+		t.Errorf("shared-peak unmodified recall %.1f%% too low", recallUnmod[2])
+	}
+}
+
+func TestAblationHeterogeneous(t *testing.T) {
+	fig, err := AblationHeterogeneous(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 || len(fig.Series[0].Y) != 2 {
+		t.Fatalf("hetero shape: %+v", fig)
+	}
+	// Weighted partitioning must beat uniform on the simulated
+	// heterogeneous cluster at every notch.
+	for i := range fig.Series[0].Y {
+		if fig.Series[1].Y[i] >= fig.Series[0].Y[i] {
+			t.Errorf("notch %d: weighted LI %.1f%% !< uniform %.1f%%",
+				i, fig.Series[1].Y[i], fig.Series[0].Y[i])
+		}
+	}
+}
+
+func TestAblationTransport(t *testing.T) {
+	fig, err := AblationTransport(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 || len(fig.Series[0].Y) != 2 {
+		t.Fatalf("transport ablation shape wrong: %+v", fig)
+	}
+	for _, s := range fig.Series {
+		for _, v := range s.Y {
+			if v <= 0 {
+				t.Errorf("non-positive wall time in %s: %v", s.Label, s.Y)
+			}
+		}
+	}
+}

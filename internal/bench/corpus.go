@@ -1,0 +1,95 @@
+// Package bench contains the experiment runners that regenerate every
+// figure of the paper's evaluation (Figs. 5-11), the in-text setup
+// statistics, and the design-choice ablations, at a configurable fraction
+// of the paper's scale. Runners return structured Series/Table values that
+// cmd/lbe-bench renders and bench_test.go exercises.
+package bench
+
+import (
+	"fmt"
+
+	"lbe/internal/digest"
+	"lbe/internal/gen"
+	"lbe/internal/mods"
+	"lbe/internal/spectrum"
+)
+
+// Corpus is a generated dataset: the deduplicated peptide database and a
+// query run sampled from it.
+type Corpus struct {
+	Peptides []string
+	Queries  []spectrum.Experimental
+	Truth    []gen.GroundTruth
+	// Rows is the number of index rows (peptide variants) the peptide set
+	// produces under the mod config the corpus was sized for.
+	Rows int
+}
+
+// SizedCorpus generates a synthetic proteome, digests it, and trims the
+// deduplicated peptide list so that the index built with modCfg holds
+// approximately targetRows rows ("index size" in the paper's million-
+// spectra terms). nqueries spectra are sampled Zipf-skewed from the kept
+// peptides.
+func SizedCorpus(targetRows, nqueries int, seed uint64, modCfg mods.Config) (Corpus, error) {
+	if targetRows < 1 {
+		return Corpus{}, fmt.Errorf("bench: targetRows %d must be >= 1", targetRows)
+	}
+
+	// Grow the proteome until the digest covers the target, then trim.
+	families := 8
+	var peptides []string
+	for {
+		pcfg := gen.ProteomeConfig{
+			Seed:         seed,
+			NumFamilies:  families,
+			Homologs:     4,
+			MeanLen:      450,
+			MutationRate: 0.03,
+		}
+		recs, err := gen.Proteome(pcfg)
+		if err != nil {
+			return Corpus{}, err
+		}
+		seqs := make([]string, len(recs))
+		for i, r := range recs {
+			seqs[i] = r.Sequence
+		}
+		peps, err := digest.DefaultConfig().Proteome(seqs)
+		if err != nil {
+			return Corpus{}, err
+		}
+		peps = digest.Dedup(peps)
+		peptides = digest.Sequences(peps)
+
+		total := 0
+		for _, seq := range peptides {
+			total += modCfg.Count(seq)
+		}
+		if total >= targetRows || families > 1<<16 {
+			break
+		}
+		families *= 2
+	}
+
+	// Trim to the row target.
+	rows := 0
+	kept := peptides[:0]
+	for _, seq := range peptides {
+		if rows >= targetRows {
+			break
+		}
+		rows += modCfg.Count(seq)
+		kept = append(kept, seq)
+	}
+	peptides = kept
+
+	scfg := gen.DefaultSpectraConfig()
+	scfg.Seed = seed + 1
+	scfg.NumSpectra = nqueries
+	scfg.Mods = modCfg
+	queries, truth, err := gen.Spectra(peptides, scfg)
+	if err != nil {
+		return Corpus{}, err
+	}
+	return Corpus{Peptides: peptides, Queries: queries, Truth: truth, Rows: rows}, nil
+}

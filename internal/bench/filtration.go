@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+
+	"lbe/internal/filter"
+	"lbe/internal/gen"
+	"lbe/internal/mass"
+	"lbe/internal/mods"
+	"lbe/internal/slm"
+	"lbe/internal/spectrum"
+)
+
+// FiltrationComparison reproduces the related-work landscape of §II-A as a
+// measured table: for the three database-filtration families (precursor
+// mass, sequence tag, shared peak), the mean candidate count per query,
+// the database reduction factor, and the recall of the true peptide —
+// for both unmodified and modified query spectra. It quantifies the
+// motivation for shared-peak open search: precursor filtration is the
+// most selective but collapses on modified ("dark matter") spectra.
+func FiltrationComparison(o Options) (Figure, error) {
+	fig := Figure{
+		ID:     "filtration",
+		Title:  "Filtration methods (§II-A): candidates per query and recall",
+		XLabel: "method#",
+		YLabel: "value",
+	}
+	c, err := SizedCorpus(o.sizeRows(paperSizesM[0]), 0, o.Seed, modConfig())
+	if err != nil {
+		return fig, err
+	}
+	peptides := c.Peptides
+
+	// Two query sets: pristine unmodified and all-modified.
+	mkQueries := func(modProb float64, seed uint64) ([]spectrum.Experimental, []gen.GroundTruth, error) {
+		scfg := gen.DefaultSpectraConfig()
+		scfg.Seed = seed
+		scfg.NumSpectra = o.Queries / 2
+		scfg.ModProb = modProb
+		scfg.Mods = modConfig()
+		return gen.Spectra(peptides, scfg)
+	}
+	plainQ, plainT, err := mkQueries(0, o.Seed+10)
+	if err != nil {
+		return fig, err
+	}
+	modQ, modT, err := mkQueries(1, o.Seed+11)
+	if err != nil {
+		return fig, err
+	}
+
+	// The three filters. Shared-peak uses an unmodified index with the
+	// paper's Shpeak >= 4 and open precursor window.
+	prec, err := filter.NewPrecursor(peptides, mass.Da(0.05))
+	if err != nil {
+		return fig, err
+	}
+	tag, err := filter.NewTag(peptides, filter.DefaultTagConfig())
+	if err != nil {
+		return fig, err
+	}
+	params := slm.DefaultParams()
+	params.Mods = mods.Config{MaxPerPep: 0}
+	ix, err := slm.Build(peptides, params)
+	if err != nil {
+		return fig, err
+	}
+
+	type method struct {
+		name       string
+		candidates func(q spectrum.Experimental) map[int]bool
+	}
+	asSet := func(ids []int) map[int]bool {
+		s := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			s[id] = true
+		}
+		return s
+	}
+	var scratch slm.Scratch
+	methods := []method{
+		{"precursor-mass (0.05Da)", func(q spectrum.Experimental) map[int]bool {
+			return asSet(prec.Candidates(q))
+		}},
+		{"sequence-tag (k=3)", func(q spectrum.Experimental) map[int]bool {
+			return asSet(tag.Candidates(q))
+		}},
+		{"shared-peak (Shpeak>=4, open)", func(q spectrum.Experimental) map[int]bool {
+			ms, _ := ix.Search(spectrum.Preprocess(q, params.MaxQueryPeaks), 0, &scratch)
+			s := make(map[int]bool, len(ms))
+			for _, m := range ms {
+				s[int(m.Peptide)] = true
+			}
+			return s
+		}},
+	}
+
+	evaluate := func(m method, qs []spectrum.Experimental, truth []gen.GroundTruth) (meanCand, recall float64) {
+		totalCand, hits := 0, 0
+		for i, q := range qs {
+			set := m.candidates(q)
+			totalCand += len(set)
+			if set[truth[i].Peptide] {
+				hits++
+			}
+		}
+		n := float64(len(qs))
+		return float64(totalCand) / n, 100 * float64(hits) / n
+	}
+
+	candS := Series{Label: "mean candidates/query (unmod)"}
+	recallS := Series{Label: "recall % (unmod)"}
+	candModS := Series{Label: "mean candidates/query (modified)"}
+	recallModS := Series{Label: "recall % (modified)"}
+	for i, m := range methods {
+		mc, rc := evaluate(m, plainQ, plainT)
+		mcM, rcM := evaluate(m, modQ, modT)
+		x := float64(i)
+		candS.X, candS.Y = append(candS.X, x), append(candS.Y, mc)
+		recallS.X, recallS.Y = append(recallS.X, x), append(recallS.Y, rc)
+		candModS.X, candModS.Y = append(candModS.X, x), append(candModS.Y, mcM)
+		recallModS.X, recallModS.Y = append(recallModS.X, x), append(recallModS.Y, rcM)
+		fig.Notes = append(fig.Notes, fmt.Sprintf("method %d: %s (db %d peptides)", i, m.name, len(peptides)))
+	}
+	fig.Series = []Series{candS, recallS, candModS, recallModS}
+	fig.Notes = append(fig.Notes,
+		"expected: precursor filter has highest reduction but near-zero modified recall (§II-A1); "+
+			"shared-peak keeps high recall on modified spectra at moderate candidate load")
+	return fig, nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy selects how the clustered peptide order is distributed across the
+// machines of the system (paper §III-D).
+type Policy uint8
+
+const (
+	// Chunk splits the clustered order into p contiguous blocks; it is the
+	// conventional shared-memory partitioning and the paper's baseline.
+	Chunk Policy = iota
+	// Cyclic deals peptides round-robin over the machines, spreading every
+	// group across the whole system; the paper's best policy.
+	Cyclic
+	// Random shuffles the clustered order with a seeded PRNG and then
+	// chunk-splits it; quality depends on the seed (paper §III-D3).
+	Random
+	// RandomWithinGroups is an ablation variant of Random that shuffles
+	// only within each group before chunk-splitting, preserving group
+	// locality at chunk boundaries.
+	RandomWithinGroups
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Chunk:
+		return "chunk"
+	case Cyclic:
+		return "cyclic"
+	case Random:
+		return "random"
+	case RandomWithinGroups:
+		return "random-within-groups"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy converts a policy name as printed by String back to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "chunk":
+		return Chunk, nil
+	case "cyclic":
+		return Cyclic, nil
+	case "random":
+		return Random, nil
+	case "random-within-groups":
+		return RandomWithinGroups, nil
+	}
+	return 0, fmt.Errorf("core: unknown policy %q", s)
+}
+
+// Partition assigns the clustered peptide order to p machines under the
+// given policy. The result's Assign[m] lists, for machine m, the positions
+// in clustered order (indices into Grouping.Order) it owns, in ascending
+// order of assignment.
+//
+// seed is used only by the Random policies.
+type Partition struct {
+	Policy Policy
+	P      int
+	// Assign[m] holds clustered-order positions owned by machine m.
+	Assign [][]int
+}
+
+// PartitionClustered distributes n clustered positions over p machines.
+// The grouping is required by the group-aware policies and for n.
+func PartitionClustered(g Grouping, p int, policy Policy, seed int64) (Partition, error) {
+	if p < 1 {
+		return Partition{}, fmt.Errorf("core: machine count %d must be >= 1", p)
+	}
+	n := len(g.Order)
+	part := Partition{Policy: policy, P: p, Assign: make([][]int, p)}
+
+	switch policy {
+	case Chunk:
+		// pep(m) = { i | N/p * m <= i < N/p * (m+1) } with remainder spread
+		// over the leading machines.
+		base, rem := n/p, n%p
+		pos := 0
+		for m := 0; m < p; m++ {
+			sz := base
+			if m < rem {
+				sz++
+			}
+			part.Assign[m] = makeRange(pos, pos+sz)
+			pos += sz
+		}
+
+	case Cyclic:
+		// pep(m) = { i | i mod p == m } over the clustered order.
+		for m := 0; m < p; m++ {
+			part.Assign[m] = make([]int, 0, n/p+1)
+		}
+		for i := 0; i < n; i++ {
+			m := i % p
+			part.Assign[m] = append(part.Assign[m], i)
+		}
+
+	case Random:
+		// chunk(shuffle(i)): shuffle the whole clustered order, then chunk.
+		perm := rand.New(rand.NewSource(seed)).Perm(n)
+		base, rem := n/p, n%p
+		pos := 0
+		for m := 0; m < p; m++ {
+			sz := base
+			if m < rem {
+				sz++
+			}
+			part.Assign[m] = append([]int(nil), perm[pos:pos+sz]...)
+			pos += sz
+		}
+
+	case RandomWithinGroups:
+		// Shuffle within each group, then deal each group's members to
+		// machines round-robin starting at a rotating offset so small
+		// groups do not always favor machine 0.
+		rng := rand.New(rand.NewSource(seed))
+		for m := 0; m < p; m++ {
+			part.Assign[m] = make([]int, 0, n/p+1)
+		}
+		start := 0
+		rot := 0
+		for _, sz := range g.Sizes {
+			members := makeRange(start, start+sz)
+			rng.Shuffle(len(members), func(i, j int) {
+				members[i], members[j] = members[j], members[i]
+			})
+			for k, pos := range members {
+				m := (rot + k) % p
+				part.Assign[m] = append(part.Assign[m], pos)
+			}
+			rot = (rot + sz) % p
+			start += sz
+		}
+
+	default:
+		return Partition{}, fmt.Errorf("core: unknown policy %v", policy)
+	}
+	return part, nil
+}
+
+func makeRange(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// MachineOf returns, for every clustered position, the machine that owns
+// it. It is the inverse view of Assign.
+func (p Partition) MachineOf() []int {
+	n := 0
+	for _, a := range p.Assign {
+		n += len(a)
+	}
+	out := make([]int, n)
+	for m, a := range p.Assign {
+		for _, pos := range a {
+			out[pos] = m
+		}
+	}
+	return out
+}
+
+// Sizes returns the number of peptides per machine.
+func (p Partition) Sizes() []int {
+	out := make([]int, p.P)
+	for m, a := range p.Assign {
+		out[m] = len(a)
+	}
+	return out
+}
+
+// GlobalIndices resolves machine m's clustered positions to original
+// peptide-list indices using the grouping's Order.
+func (p Partition) GlobalIndices(g Grouping, m int) []uint32 {
+	a := p.Assign[m]
+	out := make([]uint32, len(a))
+	for i, pos := range a {
+		out[i] = uint32(g.Order[pos])
+	}
+	return out
+}

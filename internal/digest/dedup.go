@@ -1,0 +1,27 @@
+package digest
+
+// Dedup removes peptides with duplicate sequences, keeping the first
+// occurrence of each sequence (mirroring the paper's DBToolkit step, which
+// collapses identical tryptic peptides arising from homologous proteins).
+// The input order of survivors is preserved.
+func Dedup(peps []Peptide) []Peptide {
+	seen := make(map[string]struct{}, len(peps))
+	out := peps[:0:0] // fresh backing array; callers may retain the input
+	for _, p := range peps {
+		if _, dup := seen[p.Sequence]; dup {
+			continue
+		}
+		seen[p.Sequence] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Sequences projects the peptide list to its sequences, in order.
+func Sequences(peps []Peptide) []string {
+	out := make([]string, len(peps))
+	for i, p := range peps {
+		out[i] = p.Sequence
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+// Package digest performs in-silico enzymatic digestion of protein
+// sequences into peptides, reproducing the preprocessing the paper performed
+// with OpenMS Digestor: fully tryptic cleavage, a bounded number of missed
+// cleavages, and peptide length and mass filters.
+package digest
+
+import (
+	"fmt"
+
+	"lbe/internal/mass"
+)
+
+// Enzyme describes a cleavage rule: cut after any residue in CutAfter
+// unless the next residue is in NoCutBefore.
+type Enzyme struct {
+	Name        string
+	CutAfter    string // residues after which the enzyme cleaves
+	NoCutBefore string // residues that block cleavage when immediately C-terminal
+}
+
+// Trypsin is the standard rule used by the paper: cleave C-terminal to
+// lysine (K) or arginine (R), but not when the next residue is proline (P).
+var Trypsin = Enzyme{Name: "Trypsin", CutAfter: "KR", NoCutBefore: "P"}
+
+// LysC cleaves after lysine only; provided for configurability tests.
+var LysC = Enzyme{Name: "Lys-C", CutAfter: "K", NoCutBefore: ""}
+
+// cleavesAfter reports whether the enzyme cuts between seq[i] and seq[i+1].
+func (e Enzyme) cleavesAfter(seq string, i int) bool {
+	if i < 0 || i >= len(seq)-1 {
+		return false
+	}
+	if !contains(e.CutAfter, seq[i]) {
+		return false
+	}
+	return !contains(e.NoCutBefore, seq[i+1])
+}
+
+func contains(set string, b byte) bool {
+	for i := 0; i < len(set); i++ {
+		if set[i] == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Config controls a digestion run. The zero value is not useful; use
+// DefaultConfig for the paper's settings.
+type Config struct {
+	Enzyme          Enzyme
+	MissedCleavages int     // maximum missed cleavages per peptide
+	MinLen, MaxLen  int     // inclusive peptide length bounds
+	MinMass         float64 // inclusive neutral mass bounds (Da)
+	MaxMass         float64
+}
+
+// DefaultConfig mirrors the paper's Digestor settings: fully tryptic, up to
+// 2 missed cleavages, lengths 6-40, masses 100-5000 amu.
+func DefaultConfig() Config {
+	return Config{
+		Enzyme:          Trypsin,
+		MissedCleavages: 2,
+		MinLen:          6,
+		MaxLen:          40,
+		MinMass:         100,
+		MaxMass:         5000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Enzyme.CutAfter == "" {
+		return fmt.Errorf("digest: enzyme %q has no cleavage residues", c.Enzyme.Name)
+	}
+	if c.MissedCleavages < 0 {
+		return fmt.Errorf("digest: negative missed cleavages %d", c.MissedCleavages)
+	}
+	if c.MinLen < 1 || c.MaxLen < c.MinLen {
+		return fmt.Errorf("digest: invalid length bounds [%d,%d]", c.MinLen, c.MaxLen)
+	}
+	if c.MinMass < 0 || c.MaxMass < c.MinMass {
+		return fmt.Errorf("digest: invalid mass bounds [%g,%g]", c.MinMass, c.MaxMass)
+	}
+	return nil
+}
+
+// Peptide is a digestion product: the sequence, its neutral monoisotopic
+// mass, the index of its parent protein, and the number of missed cleavage
+// sites it spans.
+type Peptide struct {
+	Sequence string
+	Mass     float64
+	Protein  int
+	Missed   int
+}
+
+// Fragments returns the fully cleaved fragments of seq (zero missed
+// cleavages), with no length or mass filtering. Concatenating the fragments
+// reconstructs seq.
+func (e Enzyme) Fragments(seq string) []string {
+	var frags []string
+	start := 0
+	for i := 0; i < len(seq)-1; i++ {
+		if e.cleavesAfter(seq, i) {
+			frags = append(frags, seq[start:i+1])
+			start = i + 1
+		}
+	}
+	if start < len(seq) {
+		frags = append(frags, seq[start:])
+	}
+	return frags
+}
+
+// Protein digests one protein (given by index and sequence) and appends the
+// surviving peptides to dst, returning the extended slice. Sequences with
+// non-standard residues yield an error identifying the protein.
+func (c Config) Protein(dst []Peptide, proteinIdx int, seq string) ([]Peptide, error) {
+	if err := c.Validate(); err != nil {
+		return dst, err
+	}
+	if !mass.ValidSequence(seq) {
+		return dst, fmt.Errorf("digest: protein %d contains non-standard residues", proteinIdx)
+	}
+	frags := c.Enzyme.Fragments(seq)
+	// Combine runs of up to MissedCleavages+1 consecutive fragments.
+	for i := 0; i < len(frags); i++ {
+		pep := ""
+		for j := i; j < len(frags) && j-i <= c.MissedCleavages; j++ {
+			pep += frags[j]
+			if len(pep) > c.MaxLen {
+				break
+			}
+			if len(pep) < c.MinLen {
+				continue
+			}
+			m := mass.MustPeptide(pep)
+			if m < c.MinMass || m > c.MaxMass {
+				continue
+			}
+			dst = append(dst, Peptide{
+				Sequence: pep,
+				Mass:     m,
+				Protein:  proteinIdx,
+				Missed:   j - i,
+			})
+		}
+	}
+	return dst, nil
+}
+
+// Proteome digests every protein sequence and returns all surviving
+// peptides in protein order.
+func (c Config) Proteome(seqs []string) ([]Peptide, error) {
+	var peps []Peptide
+	for i, seq := range seqs {
+		var err error
+		peps, err = c.Protein(peps, i, seq)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return peps, nil
+}

@@ -1,0 +1,280 @@
+package digest
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lbe/internal/mass"
+)
+
+func noFilter() Config {
+	return Config{
+		Enzyme:          Trypsin,
+		MissedCleavages: 0,
+		MinLen:          1,
+		MaxLen:          1 << 20,
+		MinMass:         0,
+		MaxMass:         1e12,
+	}
+}
+
+func TestTrypsinFragments(t *testing.T) {
+	cases := []struct {
+		seq  string
+		want []string
+	}{
+		{"MKTAYIAKQR", []string{"MK", "TAYIAK", "QR"}},
+		{"AAKPBB", []string{"AAKPBB"}},   // proline blocks cleavage
+		{"KRK", []string{"K", "R", "K"}}, // consecutive sites
+		{"AAA", []string{"AAA"}},         // no sites
+		{"AAAK", []string{"AAAK"}},       // terminal K: no trailing cut
+		{"KAAA", []string{"K", "AAA"}},   // leading K
+		{"AKRPA", []string{"AK", "RPA"}}, // P blocks the second cut only
+	}
+	for _, c := range cases {
+		got := Trypsin.Fragments(c.seq)
+		if strings.Join(got, "|") != strings.Join(c.want, "|") {
+			t.Errorf("Fragments(%q) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+}
+
+func TestFragmentsReassembleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const alpha = "ACDEFGHIKLMNPQRSTVWYKR" // K/R enriched
+	f := func(n uint8) bool {
+		var sb strings.Builder
+		for i := 0; i < int(n%120)+1; i++ {
+			sb.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		seq := sb.String()
+		return strings.Join(Trypsin.Fragments(seq), "") == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDigestNoMissedCleavages(t *testing.T) {
+	peps, err := noFilter().Proteome([]string{"MKTAYIAKQR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"MK", "TAYIAK", "QR"}
+	if len(peps) != len(want) {
+		t.Fatalf("got %d peptides %v, want %v", len(peps), peps, want)
+	}
+	for i, p := range peps {
+		if p.Sequence != want[i] {
+			t.Errorf("pep[%d] = %q, want %q", i, p.Sequence, want[i])
+		}
+		if p.Missed != 0 || p.Protein != 0 {
+			t.Errorf("pep[%d] metadata = %+v", i, p)
+		}
+		if p.Mass != mass.MustPeptide(p.Sequence) {
+			t.Errorf("pep[%d] mass mismatch", i)
+		}
+	}
+}
+
+func TestDigestMissedCleavages(t *testing.T) {
+	cfg := noFilter()
+	cfg.MissedCleavages = 2
+	peps, err := cfg.Proteome([]string{"MKTAYIAKQR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, p := range peps {
+		got[p.Sequence] = p.Missed
+	}
+	want := map[string]int{
+		"MK": 0, "TAYIAK": 0, "QR": 0,
+		"MKTAYIAK": 1, "TAYIAKQR": 1,
+		"MKTAYIAKQR": 2,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for seq, m := range want {
+		if got[seq] != m {
+			t.Errorf("%q missed = %d, want %d", seq, got[seq], m)
+		}
+	}
+}
+
+func TestDigestFilters(t *testing.T) {
+	cfg := noFilter()
+	cfg.MinLen = 6
+	cfg.MaxLen = 8
+	peps, err := cfg.Proteome([]string{"MKTAYIAKQR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peps) != 1 || peps[0].Sequence != "TAYIAK" {
+		t.Errorf("length filter result: %v", peps)
+	}
+
+	cfg = noFilter()
+	cfg.MinMass = 600
+	peps, err = cfg.Proteome([]string{"MKTAYIAKQR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peps) != 1 || peps[0].Sequence != "TAYIAK" {
+		t.Errorf("mass filter result: %v", peps)
+	}
+}
+
+func TestDigestDefaultConfigBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	peps, err := cfg.Proteome([]string{"MKTAYIAKQRGGDDLLKAAAPPPRTTTVVVKMMMNNK"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range peps {
+		if len(p.Sequence) < 6 || len(p.Sequence) > 40 {
+			t.Errorf("peptide %q violates length bounds", p.Sequence)
+		}
+		if p.Mass < 100 || p.Mass > 5000 {
+			t.Errorf("peptide %q violates mass bounds (%f)", p.Sequence, p.Mass)
+		}
+		if p.Missed > 2 {
+			t.Errorf("peptide %q has %d missed cleavages", p.Sequence, p.Missed)
+		}
+	}
+}
+
+func TestDigestInvalidInputs(t *testing.T) {
+	if _, err := noFilter().Proteome([]string{"MKXAY"}); err == nil {
+		t.Error("non-standard residue should fail")
+	}
+	bad := noFilter()
+	bad.MinLen = 0
+	if _, err := bad.Proteome([]string{"MK"}); err == nil {
+		t.Error("invalid config should fail")
+	}
+	bad = noFilter()
+	bad.MissedCleavages = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative missed cleavages should fail")
+	}
+	bad = noFilter()
+	bad.Enzyme = Enzyme{Name: "none"}
+	if err := bad.Validate(); err == nil {
+		t.Error("enzyme without cleavage residues should fail")
+	}
+	bad = noFilter()
+	bad.MaxMass = 1
+	bad.MinMass = 10
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted mass bounds should fail")
+	}
+}
+
+func TestLysC(t *testing.T) {
+	got := LysC.Fragments("AKRPAKPB")
+	// Lys-C cuts after every K regardless of following residue.
+	want := []string{"AK", "RPAK", "PB"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("LysC fragments = %v, want %v", got, want)
+	}
+}
+
+func TestMissedCleavageCountProperty(t *testing.T) {
+	// With unlimited filters, digesting with m missed cleavages yields
+	// exactly sum_{k=0..m} max(0, F-k) peptides, where F = #fragments.
+	rng := rand.New(rand.NewSource(5))
+	const alpha = "ACDEFGHIKLMNPQRSTVWYKRKR"
+	f := func(n, mcRaw uint8) bool {
+		var sb strings.Builder
+		for i := 0; i < int(n%80)+1; i++ {
+			sb.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		seq := sb.String()
+		mc := int(mcRaw % 4)
+		cfg := noFilter()
+		cfg.MissedCleavages = mc
+		peps, err := cfg.Proteome([]string{seq})
+		if err != nil {
+			return false
+		}
+		frags := len(Trypsin.Fragments(seq))
+		want := 0
+		for k := 0; k <= mc; k++ {
+			if frags-k > 0 {
+				want += frags - k
+			}
+		}
+		return len(peps) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	peps := []Peptide{
+		{Sequence: "AAK", Protein: 0},
+		{Sequence: "CCK", Protein: 0},
+		{Sequence: "AAK", Protein: 1}, // dup, later protein
+		{Sequence: "DDK", Protein: 2},
+		{Sequence: "CCK", Protein: 2},
+	}
+	got := Dedup(peps)
+	if len(got) != 3 {
+		t.Fatalf("got %d peptides, want 3", len(got))
+	}
+	if got[0].Sequence != "AAK" || got[0].Protein != 0 {
+		t.Errorf("first occurrence not kept: %+v", got[0])
+	}
+	if got[1].Sequence != "CCK" || got[2].Sequence != "DDK" {
+		t.Errorf("order not preserved: %+v", got)
+	}
+}
+
+func TestDedupEmpty(t *testing.T) {
+	if got := Dedup(nil); len(got) != 0 {
+		t.Errorf("Dedup(nil) = %v", got)
+	}
+}
+
+func TestDedupProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		peps := make([]Peptide, len(raw))
+		for i, r := range raw {
+			peps[i] = Peptide{Sequence: strings.Repeat("K", int(r%7)+1)}
+		}
+		out := Dedup(peps)
+		seen := map[string]bool{}
+		for _, p := range out {
+			if seen[p.Sequence] {
+				return false
+			}
+			seen[p.Sequence] = true
+		}
+		// Every input sequence must appear exactly once in the output.
+		for _, p := range peps {
+			if !seen[p.Sequence] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequences(t *testing.T) {
+	peps := []Peptide{{Sequence: "AAK"}, {Sequence: "CCK"}}
+	got := Sequences(peps)
+	if len(got) != 2 || got[0] != "AAK" || got[1] != "CCK" {
+		t.Errorf("Sequences = %v", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Package editdist implements the Levenshtein edit distance kernel used by
+// LBE's peptide grouping (Algorithm 1 of the paper).
+//
+// The grouping loop evaluates millions of distances between short peptide
+// sequences, so the package provides, besides the textbook dynamic program,
+// a banded variant with early exit (Distance with a threshold) that is the
+// one the hot path uses: grouping only needs to know whether the distance
+// exceeds the cutoff, not its exact value beyond it.
+package editdist
+
+// Naive computes the exact Levenshtein distance with the full O(len(a)*len(b))
+// dynamic program. It is the reference implementation used by tests and by
+// callers that need exact distances with no threshold.
+func Naive(a, b string) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	curr := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		curr[0] = i
+		ai := a[i-1]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ai == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitute
+			if d := prev[j] + 1; d < m { // delete
+				m = d
+			}
+			if d := curr[j-1] + 1; d < m { // insert
+				m = d
+			}
+			curr[j] = m
+		}
+		prev, curr = curr, prev
+	}
+	return prev[lb]
+}
+
+// Distance computes the Levenshtein distance between a and b, but gives up
+// as soon as the distance provably exceeds maxDist: in that case it returns
+// maxDist+1. This banded formulation (Ukkonen's cutoff) restricts the DP to
+// a diagonal band of width 2*maxDist+1 and costs O(maxDist * min(len(a),
+// len(b))).
+//
+// A negative maxDist means "no threshold" and falls back to the exact
+// computation.
+func Distance(a, b string, maxDist int) int {
+	if maxDist < 0 {
+		return Naive(a, b)
+	}
+	la, lb := len(a), len(b)
+	// Ensure a is the shorter string so the band walks the smaller side.
+	if la > lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	if lb-la > maxDist {
+		return maxDist + 1
+	}
+	if la == 0 {
+		return lb // <= maxDist by the check above
+	}
+
+	const inf = int(^uint(0) >> 2)
+	prev := make([]int, lb+1)
+	curr := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= la; i++ {
+		// Band for row i: |i - j| <= maxDist.
+		jlo := i - maxDist
+		if jlo < 1 {
+			jlo = 1
+		}
+		jhi := i + maxDist
+		if jhi > lb {
+			jhi = lb
+		}
+		if jlo > 1 {
+			curr[jlo-1] = inf
+		} else {
+			curr[0] = i
+		}
+		rowMin := inf
+		ai := a[i-1]
+		for j := jlo; j <= jhi; j++ {
+			cost := 1
+			if ai == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if j-1 >= jlo-1 {
+				if d := curr[j-1] + 1; d < m {
+					m = d
+				}
+			}
+			if d := prev[j] + 1; d < m {
+				m = d
+			}
+			curr[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if jhi < lb {
+			curr[jhi+1] = inf
+		}
+		if rowMin > maxDist {
+			return maxDist + 1
+		}
+		prev, curr = curr, prev
+	}
+	if prev[lb] > maxDist {
+		return maxDist + 1
+	}
+	return prev[lb]
+}
+
+// Within reports whether the edit distance between a and b is at most
+// maxDist. It is the primitive the grouping loop uses.
+func Within(a, b string, maxDist int) bool {
+	return Distance(a, b, maxDist) <= maxDist
+}
+
+// Normalized returns the edit distance divided by the length of the longer
+// string, the quantity used by LBE grouping criterion 2. It returns 0 for
+// two empty strings.
+func Normalized(a, b string) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(Naive(a, b)) / float64(n)
+}

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"lbe/internal/mpi"
+	"lbe/internal/spectrum"
+)
+
+// RunInProcess runs the full distributed search on a virtual cluster of p
+// ranks inside this process (one goroutine per rank over the in-process
+// transport) and returns the master's result. It is the workhorse of the
+// experiments and examples.
+func RunInProcess(p int, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	world := mpi.NewWorld(p)
+	defer world.Close()
+	return runOnComms(world.Comms(), peptides, queries, cfg)
+}
+
+// RunOverTCP runs the same search with the p ranks connected through real
+// loopback TCP links, demonstrating wire-level operation; used by the
+// transport ablation.
+func RunOverTCP(p int, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	comms, err := mpi.NewTCPCluster(p)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	return runOnComms(comms, peptides, queries, cfg)
+}
+
+func runOnComms(comms []mpi.Comm, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	var wg sync.WaitGroup
+	results := make([]*Result, len(comms))
+	errs := make([]error, len(comms))
+	for r := range comms {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = RunRank(comms[r], peptides, queries, cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: rank %d failed: %w", r, err)
+		}
+	}
+	if results[0] == nil {
+		return nil, fmt.Errorf("engine: master produced no result")
+	}
+	return results[0], nil
+}

@@ -1,0 +1,193 @@
+// Package engine runs LBE-distributed peptide search: it partitions the
+// peptide database across a communicator with the configured LBE policy,
+// builds one partial SLM index per rank, searches every query spectrum on
+// every rank concurrently, and merges results at the master through the
+// O(1) mapping table (paper §III-D/E, Fig. 3 and Fig. 4).
+//
+// The same search can be run serially (RunSerial) as the correctness
+// reference and as the shared-memory baseline for the memory-footprint
+// comparison.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lbe/internal/core"
+	"lbe/internal/slm"
+	"lbe/internal/spectrum"
+)
+
+// Config assembles all the knobs of a distributed search run.
+type Config struct {
+	Params slm.Params       // SLM index/search parameters
+	Group  core.GroupConfig // Algorithm 1 grouping parameters
+	Policy core.Policy      // data distribution policy
+	Seed   int64            // seed for the Random policies
+	TopK   int              // matches kept per query at the master; 0 = all
+	// RawOrder disables LBE grouping and partitions the database in its
+	// original order (the no-clustering ablation baseline).
+	RawOrder bool
+	// ThreadsPerRank enables the hybrid "OpenMP within MPI" parallelism
+	// of the paper's future work (§VIII): each rank searches its query
+	// batch with this many worker goroutines. 0 or 1 means serial.
+	ThreadsPerRank int
+	// Weights gives relative machine speeds for heterogeneous clusters
+	// (§VIII's load-predicting model); peptide shares are proportional.
+	// Nil or empty means a symmetric cluster. When set, its length must
+	// equal the communicator size.
+	Weights []float64
+	// ResultBatch streams worker results to the master in batches of this
+	// many queries, overlapping search with communication; 0 sends one
+	// message per worker after the whole batch (the paper's description).
+	ResultBatch int
+}
+
+// DefaultConfig mirrors the paper's experimental setup with the cyclic
+// policy and top-10 PSMs per query.
+func DefaultConfig() Config {
+	return Config{
+		Params: slm.DefaultParams(),
+		Group:  core.DefaultGroupConfig(),
+		Policy: core.Cyclic,
+		TopK:   10,
+	}
+}
+
+// PSM is a peptide-to-spectrum match resolved to the global peptide list.
+type PSM struct {
+	Peptide   uint32  // index into the original peptide list
+	Shared    uint16  // shared-peak count
+	Score     float64 // match score
+	Precursor float64 // matched variant's neutral mass
+	Origin    int     // rank whose partition produced the match
+}
+
+// RankStats describes one rank's share of the run; the load-balance
+// figures are computed from these.
+type RankStats struct {
+	Rank           int
+	Peptides       int      // peptides in this rank's partition
+	Rows           int      // indexed spectra (peptide variants)
+	IndexBytes     int      // resident partial-index size
+	BuildPeakBytes int      // transient peak during construction
+	BuildNanos     int64    // wall time of local index construction
+	QueryNanos     int64    // wall time of the local query phase
+	Work           slm.Work // deterministic work units
+}
+
+// QueryTimes projects per-rank query wall times in seconds.
+func QueryTimes(stats []RankStats) []float64 {
+	out := make([]float64, len(stats))
+	for i, s := range stats {
+		out[i] = time.Duration(s.QueryNanos).Seconds()
+	}
+	return out
+}
+
+// WorkUnits projects per-rank deterministic work (ion hits + scored
+// candidates), the quantity LBE balances.
+func WorkUnits(stats []RankStats) []float64 {
+	out := make([]float64, len(stats))
+	for i, s := range stats {
+		out[i] = float64(s.Work.IonHits + s.Work.Scored)
+	}
+	return out
+}
+
+// Result is the master's view of a finished run.
+type Result struct {
+	// PSMs[q] holds query q's matches, best first.
+	PSMs [][]PSM
+	// Stats holds one entry per rank.
+	Stats []RankStats
+	// MappingBytes is the master mapping table footprint.
+	MappingBytes int
+	// GroupingNanos, PartitionNanos cover the serial LBE preprocessing.
+	GroupingNanos  int64
+	PartitionNanos int64
+	// QueryNanos is the master-observed wall time of the distributed
+	// query phase (barrier to last result gathered).
+	QueryNanos int64
+	// TotalNanos is the master-observed wall time of the whole run.
+	TotalNanos int64
+	// Groups is the number of LBE groups formed.
+	Groups int
+}
+
+// CandidatePSMs returns the total number of candidate PSMs (the quantity
+// the paper reports as 22.5 billion for the full dataset).
+func (r *Result) CandidatePSMs() int64 {
+	var n int64
+	for _, s := range r.Stats {
+		n += s.Work.Scored
+	}
+	return n
+}
+
+// sortPSMs orders matches best-first with deterministic tie-breaking.
+func sortPSMs(ms []PSM) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Peptide != b.Peptide {
+			return a.Peptide < b.Peptide
+		}
+		return a.Precursor < b.Precursor
+	})
+}
+
+// RunSerial searches queries against a single shared-memory index over the
+// whole peptide list: the baseline system LBE distributes. The returned
+// Result has one RankStats entry (rank 0).
+func RunSerial(peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	start := time.Now()
+	buildStart := time.Now()
+	ix, err := slm.Build(peptides, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("engine: serial build: %w", err)
+	}
+	buildNanos := time.Since(buildStart).Nanoseconds()
+
+	qs := spectrum.PreprocessAll(queries, cfg.Params.MaxQueryPeaks)
+	queryStart := time.Now()
+	matches, work := ix.SearchAll(qs, 0)
+	queryNanos := time.Since(queryStart).Nanoseconds()
+
+	res := &Result{
+		PSMs: make([][]PSM, len(queries)),
+		Stats: []RankStats{{
+			Rank:           0,
+			Peptides:       len(peptides),
+			Rows:           ix.NumRows(),
+			IndexBytes:     ix.MemoryBytes(),
+			BuildPeakBytes: ix.BuildPeakBytes(),
+			BuildNanos:     buildNanos,
+			QueryNanos:     queryNanos,
+			Work:           work,
+		}},
+		QueryNanos: queryNanos,
+	}
+	for q, ms := range matches {
+		psms := make([]PSM, len(ms))
+		for i, m := range ms {
+			psms[i] = PSM{
+				Peptide:   m.Peptide, // local == global in the serial case
+				Shared:    m.Shared,
+				Score:     m.Score,
+				Precursor: m.Precursor,
+				Origin:    0,
+			}
+		}
+		sortPSMs(psms)
+		if cfg.TopK > 0 && len(psms) > cfg.TopK {
+			psms = psms[:cfg.TopK]
+		}
+		res.PSMs[q] = psms
+	}
+	res.TotalNanos = time.Since(start).Nanoseconds()
+	return res, nil
+}

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"sync"
+
+	"lbe/internal/slm"
+	"lbe/internal/spectrum"
+)
+
+// searchAll searches the query batch against the index with the requested
+// intra-rank parallelism — the hybrid "OpenMP within MPI" mode of the
+// paper's future work (§VIII). Results and accumulated work are identical
+// to the serial path for any thread count; only wall time changes.
+func searchAll(ix *slm.Index, qs []spectrum.Experimental, threads int) ([][]slm.Match, slm.Work) {
+	if threads <= 1 || len(qs) < 2 {
+		return ix.SearchAll(qs, 0)
+	}
+	if threads > len(qs) {
+		threads = len(qs)
+	}
+
+	out := make([][]slm.Match, len(qs))
+	works := make([]slm.Work, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			var scratch slm.Scratch
+			// Strided assignment keeps per-thread work even when query
+			// difficulty varies along the batch.
+			for q := t; q < len(qs); q += threads {
+				m, w := ix.Search(qs[q], 0, &scratch)
+				out[q] = m
+				works[t].Add(w)
+			}
+		}(t)
+	}
+	wg.Wait()
+
+	var total slm.Work
+	for _, w := range works {
+		total.Add(w)
+	}
+	return out, total
+}

@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"lbe/internal/core"
+	"lbe/internal/mpi"
+	"lbe/internal/slm"
+	"lbe/internal/spectrum"
+)
+
+// Message tags of the engine protocol.
+const (
+	tagResults mpi.Tag = 0x10
+	tagStats   mpi.Tag = 0x11
+)
+
+// wireMatch is the result tuple a worker returns to the master: a virtual
+// (local) peptide index plus scoring data; the master resolves Virtual
+// through the mapping table (Fig. 4).
+type wireMatch struct {
+	Query     int32
+	Virtual   uint32
+	Shared    uint16
+	Score     float64
+	Precursor float64
+}
+
+// RunRank executes one rank of the LBE distributed search. Every rank must
+// call it with the same peptide list, query list and configuration (in the
+// paper, every machine reads the clustered database and the MS2 dataset).
+// The master (rank 0) returns the merged Result; workers return nil.
+func RunRank(c mpi.Comm, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	start := time.Now()
+	rank, size := c.Rank(), c.Size()
+
+	// --- LBE preprocessing (deterministic, replicated on every rank) ---
+	groupStart := time.Now()
+	var grouping core.Grouping
+	if cfg.RawOrder {
+		grouping = core.IdentityGrouping(len(peptides))
+	} else {
+		var err error
+		grouping, err = core.Group(peptides, cfg.Group)
+		if err != nil {
+			return nil, fmt.Errorf("engine: rank %d grouping: %w", rank, err)
+		}
+	}
+	groupNanos := time.Since(groupStart).Nanoseconds()
+
+	partStart := time.Now()
+	var partition core.Partition
+	var err error
+	if len(cfg.Weights) > 0 {
+		if len(cfg.Weights) != size {
+			return nil, fmt.Errorf("engine: %d weights for %d ranks", len(cfg.Weights), size)
+		}
+		partition, err = core.PartitionWeighted(grouping, cfg.Weights, cfg.Policy, cfg.Seed)
+	} else {
+		partition, err = core.PartitionClustered(grouping, size, cfg.Policy, cfg.Seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: rank %d partition: %w", rank, err)
+	}
+	partNanos := time.Since(partStart).Nanoseconds()
+
+	// --- local partial index over this rank's peptides ---
+	mine := partition.GlobalIndices(grouping, rank)
+	local := make([]string, len(mine))
+	for i, gidx := range mine {
+		local[i] = peptides[gidx]
+	}
+	buildStart := time.Now()
+	ix, err := slm.Build(local, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("engine: rank %d build: %w", rank, err)
+	}
+	buildNanos := time.Since(buildStart).Nanoseconds()
+
+	// Master constructs the mapping table; workers discard partition
+	// metadata after construction (paper §III-D).
+	var table core.MappingTable
+	if rank == 0 {
+		table = core.BuildMappingTable(grouping, partition)
+	}
+
+	// --- distributed query phase ---
+	if err := mpi.Barrier(c); err != nil {
+		return nil, err
+	}
+	queryPhaseStart := time.Now()
+
+	qs := spectrum.PreprocessAll(queries, cfg.Params.MaxQueryPeaks)
+
+	// The query batch is processed in slabs. With ResultBatch <= 0 there
+	// is a single slab (one result message per worker, as the paper
+	// describes); with ResultBatch = K each worker streams results every
+	// K queries, overlapping search with communication.
+	slab := cfg.ResultBatch
+	if slab <= 0 {
+		slab = len(qs)
+	}
+	if slab < 1 {
+		slab = 1
+	}
+
+	flatten := func(offset int, matches [][]slm.Match) []wireMatch {
+		wire := make([]wireMatch, 0, 256)
+		for q, ms := range matches {
+			for _, m := range ms {
+				wire = append(wire, wireMatch{
+					Query:     int32(offset + q),
+					Virtual:   m.Peptide,
+					Shared:    m.Shared,
+					Score:     m.Score,
+					Precursor: m.Precursor,
+				})
+			}
+		}
+		return wire
+	}
+
+	var work slm.Work
+	var queryNanos int64
+	var localWire [][]wireMatch // master keeps its own slabs
+	numSlabs := 0
+	for off := 0; off < len(qs); off += slab {
+		end := off + slab
+		if end > len(qs) {
+			end = len(qs)
+		}
+		queryStart := time.Now()
+		matches, w := searchAll(ix, qs[off:end], cfg.ThreadsPerRank)
+		queryNanos += time.Since(queryStart).Nanoseconds()
+		work.Add(w)
+		wire := flatten(off, matches)
+		numSlabs++
+		if rank != 0 {
+			if err := mpi.SendGob(c, 0, tagResults, wire); err != nil {
+				return nil, err
+			}
+		} else {
+			localWire = append(localWire, wire)
+		}
+	}
+	// The no-query edge case still needs one (empty) exchange so the
+	// master's receive count is deterministic.
+	if numSlabs == 0 {
+		numSlabs = 1
+		if rank != 0 {
+			if err := mpi.SendGob(c, 0, tagResults, []wireMatch{}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	myStats := RankStats{
+		Rank:           rank,
+		Peptides:       len(local),
+		Rows:           ix.NumRows(),
+		IndexBytes:     ix.MemoryBytes(),
+		BuildPeakBytes: ix.BuildPeakBytes(),
+		BuildNanos:     buildNanos,
+		QueryNanos:     queryNanos,
+		Work:           work,
+	}
+
+	if rank != 0 {
+		if err := mpi.SendGob(c, 0, tagStats, myStats); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+
+	// --- master: gather, map virtual->global, merge ---
+	res := &Result{
+		PSMs:           make([][]PSM, len(queries)),
+		Stats:          make([]RankStats, size),
+		MappingBytes:   table.MemoryBytes(),
+		GroupingNanos:  groupNanos,
+		PartitionNanos: partNanos,
+		Groups:         grouping.NumGroups(),
+	}
+	res.Stats[0] = myStats
+	appendWire := func(from int, ws []wireMatch) error {
+		for _, w := range ws {
+			if int(w.Query) < 0 || int(w.Query) >= len(queries) {
+				return fmt.Errorf("engine: rank %d sent query index %d out of range", from, w.Query)
+			}
+			gidx, err := table.Lookup(from, w.Virtual)
+			if err != nil {
+				return fmt.Errorf("engine: mapping rank %d: %w", from, err)
+			}
+			res.PSMs[w.Query] = append(res.PSMs[w.Query], PSM{
+				Peptide:   gidx,
+				Shared:    w.Shared,
+				Score:     w.Score,
+				Precursor: w.Precursor,
+				Origin:    from,
+			})
+		}
+		return nil
+	}
+	for _, wire := range localWire {
+		if err := appendWire(0, wire); err != nil {
+			return nil, err
+		}
+	}
+	// Every worker sends exactly numSlabs result messages; drain them from
+	// any source so fast workers are not blocked behind slow ones.
+	for received := 0; received < (size-1)*numSlabs; received++ {
+		var ws []wireMatch
+		src, err := mpi.RecvGob(c, mpi.AnySource, tagResults, &ws)
+		if err != nil {
+			return nil, err
+		}
+		if err := appendWire(src, ws); err != nil {
+			return nil, err
+		}
+	}
+	for peer := 1; peer < size; peer++ {
+		var st RankStats
+		if _, err := mpi.RecvGob(c, peer, tagStats, &st); err != nil {
+			return nil, err
+		}
+		res.Stats[peer] = st
+	}
+
+	for q := range res.PSMs {
+		sortPSMs(res.PSMs[q])
+		if cfg.TopK > 0 && len(res.PSMs[q]) > cfg.TopK {
+			res.PSMs[q] = res.PSMs[q][:cfg.TopK]
+		}
+	}
+	res.QueryNanos = time.Since(queryPhaseStart).Nanoseconds()
+	res.TotalNanos = time.Since(start).Nanoseconds()
+	return res, nil
+}

@@ -1,0 +1,203 @@
+// Package fasta reads and writes protein sequence databases in FASTA
+// format, the interchange format used throughout the pipeline (UniProt
+// downloads, Digestor output, and LBE's clustered databases are all FASTA).
+package fasta
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Record is one FASTA entry: a header (without the leading '>') and the
+// sequence with whitespace removed.
+type Record struct {
+	Header   string
+	Sequence string
+}
+
+// ID returns the first whitespace-delimited token of the header, the
+// conventional accession/identifier.
+func (r Record) ID() string {
+	if i := strings.IndexAny(r.Header, " \t"); i >= 0 {
+		return r.Header[:i]
+	}
+	return r.Header
+}
+
+// Reader parses FASTA records from an input stream.
+type Reader struct {
+	s       *bufio.Scanner
+	pending string // next header line, carried across Read calls
+	started bool
+	line    int
+}
+
+// NewReader returns a Reader consuming from r. Sequences of arbitrary line
+// length are supported.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{s: s}
+}
+
+// Read returns the next record, or io.EOF when the stream is exhausted.
+func (r *Reader) Read() (Record, error) {
+	var rec Record
+	var seq bytes.Buffer
+
+	if r.pending == "" {
+		// Scan forward to the first header.
+		for r.s.Scan() {
+			r.line++
+			line := strings.TrimSpace(r.s.Text())
+			if line == "" {
+				continue
+			}
+			if !strings.HasPrefix(line, ">") {
+				if !r.started {
+					return rec, fmt.Errorf("fasta: line %d: expected '>' header, got %q", r.line, truncate(line))
+				}
+				return rec, fmt.Errorf("fasta: line %d: sequence data outside record", r.line)
+			}
+			r.pending = line
+			break
+		}
+		if err := r.s.Err(); err != nil {
+			return rec, fmt.Errorf("fasta: %w", err)
+		}
+		if r.pending == "" {
+			return rec, io.EOF
+		}
+	}
+
+	r.started = true
+	rec.Header = strings.TrimSpace(strings.TrimPrefix(r.pending, ">"))
+	r.pending = ""
+
+	for r.s.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			r.pending = line
+			break
+		}
+		seq.WriteString(strings.ToUpper(strings.Map(dropSpace, line)))
+	}
+	if err := r.s.Err(); err != nil {
+		return rec, fmt.Errorf("fasta: %w", err)
+	}
+	rec.Sequence = seq.String()
+	if rec.Sequence == "" {
+		return rec, fmt.Errorf("fasta: record %q has empty sequence", rec.ID())
+	}
+	return rec, nil
+}
+
+func dropSpace(r rune) rune {
+	if r == ' ' || r == '\t' {
+		return -1
+	}
+	return r
+}
+
+func truncate(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}
+
+// ReadAll parses every record from r.
+func ReadAll(r io.Reader) ([]Record, error) {
+	fr := NewReader(r)
+	var recs []Record
+	for {
+		rec, err := fr.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// ReadFile parses every record from the named file.
+func ReadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}
+
+// Writer emits FASTA records with a fixed sequence line width.
+type Writer struct {
+	w     *bufio.Writer
+	Width int // sequence characters per line; <=0 means single line
+}
+
+// NewWriter returns a Writer emitting to w with the conventional 60-column
+// sequence wrap.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), Width: 60}
+}
+
+// Write emits one record.
+func (w *Writer) Write(rec Record) error {
+	if _, err := fmt.Fprintf(w.w, ">%s\n", rec.Header); err != nil {
+		return err
+	}
+	seq := rec.Sequence
+	if w.Width <= 0 {
+		_, err := fmt.Fprintln(w.w, seq)
+		return err
+	}
+	for len(seq) > 0 {
+		n := w.Width
+		if n > len(seq) {
+			n = len(seq)
+		}
+		if _, err := fmt.Fprintln(w.w, seq[:n]); err != nil {
+			return err
+		}
+		seq = seq[n:]
+	}
+	return nil
+}
+
+// Flush writes buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteAll writes every record to w and flushes.
+func WriteAll(w io.Writer, recs []Record) error {
+	fw := NewWriter(w)
+	for _, rec := range recs {
+		if err := fw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return fw.Flush()
+}
+
+// WriteFile writes every record to the named file.
+func WriteFile(path string, recs []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAll(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,153 @@
+package fasta
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := ">sp|P1|PROT1 first protein\nMKT\nLLVA\n>P2\nGGG\n"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Header != "sp|P1|PROT1 first protein" {
+		t.Errorf("header = %q", recs[0].Header)
+	}
+	if recs[0].ID() != "sp|P1|PROT1" {
+		t.Errorf("ID = %q", recs[0].ID())
+	}
+	if recs[0].Sequence != "MKTLLVA" {
+		t.Errorf("sequence = %q", recs[0].Sequence)
+	}
+	if recs[1].ID() != "P2" || recs[1].Sequence != "GGG" {
+		t.Errorf("second record = %+v", recs[1])
+	}
+}
+
+func TestReadLowercaseAndBlank(t *testing.T) {
+	in := ">p\n\n  mk tl \n\nga\n"
+	recs, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Sequence != "MKTLGA" {
+		t.Errorf("sequence = %q", recs[0].Sequence)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("GARBAGE\n>ok\nAA\n")); err == nil {
+		t.Error("leading junk should fail")
+	}
+	if _, err := ReadAll(strings.NewReader(">empty\n>next\nAA\n")); err == nil {
+		t.Error("empty sequence should fail")
+	}
+}
+
+func TestReadEmptyInput(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("got %d records from empty input", len(recs))
+	}
+}
+
+func TestReaderEOFRepeat(t *testing.T) {
+	r := NewReader(strings.NewReader(">a\nAA\n"))
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Read(); err != io.EOF {
+			t.Fatalf("read %d: err = %v, want EOF", i, err)
+		}
+	}
+}
+
+func TestWriterWrapping(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Width = 4
+	if err := w.Write(Record{Header: "h", Sequence: "ABCDEFGHIJ"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := ">h\nABCD\nEFGH\nIJ\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const alpha = "ACDEFGHIKLMNPQRSTVWY"
+	f := func(n uint8) bool {
+		count := int(n%5) + 1
+		recs := make([]Record, count)
+		for i := range recs {
+			var sb strings.Builder
+			for j := 0; j < rng.Intn(200)+1; j++ {
+				sb.WriteByte(alpha[rng.Intn(len(alpha))])
+			}
+			recs[i] = Record{
+				Header:   "prot" + string(rune('A'+i)) + " desc",
+				Sequence: sb.String(),
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, recs); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.fasta")
+	recs := []Record{{Header: "a", Sequence: "MKV"}, {Header: "b x", Sequence: "GGR"}}
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.fasta")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,34 @@
+package fasta
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReader asserts the FASTA parser never panics and that parsed
+// records survive a write/reparse cycle.
+func FuzzReader(f *testing.F) {
+	f.Add(">p1 desc\nMKTL\nLVA\n>p2\nGGG\n")
+	f.Add("")
+	f.Add(">\n\n")
+	f.Add("junk before header\n>x\nAA\n")
+	f.Add(">lower\nacgt\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := ReadAll(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, recs); err != nil {
+			t.Fatalf("writer failed on parser output: %v", err)
+		}
+		again, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("record count changed: %d -> %d", len(recs), len(again))
+		}
+	})
+}

@@ -1,0 +1,117 @@
+// Package fdr implements target-decoy false-discovery-rate estimation,
+// the standard statistical validation layer of shotgun-proteomics search
+// engines. The paper's pipeline reports raw candidate PSMs; a credible
+// open-source release of the system needs decoy competition so users can
+// threshold identifications at a chosen FDR.
+package fdr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Decoy returns the standard tryptic decoy of a peptide: the sequence
+// reversed with the C-terminal residue fixed, preserving mass, length,
+// amino-acid composition and the tryptic terminus (K/R), so decoys are
+// drawn from the same score distribution as false targets.
+func Decoy(seq string) string {
+	n := len(seq)
+	if n <= 2 {
+		return seq
+	}
+	b := []byte(seq)
+	for i, j := 0, n-2; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return string(b)
+}
+
+// DecoyDB appends one decoy per target peptide, skipping decoys that
+// collide with a target sequence (palindromic peptides). It returns the
+// combined database and the index of the first decoy.
+func DecoyDB(targets []string) (combined []string, firstDecoy int) {
+	targetSet := make(map[string]struct{}, len(targets))
+	for _, t := range targets {
+		targetSet[t] = struct{}{}
+	}
+	combined = append([]string(nil), targets...)
+	firstDecoy = len(targets)
+	for _, t := range targets {
+		d := Decoy(t)
+		if _, clash := targetSet[d]; clash {
+			continue
+		}
+		combined = append(combined, d)
+	}
+	return combined, firstDecoy
+}
+
+// PSM is a scored identification entering FDR estimation.
+type PSM struct {
+	Query   int
+	Peptide uint32
+	Score   float64
+	IsDecoy bool
+}
+
+// QValues computes the q-value of each PSM (minimum FDR at which it is
+// accepted) by target-decoy competition: sort by descending score,
+// estimate FDR at each threshold as (#decoys)/(#targets), then take the
+// running minimum from the bottom to enforce monotonicity. The returned
+// slice is indexed like the input.
+func QValues(psms []PSM) []float64 {
+	n := len(psms)
+	q := make([]float64, n)
+	if n == 0 {
+		return q
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return psms[order[a]].Score > psms[order[b]].Score
+	})
+
+	fdrs := make([]float64, n)
+	targets, decoys := 0, 0
+	for rank, idx := range order {
+		if psms[idx].IsDecoy {
+			decoys++
+		} else {
+			targets++
+		}
+		if targets == 0 {
+			fdrs[rank] = 1
+		} else {
+			f := float64(decoys) / float64(targets)
+			if f > 1 {
+				f = 1
+			}
+			fdrs[rank] = f
+		}
+	}
+	// Running minimum from the worst score upward.
+	minSoFar := 1.0
+	for rank := n - 1; rank >= 0; rank-- {
+		if fdrs[rank] < minSoFar {
+			minSoFar = fdrs[rank]
+		}
+		q[order[rank]] = minSoFar
+	}
+	return q
+}
+
+// AcceptedAt counts the target PSMs with q-value <= threshold.
+func AcceptedAt(psms []PSM, qvals []float64, threshold float64) (int, error) {
+	if len(psms) != len(qvals) {
+		return 0, fmt.Errorf("fdr: %d PSMs vs %d q-values", len(psms), len(qvals))
+	}
+	n := 0
+	for i, p := range psms {
+		if !p.IsDecoy && qvals[i] <= threshold {
+			n++
+		}
+	}
+	return n, nil
+}

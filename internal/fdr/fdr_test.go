@@ -1,0 +1,174 @@
+package fdr
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lbe/internal/mass"
+)
+
+func TestDecoyBasics(t *testing.T) {
+	if got := Decoy("PEPTIDEK"); got != "EDITPEPK" {
+		t.Errorf("Decoy(PEPTIDEK) = %q, want EDITPEPK", got)
+	}
+	// Short peptides unchanged.
+	if Decoy("AK") != "AK" || Decoy("A") != "A" || Decoy("") != "" {
+		t.Error("short-peptide convention broken")
+	}
+}
+
+func TestDecoyPreservesMassLengthTerminus(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	const alpha = "ACDEFGHIKLMNPQRSTVWY"
+	f := func(n uint8) bool {
+		L := int(n%30) + 3
+		var sb strings.Builder
+		for i := 0; i < L-1; i++ {
+			sb.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		sb.WriteByte('K') // tryptic terminus
+		seq := sb.String()
+		d := Decoy(seq)
+		if len(d) != len(seq) {
+			return false
+		}
+		if d[len(d)-1] != 'K' {
+			return false
+		}
+		// Summation order changes, so compare within float tolerance.
+		diff := mass.MustPeptide(d) - mass.MustPeptide(seq)
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoyIsInvolution(t *testing.T) {
+	f := func(n uint8) bool {
+		rng := rand.New(rand.NewSource(int64(n)))
+		const alpha = "ACDEFGHIKLMNPQRSTVWY"
+		var sb strings.Builder
+		for i := 0; i < int(n%20)+3; i++ {
+			sb.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		seq := sb.String()
+		return Decoy(Decoy(seq)) == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoyDB(t *testing.T) {
+	targets := []string{"PEPTIDEK", "AAAAGGGGK", "AAAK"}
+	combined, first := DecoyDB(targets)
+	if first != 3 {
+		t.Fatalf("firstDecoy = %d", first)
+	}
+	// AAAK reverses to itself (palindrome-ish: AAA reversed = AAA) and
+	// must be skipped.
+	if len(combined) != 5 {
+		t.Fatalf("combined = %v", combined)
+	}
+	for _, d := range combined[first:] {
+		for _, tg := range targets {
+			if d == tg {
+				t.Errorf("decoy %q collides with target", d)
+			}
+		}
+	}
+}
+
+func TestQValuesPerfectSeparation(t *testing.T) {
+	// All targets above all decoys: q-values 0 for targets.
+	var psms []PSM
+	for i := 0; i < 10; i++ {
+		psms = append(psms, PSM{Score: 100 - float64(i), IsDecoy: false})
+	}
+	for i := 0; i < 10; i++ {
+		psms = append(psms, PSM{Score: 10 - float64(i), IsDecoy: true})
+	}
+	q := QValues(psms)
+	for i := 0; i < 10; i++ {
+		if q[i] != 0 {
+			t.Errorf("target %d q = %v, want 0", i, q[i])
+		}
+	}
+	n, err := AcceptedAt(psms, q, 0.01)
+	if err != nil || n != 10 {
+		t.Errorf("accepted = %d (%v), want 10", n, err)
+	}
+}
+
+func TestQValuesInterleaved(t *testing.T) {
+	// T T D T: after 3rd PSM (decoy) FDR = 1/2; after 4th, 1/3.
+	psms := []PSM{
+		{Score: 4}, {Score: 3}, {Score: 2, IsDecoy: true}, {Score: 1},
+	}
+	q := QValues(psms)
+	if q[0] != 0 || q[1] != 0 {
+		t.Errorf("top targets q = %v %v, want 0", q[0], q[1])
+	}
+	// The decoy position has FDR 1/2, but the running minimum from below
+	// is 1/3 (at the last target).
+	if q[2] != 1.0/3 || q[3] != 1.0/3 {
+		t.Errorf("q = %v, want [0 0 1/3 1/3]", q)
+	}
+}
+
+func TestQValuesAllDecoys(t *testing.T) {
+	psms := []PSM{{Score: 2, IsDecoy: true}, {Score: 1, IsDecoy: true}}
+	q := QValues(psms)
+	for i, v := range q {
+		if v != 1 {
+			t.Errorf("q[%d] = %v, want 1", i, v)
+		}
+	}
+	if got := QValues(nil); len(got) != 0 {
+		t.Error("empty input convention broken")
+	}
+}
+
+func TestQValuesMonotoneInScoreProperty(t *testing.T) {
+	// Sorted by descending score, q-values must be non-decreasing.
+	rng := rand.New(rand.NewSource(131))
+	f := func(n uint8) bool {
+		count := int(n%50) + 1
+		psms := make([]PSM, count)
+		for i := range psms {
+			psms[i] = PSM{Score: rng.Float64() * 100, IsDecoy: rng.Intn(3) == 0}
+		}
+		q := QValues(psms)
+		order := make([]int, count)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return psms[order[a]].Score > psms[order[b]].Score
+		})
+		for r := 1; r < count; r++ {
+			if q[order[r]] < q[order[r-1]]-1e-12 {
+				return false
+			}
+		}
+		for _, v := range q {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAcceptedAtErrors(t *testing.T) {
+	if _, err := AcceptedAt([]PSM{{}}, nil, 0.01); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}

@@ -1,0 +1,344 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lbe/internal/digest"
+	"lbe/internal/mass"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(100)
+	same := true
+	a = NewRNG(99)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	rng := NewRNG(7)
+	buckets := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[rng.Intn(10)]++
+	}
+	for b, c := range buckets {
+		if c < n/10-n/100 || c > n/10+n/100 {
+			t.Errorf("bucket %d count %d deviates >1%%", b, c)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	rng := NewRNG(8)
+	for i := 0; i < 10000; i++ {
+		f := rng.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	rng := NewRNG(9)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := rng.Norm()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %v", variance)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = i
+		}
+		Shuffle(NewRNG(seed), xs)
+		seen := make([]bool, n)
+		for _, x := range xs {
+			if x < 0 || x >= n || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := NewRNG(10)
+	z := NewZipf(rng, 1000, 1.1)
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must dominate rank 500 heavily.
+	if counts[0] < 20*counts[500]+1 {
+		t.Errorf("insufficient skew: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+	// Uniform (s=0) must not be skewed.
+	z0 := NewZipf(rng, 100, 0)
+	c0 := make([]int, 100)
+	for i := 0; i < n; i++ {
+		c0[z0.Next()]++
+	}
+	if float64(c0[0]) > 1.2*float64(c0[99])+50 {
+		t.Errorf("s=0 should be near-uniform: %d vs %d", c0[0], c0[99])
+	}
+}
+
+func TestZipfPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(_,0,_) should panic")
+		}
+	}()
+	NewZipf(NewRNG(1), 0, 1)
+}
+
+func TestProteomeShape(t *testing.T) {
+	cfg := ProteomeConfig{Seed: 5, NumFamilies: 10, Homologs: 3, MeanLen: 200, MutationRate: 0.05}
+	recs, err := Proteome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10*4 {
+		t.Fatalf("got %d proteins, want 40", len(recs))
+	}
+	for _, r := range recs {
+		if len(r.Sequence) < 50 {
+			t.Errorf("protein %q too short: %d", r.ID(), len(r.Sequence))
+		}
+		if !mass.ValidSequence(r.Sequence) {
+			t.Errorf("protein %q has invalid residues", r.ID())
+		}
+	}
+}
+
+func TestProteomeDeterminism(t *testing.T) {
+	cfg := DefaultProteomeConfig()
+	cfg.NumFamilies = 5
+	a, _ := Proteome(cfg)
+	b, _ := Proteome(cfg)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+}
+
+func TestProteomeHomologySimilarity(t *testing.T) {
+	cfg := ProteomeConfig{Seed: 6, NumFamilies: 3, Homologs: 2, MeanLen: 300, MutationRate: 0.02}
+	recs, _ := Proteome(cfg)
+	// Homologs differ from base by ~2% of residues.
+	for fam := 0; fam < 3; fam++ {
+		base := recs[fam*3].Sequence
+		for h := 1; h <= 2; h++ {
+			hom := recs[fam*3+h].Sequence
+			if len(hom) != len(base) {
+				t.Fatalf("family %d homolog %d length differs", fam, h)
+			}
+			diff := 0
+			for i := range base {
+				if base[i] != hom[i] {
+					diff++
+				}
+			}
+			rate := float64(diff) / float64(len(base))
+			if rate > 0.06 {
+				t.Errorf("family %d homolog %d mutation rate %v too high", fam, h, rate)
+			}
+		}
+	}
+}
+
+func TestProteomeValidate(t *testing.T) {
+	bad := []ProteomeConfig{
+		{NumFamilies: 0, Homologs: 1, MeanLen: 100},
+		{NumFamilies: 1, Homologs: -1, MeanLen: 100},
+		{NumFamilies: 1, Homologs: 1, MeanLen: 10},
+		{NumFamilies: 1, Homologs: 1, MeanLen: 100, MutationRate: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Proteome(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func testPeptides(t *testing.T) []string {
+	t.Helper()
+	cfg := ProteomeConfig{Seed: 11, NumFamilies: 20, Homologs: 2, MeanLen: 300, MutationRate: 0.03}
+	recs, err := Proteome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := make([]string, len(recs))
+	for i, r := range recs {
+		seqs[i] = r.Sequence
+	}
+	peps, err := digest.DefaultConfig().Proteome(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peps = digest.Dedup(peps)
+	if len(peps) < 100 {
+		t.Fatalf("too few peptides: %d", len(peps))
+	}
+	return digest.Sequences(peps)
+}
+
+func TestSpectraShapeAndTruth(t *testing.T) {
+	peps := testPeptides(t)
+	cfg := DefaultSpectraConfig()
+	cfg.NumSpectra = 200
+	spectra, truth, err := Spectra(peps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spectra) != 200 || len(truth) != 200 {
+		t.Fatalf("got %d spectra, %d truths", len(spectra), len(truth))
+	}
+	for i, e := range spectra {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("spectrum %d invalid: %v", i, err)
+		}
+		if e.Scan <= 0 || len(e.Peaks) == 0 {
+			t.Fatalf("spectrum %d malformed: %+v", i, e)
+		}
+		if truth[i].Peptide < 0 || truth[i].Peptide >= len(peps) {
+			t.Fatalf("truth %d out of range: %+v", i, truth[i])
+		}
+	}
+}
+
+func TestSpectraDeterminism(t *testing.T) {
+	peps := testPeptides(t)
+	cfg := DefaultSpectraConfig()
+	cfg.NumSpectra = 50
+	a, ta, _ := Spectra(peps, cfg)
+	b, tb, _ := Spectra(peps, cfg)
+	for i := range a {
+		if a[i].PrecursorMZ != b[i].PrecursorMZ || len(a[i].Peaks) != len(b[i].Peaks) {
+			t.Fatalf("spectrum %d differs", i)
+		}
+		if ta[i] != tb[i] {
+			t.Fatalf("truth %d differs", i)
+		}
+	}
+}
+
+func TestSpectraAbundanceSkew(t *testing.T) {
+	peps := testPeptides(t)
+	cfg := DefaultSpectraConfig()
+	cfg.NumSpectra = 2000
+	cfg.ZipfExponent = 1.2
+	_, truth, err := Spectra(peps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, g := range truth {
+		counts[g.Peptide]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	// With strong skew, the most-sampled peptide appears far more often
+	// than the mean.
+	mean := float64(cfg.NumSpectra) / float64(len(counts))
+	if float64(maxCount) < 5*mean {
+		t.Errorf("insufficient skew: max %d vs mean %.1f", maxCount, mean)
+	}
+}
+
+func TestSpectraModProb(t *testing.T) {
+	peps := testPeptides(t)
+	cfg := DefaultSpectraConfig()
+	cfg.NumSpectra = 500
+	cfg.ModProb = 1.0
+	_, truth, err := Spectra(peps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modded := 0
+	for _, g := range truth {
+		if g.Modified {
+			modded++
+		}
+	}
+	// Not every peptide has modifiable residues, but most do.
+	if modded < len(truth)/2 {
+		t.Errorf("only %d/%d spectra modified with ModProb=1", modded, len(truth))
+	}
+
+	cfg.ModProb = 0
+	_, truth0, _ := Spectra(peps, cfg)
+	for _, g := range truth0 {
+		if g.Modified {
+			t.Fatal("ModProb=0 must never modify")
+		}
+	}
+}
+
+func TestSpectraErrors(t *testing.T) {
+	if _, _, err := Spectra(nil, DefaultSpectraConfig()); err == nil {
+		t.Error("empty peptide list must fail")
+	}
+	cfg := DefaultSpectraConfig()
+	cfg.Dropout = 1.0
+	if _, _, err := Spectra([]string{"PEPTIDEK"}, cfg); err == nil {
+		t.Error("dropout=1 must fail validation")
+	}
+	cfg = DefaultSpectraConfig()
+	cfg.NumSpectra = 0
+	spectra, truth, err := Spectra(nil, cfg)
+	if err != nil || spectra != nil || truth != nil {
+		t.Error("NumSpectra=0 should return empty without error")
+	}
+}

@@ -1,0 +1,102 @@
+// Package gen generates synthetic proteomics data: protein databases with
+// homologous families (standing in for the UniProt human proteome) and
+// MS/MS query runs with abundance skew, peak jitter, dropout and noise
+// (standing in for the PRIDE PXD009072 dataset). Every generator is
+// deterministic given its seed.
+package gen
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator: tiny, fast, and stable
+// across platforms and Go releases, so synthetic datasets are reproducible
+// byte-for-byte.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("gen: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Norm returns a standard normal variate (Box-Muller, one value per call).
+func (r *RNG) Norm() float64 {
+	// Marsaglia polar method without caching the second value.
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Shuffle permutes xs in place (Fisher-Yates).
+func Shuffle[T any](r *RNG, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Zipf draws from a Zipf-like distribution over [0, n) with exponent s
+// using inverse-CDF sampling over precomputed weights. Use NewZipf to
+// amortize the table.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a sampler over ranks [0, n) with P(k) ∝ 1/(k+1)^s.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("gen: Zipf over empty domain")
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for k := 0; k < n; k++ {
+		acc += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = acc
+	}
+	for k := range cdf {
+		cdf[k] /= acc
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next draws one rank.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first cdf >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

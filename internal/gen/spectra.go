@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"fmt"
+
+	"lbe/internal/mass"
+	"lbe/internal/mods"
+	"lbe/internal/spectrum"
+)
+
+// SpectraConfig controls the synthetic MS/MS run sampler. It models the
+// properties of a real LC-MS/MS dataset that matter to load balancing:
+//
+//   - abundance skew: spectra are drawn Zipf-weighted over peptides, so a
+//     few peptides (from abundant proteins) produce most of the queries;
+//   - imperfect fragmentation: each theoretical peak survives with
+//     probability 1-Dropout and is jittered within the instrument error;
+//   - chemical noise: NoisePeaks uniform random peaks are added;
+//   - modifications: with ModProb a variable mod variant is sampled
+//     instead of the unmodified form.
+type SpectraConfig struct {
+	Seed uint64
+	// NumSpectra is the number of query spectra to generate.
+	NumSpectra int
+	// ZipfExponent shapes the abundance skew (0 = uniform; the default
+	// 1.1 approximates shotgun-proteomics dynamic range).
+	ZipfExponent float64
+	// Dropout is the probability a theoretical peak is missing.
+	Dropout float64
+	// MZJitter is the standard deviation of the peak mass error (Da); it
+	// should be below the search fragment tolerance.
+	MZJitter float64
+	// NoisePeaks is the number of uniform noise peaks added per spectrum.
+	NoisePeaks int
+	// ModProb is the probability the sampled spectrum comes from a
+	// modified variant of the peptide.
+	ModProb float64
+	// Mods configures the variants available to ModProb sampling.
+	Mods mods.Config
+	// MaxMZ bounds noise peak m/z.
+	MaxMZ float64
+}
+
+// DefaultSpectraConfig mirrors a PXD009072-like run at laptop scale.
+func DefaultSpectraConfig() SpectraConfig {
+	return SpectraConfig{
+		Seed:         2,
+		NumSpectra:   2000,
+		ZipfExponent: 1.1,
+		Dropout:      0.2,
+		MZJitter:     0.01,
+		NoisePeaks:   10,
+		ModProb:      0.3,
+		Mods:         mods.DefaultConfig(),
+		MaxMZ:        2000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c SpectraConfig) Validate() error {
+	if c.NumSpectra < 0 {
+		return fmt.Errorf("gen: NumSpectra %d must be >= 0", c.NumSpectra)
+	}
+	if c.Dropout < 0 || c.Dropout >= 1 {
+		return fmt.Errorf("gen: Dropout %g must be in [0,1)", c.Dropout)
+	}
+	if c.ModProb < 0 || c.ModProb > 1 {
+		return fmt.Errorf("gen: ModProb %g must be in [0,1]", c.ModProb)
+	}
+	if c.MZJitter < 0 {
+		return fmt.Errorf("gen: MZJitter %g must be >= 0", c.MZJitter)
+	}
+	if c.NoisePeaks < 0 {
+		return fmt.Errorf("gen: NoisePeaks %d must be >= 0", c.NoisePeaks)
+	}
+	return c.Mods.Validate()
+}
+
+// GroundTruth records which peptide generated each spectrum, for
+// identification-rate checks in tests and examples.
+type GroundTruth struct {
+	Peptide  int  // index into the peptide list
+	Modified bool // whether a modified variant was sampled
+}
+
+// Spectra samples a synthetic MS/MS run from the peptide database.
+// Peptides must be non-empty unless cfg.NumSpectra is 0. It returns the
+// spectra (scan numbers 1..N) and the per-spectrum ground truth.
+func Spectra(peptides []string, cfg SpectraConfig) ([]spectrum.Experimental, []GroundTruth, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.NumSpectra == 0 {
+		return nil, nil, nil
+	}
+	if len(peptides) == 0 {
+		return nil, nil, fmt.Errorf("gen: no peptides to sample spectra from")
+	}
+	rng := NewRNG(cfg.Seed)
+	zipf := NewZipf(rng, len(peptides), cfg.ZipfExponent)
+
+	// A fixed random permutation decouples Zipf rank from database order:
+	// without it the "abundant" peptides would all be the first ones.
+	perm := make([]int, len(peptides))
+	for i := range perm {
+		perm[i] = i
+	}
+	Shuffle(rng, perm)
+
+	out := make([]spectrum.Experimental, 0, cfg.NumSpectra)
+	truth := make([]GroundTruth, 0, cfg.NumSpectra)
+	for scan := 1; len(out) < cfg.NumSpectra; scan++ {
+		pi := perm[zipf.Next()]
+		seq := peptides[pi]
+
+		variant := mods.Variant{}
+		if cfg.ModProb > 0 && rng.Float64() < cfg.ModProb {
+			vs, err := cfg.Mods.Variants(seq)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(vs) > 1 {
+				variant = vs[1+rng.Intn(len(vs)-1)]
+			}
+		}
+		th, err := spectrum.PredictVariant(seq, variant, cfg.Mods.Mods)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		e := spectrum.Experimental{
+			Scan:        scan,
+			PrecursorMZ: mass.MZ(th.Precursor, 1),
+			Charge:      1,
+		}
+		for _, ion := range th.Ions {
+			if rng.Float64() < cfg.Dropout {
+				continue
+			}
+			e.Peaks = append(e.Peaks, spectrum.Peak{
+				MZ:        ion + cfg.MZJitter*rng.Norm(),
+				Intensity: 10 + rng.Float64()*990,
+			})
+		}
+		for n := 0; n < cfg.NoisePeaks; n++ {
+			e.Peaks = append(e.Peaks, spectrum.Peak{
+				MZ:        rng.Float64() * cfg.MaxMZ,
+				Intensity: rng.Float64() * 100,
+			})
+		}
+		if len(e.Peaks) == 0 {
+			continue // all peaks dropped; resample
+		}
+		e.SortPeaks()
+		out = append(out, e)
+		truth = append(truth, GroundTruth{Peptide: pi, Modified: variant.IsModified()})
+	}
+	return out, truth, nil
+}

@@ -1,0 +1,110 @@
+package mass
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tolerance expresses a symmetric mass tolerance window, either absolute
+// (Daltons) or relative (parts per million). The zero value is an exact
+// match (zero-width window).
+type Tolerance struct {
+	Value float64
+	Unit  ToleranceUnit
+}
+
+// ToleranceUnit selects the interpretation of Tolerance.Value.
+type ToleranceUnit uint8
+
+const (
+	// Dalton tolerances are absolute: window = Value Da on each side.
+	Dalton ToleranceUnit = iota
+	// PPM tolerances are relative: window = mass * Value / 1e6 on each side.
+	PPM
+)
+
+// Da returns an absolute tolerance of v Daltons.
+func Da(v float64) Tolerance { return Tolerance{Value: v, Unit: Dalton} }
+
+// Ppm returns a relative tolerance of v parts per million.
+func Ppm(v float64) Tolerance { return Tolerance{Value: v, Unit: PPM} }
+
+// Open returns the open-search tolerance (infinite window), used by the
+// paper for ∆M = ∞.
+func Open() Tolerance { return Tolerance{Value: math.Inf(1), Unit: Dalton} }
+
+// IsOpen reports whether t admits any mass (infinite window).
+func (t Tolerance) IsOpen() bool { return math.IsInf(t.Value, 1) }
+
+// Width returns the half-width of the window around the reference mass m.
+func (t Tolerance) Width(m float64) float64 {
+	if t.Unit == PPM {
+		return m * t.Value / 1e6
+	}
+	return t.Value
+}
+
+// Window returns the inclusive [lo, hi] acceptance interval around m.
+func (t Tolerance) Window(m float64) (lo, hi float64) {
+	w := t.Width(m)
+	return m - w, m + w
+}
+
+// Contains reports whether candidate x lies within the window around m.
+func (t Tolerance) Contains(m, x float64) bool {
+	if t.IsOpen() {
+		return true
+	}
+	w := t.Width(m)
+	return x >= m-w && x <= m+w
+}
+
+// String implements fmt.Stringer.
+func (t Tolerance) String() string {
+	if t.IsOpen() {
+		return "open"
+	}
+	switch t.Unit {
+	case PPM:
+		return fmt.Sprintf("%gppm", t.Value)
+	default:
+		return fmt.Sprintf("%gDa", t.Value)
+	}
+}
+
+// Bucketer maps fragment masses to integer bucket indices at a fixed
+// resolution, the discretization used by the SLM index. Resolution is the
+// bucket width in Daltons (paper default r = 0.01).
+type Bucketer struct {
+	Resolution float64
+}
+
+// NewBucketer returns a Bucketer with the given resolution. It panics if
+// resolution is not positive, as a zero resolution would make every mass its
+// own bucket boundary.
+func NewBucketer(resolution float64) Bucketer {
+	if resolution <= 0 {
+		panic("mass: bucket resolution must be positive")
+	}
+	return Bucketer{Resolution: resolution}
+}
+
+// Bucket returns the bucket index for mass m (m must be >= 0).
+func (b Bucketer) Bucket(m float64) int {
+	return int(math.Round(m / b.Resolution))
+}
+
+// Range returns the inclusive bucket range [lo, hi] covering the window
+// tol around mass m.
+func (b Bucketer) Range(m float64, tol Tolerance) (lo, hi int) {
+	wlo, whi := tol.Window(m)
+	if wlo < 0 {
+		wlo = 0
+	}
+	return b.Bucket(wlo), b.Bucket(whi)
+}
+
+// Center returns the representative mass at the center of bucket i.
+func (b Bucketer) Center(i int) float64 {
+	return float64(i) * b.Resolution
+}

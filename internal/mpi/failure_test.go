@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTCPPeerCloseUnblocksRecv: when a peer tears down, a blocked Recv on
+// the closed endpoint must return rather than hang.
+func TestTCPPeerCloseUnblocksRecv(t *testing.T) {
+	comms, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := comms[1].Recv(0, 1)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the Recv block
+	comms[1].Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Recv after close returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock after Close")
+	}
+	comms[0].Close()
+}
+
+// TestTCPSendAfterPeerClosedErrors: sends into a torn-down mesh must
+// surface an error (possibly after the kernel buffer drains) instead of
+// blocking forever.
+func TestTCPSendAfterPeerClosedErrors(t *testing.T) {
+	comms, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comms[0].Close()
+	comms[1].Close()
+
+	payload := make([]byte, 1<<20)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := comms[0].Send(1, 1, payload); err != nil {
+			return // expected failure surfaced
+		}
+	}
+	t.Fatal("sends to a closed peer never failed")
+}
+
+// TestInprocCloseDuringBarrier: closing the world while ranks sit in a
+// barrier must error out all of them.
+func TestInprocCloseDuringBarrier(t *testing.T) {
+	w := NewWorld(3)
+	errs := make(chan error, 2)
+	for r := 1; r < 3; r++ {
+		go func(r int) {
+			errs <- Barrier(w.Comm(r))
+		}(r)
+	}
+	time.Sleep(20 * time.Millisecond)
+	w.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Error("barrier survived a closed world")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("barrier did not unblock after Close")
+		}
+	}
+}
+
+// TestCollectiveErrorPropagation: collectives on invalid roots fail fast.
+func TestCollectiveErrorPropagation(t *testing.T) {
+	w := NewWorld(2)
+	defer w.Close()
+	if _, err := Bcast(w.Comm(0), 5, nil); err == nil {
+		t.Error("Bcast with bad root must fail")
+	}
+	if _, err := Gather(w.Comm(0), -1, nil); err == nil {
+		t.Error("Gather with bad root must fail")
+	}
+	if _, err := Scatter(w.Comm(0), 7, nil); err == nil {
+		t.Error("Scatter with bad root must fail")
+	}
+	// Scatter with wrong part count at the root.
+	if _, err := Scatter(w.Comm(0), 0, [][]byte{{1}}); err == nil {
+		t.Error("Scatter with wrong part count must fail")
+	}
+}
+
+// TestDoubleCloseIsSafe: Close must be idempotent on both transports.
+func TestDoubleCloseIsSafe(t *testing.T) {
+	w := NewWorld(2)
+	c := w.Comm(0)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w.Close()
+
+	comms, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range comms {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package mpi
+
+import "sync"
+
+// World is an in-process communicator: size ranks sharing one address
+// space, each backed by an inbox. It simulates the paper's MPI cluster
+// with one goroutine per rank.
+type World struct {
+	comms []*memComm
+	once  sync.Once
+}
+
+// NewWorld creates an in-process communicator with size ranks and returns
+// the per-rank endpoints.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic("mpi: world size must be >= 1")
+	}
+	w := &World{comms: make([]*memComm, size)}
+	for r := range w.comms {
+		w.comms[r] = &memComm{world: w, rank: r, inbox: newInbox()}
+	}
+	return w
+}
+
+// Comm returns the endpoint for the given rank.
+func (w *World) Comm(rank int) Comm { return w.comms[rank] }
+
+// Comms returns all endpoints, indexed by rank.
+func (w *World) Comms() []Comm {
+	out := make([]Comm, len(w.comms))
+	for i, c := range w.comms {
+		out[i] = c
+	}
+	return out
+}
+
+// Close shuts down every endpoint.
+func (w *World) Close() {
+	w.once.Do(func() {
+		for _, c := range w.comms {
+			c.inbox.close()
+		}
+	})
+}
+
+type memComm struct {
+	world *World
+	rank  int
+	inbox *inbox
+}
+
+func (c *memComm) Rank() int { return c.rank }
+func (c *memComm) Size() int { return len(c.world.comms) }
+
+func (c *memComm) Send(to int, tag Tag, data []byte) error {
+	if err := checkPeer(to, c.Size()); err != nil {
+		return err
+	}
+	// Copy: the sender may reuse its buffer after Send returns, exactly
+	// like a blocking MPI_Send.
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	return c.world.comms[to].inbox.put(message{from: c.rank, tag: tag, data: buf})
+}
+
+func (c *memComm) Recv(from int, tag Tag) (int, []byte, error) {
+	if from != AnySource {
+		if err := checkPeer(from, c.Size()); err != nil {
+			return -1, nil, err
+		}
+	}
+	m, err := c.inbox.get(from, tag)
+	if err != nil {
+		return -1, nil, err
+	}
+	return m.from, m.data, nil
+}
+
+func (c *memComm) Close() error {
+	c.inbox.close()
+	return nil
+}

@@ -1,0 +1,561 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// transports enumerates the two implementations under a common harness.
+var transports = []struct {
+	name string
+	make func(t *testing.T, size int) []Comm
+}{
+	{"inproc", func(t *testing.T, size int) []Comm {
+		w := NewWorld(size)
+		t.Cleanup(w.Close)
+		return w.Comms()
+	}},
+	{"tcp", func(t *testing.T, size int) []Comm {
+		comms, err := NewTCPCluster(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			for _, c := range comms {
+				c.Close()
+			}
+		})
+		return comms
+	}},
+}
+
+// runRanks executes fn concurrently on every rank and fails the test on
+// any per-rank error.
+func runRanks(t *testing.T, comms []Comm, fn func(c Comm) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(comms))
+	for r := range comms {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = fn(comms[r])
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 2)
+			runRanks(t, comms, func(c Comm) error {
+				if c.Rank() == 0 {
+					return c.Send(1, 7, []byte("hello"))
+				}
+				src, data, err := c.Recv(0, 7)
+				if err != nil {
+					return err
+				}
+				if src != 0 || string(data) != "hello" {
+					return fmt.Errorf("got src=%d data=%q", src, data)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestSendOrderPreservedPerTag(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 2)
+			const n = 100
+			runRanks(t, comms, func(c Comm) error {
+				if c.Rank() == 0 {
+					for i := 0; i < n; i++ {
+						if err := c.Send(1, 3, []byte{byte(i)}); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				for i := 0; i < n; i++ {
+					_, data, err := c.Recv(0, 3)
+					if err != nil {
+						return err
+					}
+					if data[0] != byte(i) {
+						return fmt.Errorf("message %d out of order: got %d", i, data[0])
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 2)
+			runRanks(t, comms, func(c Comm) error {
+				if c.Rank() == 0 {
+					// Send tag 2 first, then tag 1: receiver asks for tag 1
+					// first and must skip past the tag-2 message.
+					if err := c.Send(1, 2, []byte("two")); err != nil {
+						return err
+					}
+					return c.Send(1, 1, []byte("one"))
+				}
+				_, d1, err := c.Recv(0, 1)
+				if err != nil {
+					return err
+				}
+				_, d2, err := c.Recv(0, 2)
+				if err != nil {
+					return err
+				}
+				if string(d1) != "one" || string(d2) != "two" {
+					return fmt.Errorf("tag matching failed: %q %q", d1, d2)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestAnySource(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 4)
+			runRanks(t, comms, func(c Comm) error {
+				if c.Rank() != 0 {
+					return c.Send(0, 5, []byte{byte(c.Rank())})
+				}
+				seen := map[int]bool{}
+				for i := 0; i < 3; i++ {
+					src, data, err := c.Recv(AnySource, 5)
+					if err != nil {
+						return err
+					}
+					if int(data[0]) != src {
+						return fmt.Errorf("payload %d does not match src %d", data[0], src)
+					}
+					seen[src] = true
+				}
+				if len(seen) != 3 {
+					return fmt.Errorf("expected 3 distinct sources, got %v", seen)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 2)
+			if err := comms[0].Send(5, 1, nil); err == nil {
+				t.Error("send to out-of-range rank must fail")
+			}
+			if err := comms[0].Send(-1, 1, nil); err == nil {
+				t.Error("send to negative rank must fail")
+			}
+			if _, _, err := comms[0].Recv(9, 1); err == nil {
+				t.Error("recv from out-of-range rank must fail")
+			}
+		})
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 2)
+			c := comms[0]
+			if err := c.Send(0, 9, []byte("self")); err != nil {
+				t.Fatal(err)
+			}
+			src, data, err := c.Recv(0, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if src != 0 || string(data) != "self" {
+				t.Errorf("self-send got src=%d data=%q", src, data)
+			}
+		})
+	}
+}
+
+func TestSenderMayReuseBuffer(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 2)
+			runRanks(t, comms, func(c Comm) error {
+				if c.Rank() == 0 {
+					buf := []byte("aaaa")
+					if err := c.Send(1, 1, buf); err != nil {
+						return err
+					}
+					copy(buf, "bbbb") // must not corrupt the in-flight message
+					return c.Send(1, 1, buf)
+				}
+				_, d1, err := c.Recv(0, 1)
+				if err != nil {
+					return err
+				}
+				_, d2, err := c.Recv(0, 1)
+				if err != nil {
+					return err
+				}
+				if string(d1) != "aaaa" || string(d2) != "bbbb" {
+					return fmt.Errorf("buffer aliasing: %q %q", d1, d2)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestRecvAfterCloseReturns(t *testing.T) {
+	w := NewWorld(2)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := w.Comm(1).Recv(0, 1)
+		done <- err
+	}()
+	w.Close()
+	if err := <-done; err != ErrClosed {
+		t.Errorf("recv after close = %v, want ErrClosed", err)
+	}
+	if err := w.Comm(0).Send(1, 1, nil); err != ErrClosed {
+		t.Errorf("send to closed = %v, want ErrClosed", err)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 4)
+			var mu sync.Mutex
+			phase := make([]int, 4)
+			// Run 5 consecutive barriers; after each, every rank must
+			// observe all ranks at the same phase or later.
+			runRanks(t, comms, func(c Comm) error {
+				for p := 1; p <= 5; p++ {
+					mu.Lock()
+					phase[c.Rank()] = p
+					mu.Unlock()
+					if err := Barrier(c); err != nil {
+						return err
+					}
+					mu.Lock()
+					for r, ph := range phase {
+						if ph < p {
+							mu.Unlock()
+							return fmt.Errorf("after barrier %d, rank %d still at %d", p, r, ph)
+						}
+					}
+					mu.Unlock()
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestBarrierSingleRank(t *testing.T) {
+	w := NewWorld(1)
+	defer w.Close()
+	if err := Barrier(w.Comm(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 4)
+			runRanks(t, comms, func(c Comm) error {
+				var in []byte
+				if c.Rank() == 2 {
+					in = []byte("payload")
+				}
+				got, err := Bcast(c, 2, in)
+				if err != nil {
+					return err
+				}
+				if string(got) != "payload" {
+					return fmt.Errorf("bcast got %q", got)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 4)
+			runRanks(t, comms, func(c Comm) error {
+				// Gather rank ids at root 1.
+				all, err := Gather(c, 1, []byte{byte(c.Rank())})
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 1 {
+					for r, d := range all {
+						if len(d) != 1 || int(d[0]) != r {
+							return fmt.Errorf("gather[%d] = %v", r, d)
+						}
+					}
+				} else if all != nil {
+					return fmt.Errorf("non-root gather returned %v", all)
+				}
+				// Scatter doubled ranks from root 1.
+				var parts [][]byte
+				if c.Rank() == 1 {
+					parts = [][]byte{{0}, {2}, {4}, {6}}
+				}
+				part, err := Scatter(c, 1, parts)
+				if err != nil {
+					return err
+				}
+				if len(part) != 1 || int(part[0]) != 2*c.Rank() {
+					return fmt.Errorf("scatter part = %v", part)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestConsecutiveGathersDoNotInterfere(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 3)
+			runRanks(t, comms, func(c Comm) error {
+				for round := 0; round < 10; round++ {
+					payload := []byte{byte(c.Rank()), byte(round)}
+					all, err := Gather(c, 0, payload)
+					if err != nil {
+						return err
+					}
+					if c.Rank() == 0 {
+						for r, d := range all {
+							if int(d[0]) != r || int(d[1]) != round {
+								return fmt.Errorf("round %d gather[%d] = %v", round, r, d)
+							}
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 3)
+			runRanks(t, comms, func(c Comm) error {
+				all, err := AllGather(c, []byte{byte(c.Rank() * 10)})
+				if err != nil {
+					return err
+				}
+				if len(all) != 3 {
+					return fmt.Errorf("allgather size %d", len(all))
+				}
+				for r, d := range all {
+					if int(d[0]) != r*10 {
+						return fmt.Errorf("allgather[%d] = %v", r, d)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestReduceAndAllReduce(t *testing.T) {
+	add := func(a, b int64) int64 { return a + b }
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 4)
+			runRanks(t, comms, func(c Comm) error {
+				v := int64(c.Rank() + 1) // 1+2+3+4 = 10
+				sum, err := ReduceInt64(c, 0, v, add)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 && sum != 10 {
+					return fmt.Errorf("reduce = %d, want 10", sum)
+				}
+				if c.Rank() != 0 && sum != 0 {
+					return fmt.Errorf("non-root reduce = %d, want 0", sum)
+				}
+				all, err := AllReduceInt64(c, v, add)
+				if err != nil {
+					return err
+				}
+				if all != 10 {
+					return fmt.Errorf("allreduce = %d, want 10", all)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestReduceNegativeValues(t *testing.T) {
+	add := func(a, b int64) int64 { return a + b }
+	w := NewWorld(2)
+	defer w.Close()
+	runRanks(t, w.Comms(), func(c Comm) error {
+		v := int64(-100)
+		if c.Rank() == 1 {
+			v = 1
+		}
+		got, err := AllReduceInt64(c, v, add)
+		if err != nil {
+			return err
+		}
+		if got != -99 {
+			return fmt.Errorf("allreduce = %d, want -99", got)
+		}
+		return nil
+	})
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	type payload struct {
+		Name   string
+		Values []float64
+	}
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			comms := tr.make(t, 2)
+			runRanks(t, comms, func(c Comm) error {
+				if c.Rank() == 0 {
+					return SendGob(c, 1, 11, payload{Name: "x", Values: []float64{1, 2.5}})
+				}
+				var p payload
+				src, err := RecvGob(c, 0, 11, &p)
+				if err != nil {
+					return err
+				}
+				if src != 0 || p.Name != "x" || len(p.Values) != 2 || p.Values[1] != 2.5 {
+					return fmt.Errorf("gob payload = %+v", p)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestLargeMessageTCP(t *testing.T) {
+	comms, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	runRanks(t, comms, func(c Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, big)
+		}
+		_, data, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if len(data) != len(big) {
+			return fmt.Errorf("len = %d", len(data))
+		}
+		for i := 0; i < len(big); i += 97 {
+			if data[i] != big[i] {
+				return fmt.Errorf("corruption at %d", i)
+			}
+		}
+		return nil
+	})
+}
+
+func TestHostJoinTCPBootstrap(t *testing.T) {
+	const size = 3
+	addr := "127.0.0.1:39471"
+	comms := make([]Comm, size)
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	wg.Add(size)
+	go func() {
+		defer wg.Done()
+		c, err := HostTCP(addr, size)
+		comms[0], errs[0] = c, err
+	}()
+	for i := 1; i < size; i++ {
+		go func(i int) {
+			defer wg.Done()
+			c, err := JoinTCP(addr)
+			if err == nil {
+				comms[c.Rank()] = c
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("bootstrap %d: %v", i, err)
+		}
+	}
+	defer func() {
+		for _, c := range comms {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	// Verify the mesh with an AllReduce.
+	runRanks(t, comms, func(c Comm) error {
+		sum, err := AllReduceInt64(c, int64(c.Rank()), func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return err
+		}
+		if sum != 3 { // 0+1+2
+			return fmt.Errorf("allreduce over bootstrap mesh = %d", sum)
+		}
+		return nil
+	})
+}
+
+func TestNewWorldPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWorld(0) should panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestNewTCPClusterInvalidSize(t *testing.T) {
+	if _, err := NewTCPCluster(0); err == nil {
+		t.Error("size 0 must fail")
+	}
+}

@@ -1,0 +1,374 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP transport
+//
+// Bootstrap protocol: a coordinator (rank 0) listens on a well-known
+// address. Every worker starts its own peer listener, dials the
+// coordinator, and reports its listener address. Once size-1 workers have
+// registered, the coordinator assigns ranks in registration order and
+// sends every worker the full address table. Each rank then dials every
+// peer with a smaller rank (identifying itself with a hello frame) and
+// accepts connections from every peer with a larger rank, forming a full
+// mesh.
+//
+// Wire format, all little-endian:
+//
+//	frame = u32 payloadLen | u16 tag | payload
+//	hello = u32 magic 0x4C424531 ("LBE1") | u32 senderRank
+
+const helloMagic = 0x4C424531
+
+// tcpComm implements Comm over a mesh of TCP connections.
+type tcpComm struct {
+	rank  int
+	size  int
+	inbox *inbox
+
+	mu    sync.Mutex // guards conns writes
+	conns []net.Conn // conns[r] is the link to rank r (nil for self)
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   sync.Once
+}
+
+func (c *tcpComm) Rank() int { return c.rank }
+func (c *tcpComm) Size() int { return c.size }
+
+func (c *tcpComm) Send(to int, tag Tag, data []byte) error {
+	if err := checkPeer(to, c.size); err != nil {
+		return err
+	}
+	if to == c.rank {
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		return c.inbox.put(message{from: c.rank, tag: tag, data: buf})
+	}
+	conn := c.conns[to]
+	if conn == nil {
+		return fmt.Errorf("mpi: no connection to rank %d", to)
+	}
+	frame := make([]byte, 6+len(data))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(data)))
+	binary.LittleEndian.PutUint16(frame[4:], uint16(tag))
+	copy(frame[6:], data)
+	c.mu.Lock()
+	_, err := conn.Write(frame)
+	c.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("mpi: send to rank %d: %w", to, err)
+	}
+	return nil
+}
+
+func (c *tcpComm) Recv(from int, tag Tag) (int, []byte, error) {
+	if from != AnySource {
+		if err := checkPeer(from, c.size); err != nil {
+			return -1, nil, err
+		}
+	}
+	m, err := c.inbox.get(from, tag)
+	if err != nil {
+		return -1, nil, err
+	}
+	return m.from, m.data, nil
+}
+
+func (c *tcpComm) Close() error {
+	c.closed.Do(func() {
+		c.inbox.close()
+		if c.listener != nil {
+			c.listener.Close()
+		}
+		for _, conn := range c.conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	})
+	c.wg.Wait()
+	return nil
+}
+
+// readLoop pumps frames from one peer connection into the inbox until the
+// connection or inbox closes.
+func (c *tcpComm) readLoop(from int, conn net.Conn) {
+	defer c.wg.Done()
+	hdr := make([]byte, 6)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		tag := Tag(binary.LittleEndian.Uint16(hdr[4:]))
+		data := make([]byte, n)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		if err := c.inbox.put(message{from: from, tag: tag, data: data}); err != nil {
+			return
+		}
+	}
+}
+
+func writeHello(conn net.Conn, rank int) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[0:], helloMagic)
+	binary.LittleEndian.PutUint32(b[4:], uint32(rank))
+	_, err := conn.Write(b[:])
+	return err
+}
+
+func readHello(conn net.Conn) (int, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(conn, b[:]); err != nil {
+		return -1, err
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != helloMagic {
+		return -1, fmt.Errorf("mpi: bad hello magic")
+	}
+	return int(binary.LittleEndian.Uint32(b[4:])), nil
+}
+
+// meshConnect completes the full mesh for a rank that already knows the
+// address table: dial lower ranks, accept higher ranks.
+func (c *tcpComm) meshConnect(addrs []string) error {
+	c.conns = make([]net.Conn, c.size)
+	for peer := 0; peer < c.rank; peer++ {
+		conn, err := dialRetry(addrs[peer], 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("mpi: rank %d dialing rank %d: %w", c.rank, peer, err)
+		}
+		if err := writeHello(conn, c.rank); err != nil {
+			return err
+		}
+		c.conns[peer] = conn
+	}
+	for accepted := c.rank + 1; accepted < c.size; accepted++ {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return fmt.Errorf("mpi: rank %d accepting: %w", c.rank, err)
+		}
+		peer, err := readHello(conn)
+		if err != nil {
+			return err
+		}
+		if peer <= c.rank || peer >= c.size || c.conns[peer] != nil {
+			conn.Close()
+			return fmt.Errorf("mpi: unexpected hello from rank %d", peer)
+		}
+		c.conns[peer] = conn
+	}
+	for peer, conn := range c.conns {
+		if conn != nil {
+			c.wg.Add(1)
+			go c.readLoop(peer, conn)
+		}
+	}
+	return nil
+}
+
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// NewTCPCluster starts a size-rank communicator entirely within this
+// process, with every rank listening on a loopback TCP port and a full
+// mesh of real TCP connections between them. It returns the endpoints
+// indexed by rank.
+func NewTCPCluster(size int) ([]Comm, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: cluster size %d must be >= 1", size)
+	}
+	comms := make([]*tcpComm, size)
+	addrs := make([]string, size)
+	for r := 0; r < size; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		comms[r] = &tcpComm{rank: r, size: size, inbox: newInbox(), listener: ln}
+		addrs[r] = ln.Addr().String()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = comms[r].meshConnect(addrs)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, c := range comms {
+				c.Close()
+			}
+			return nil, err
+		}
+	}
+	out := make([]Comm, size)
+	for r := range comms {
+		out[r] = comms[r]
+	}
+	return out, nil
+}
+
+// HostTCP runs the coordinator side of the multi-process bootstrap: it
+// listens on addr, waits for size-1 workers to register, assigns ranks,
+// distributes the address table, and returns the rank-0 endpoint.
+func HostTCP(addr string, size int) (Comm, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: cluster size %d must be >= 1", size)
+	}
+	coord, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+
+	// Rank 0's own peer listener.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpComm{rank: 0, size: size, inbox: newInbox(), listener: ln}
+	addrs := make([]string, size)
+	addrs[0] = ln.Addr().String()
+
+	regs := make([]net.Conn, 0, size-1)
+	for len(regs) < size-1 {
+		conn, err := coord.Accept()
+		if err != nil {
+			return nil, err
+		}
+		peerAddr, err := readString(conn)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		addrs[len(regs)+1] = peerAddr
+		regs = append(regs, conn)
+	}
+	// Assign ranks and distribute the table.
+	for i, conn := range regs {
+		rank := i + 1
+		if err := writeUint32(conn, uint32(rank)); err != nil {
+			return nil, err
+		}
+		if err := writeUint32(conn, uint32(size)); err != nil {
+			return nil, err
+		}
+		for _, a := range addrs {
+			if err := writeString(conn, a); err != nil {
+				return nil, err
+			}
+		}
+		conn.Close()
+	}
+	if err := c.meshConnect(addrs); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// JoinTCP runs the worker side of the multi-process bootstrap: it starts a
+// peer listener, registers with the coordinator at addr, receives its rank
+// and the address table, completes the mesh, and returns its endpoint.
+func JoinTCP(addr string) (Comm, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	conn, err := dialRetry(addr, 10*time.Second)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	defer conn.Close()
+	if err := writeString(conn, ln.Addr().String()); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	rank, err := readUint32(conn)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	size, err := readUint32(conn)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	addrs := make([]string, size)
+	for i := range addrs {
+		addrs[i], err = readString(conn)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	c := &tcpComm{rank: int(rank), size: int(size), inbox: newInbox(), listener: ln}
+	if err := c.meshConnect(addrs); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func writeUint32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readUint32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeUint32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readUint32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("mpi: string too long (%d)", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

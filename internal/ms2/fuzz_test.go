@@ -1,0 +1,32 @@
+package ms2
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReader asserts the MS2 parser never panics on arbitrary input, and
+// that anything it successfully parses round-trips through the writer.
+func FuzzReader(f *testing.F) {
+	f.Add(sample)
+	f.Add("")
+	f.Add("H\tonly\n")
+	f.Add("S\t1\t1\t100.5\n187.4 12.5\n")
+	f.Add("S\t1\t1\t100.5\nZ\t2\t200.99\nI\tRTime\t5.5\n1 2\n")
+	f.Add("S 1 1 1e309\n") // precursor overflow
+	f.Add("S\t1\t1\t100\nNaN NaN\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		scans, err := ReadAll(strings.NewReader(input))
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, scans); err != nil {
+			t.Fatalf("writer failed on parser output: %v", err)
+		}
+		if _, err := ReadAll(&buf); err != nil {
+			t.Fatalf("reparse of written output failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,227 @@
+// Package ms2 reads and writes the MS2 text format for tandem mass spectra
+// (McDonald et al., Rapid Commun. Mass Spectrom. 2004), the query-side input
+// format used by the paper after msconvert conversion.
+//
+// An MS2 file contains header lines (H), scan blocks opened by an S line
+// with scan numbers and precursor m/z, optional charge lines (Z) and
+// per-scan info lines (I), followed by "m/z intensity" peak pairs:
+//
+//	H       CreationDate    ...
+//	S       000011  000011  885.32
+//	Z       2       1769.63
+//	187.4   12.5
+//	193.1   19.5
+package ms2
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lbe/internal/spectrum"
+)
+
+// Reader parses MS2 scan blocks from an input stream.
+type Reader struct {
+	s       *bufio.Scanner
+	line    int
+	pending string // buffered S line
+	Headers []string
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{s: s}
+}
+
+// Read returns the next scan, or io.EOF when the stream is exhausted.
+func (r *Reader) Read() (spectrum.Experimental, error) {
+	var e spectrum.Experimental
+
+	sline := r.pending
+	r.pending = ""
+	for sline == "" {
+		if !r.s.Scan() {
+			if err := r.s.Err(); err != nil {
+				return e, fmt.Errorf("ms2: %w", err)
+			}
+			return e, io.EOF
+		}
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "H"):
+			r.Headers = append(r.Headers, line)
+		case strings.HasPrefix(line, "S"):
+			sline = line
+		default:
+			return e, fmt.Errorf("ms2: line %d: expected H or S line, got %q", r.line, line)
+		}
+	}
+
+	fields := strings.Fields(sline)
+	if len(fields) < 4 {
+		return e, fmt.Errorf("ms2: line %d: malformed S line %q", r.line, sline)
+	}
+	scan, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return e, fmt.Errorf("ms2: line %d: bad scan number: %w", r.line, err)
+	}
+	prec, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil {
+		return e, fmt.Errorf("ms2: line %d: bad precursor m/z: %w", r.line, err)
+	}
+	e.Scan = scan
+	e.PrecursorMZ = prec
+
+	for r.s.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		if line == "" {
+			continue
+		}
+		switch line[0] {
+		case 'S':
+			r.pending = line
+			return e, nil
+		case 'Z':
+			f := strings.Fields(line)
+			if len(f) >= 2 {
+				if z, err := strconv.Atoi(f[1]); err == nil {
+					e.Charge = z
+				}
+			}
+		case 'I':
+			f := strings.Fields(line)
+			if len(f) >= 3 && f[1] == "RTime" {
+				if rt, err := strconv.ParseFloat(f[2], 64); err == nil {
+					e.RetentionTime = rt
+				}
+			}
+		case 'H':
+			return e, fmt.Errorf("ms2: line %d: H line inside scan block", r.line)
+		default:
+			f := strings.Fields(line)
+			if len(f) < 2 {
+				return e, fmt.Errorf("ms2: line %d: malformed peak %q", r.line, line)
+			}
+			mz, err1 := strconv.ParseFloat(f[0], 64)
+			in, err2 := strconv.ParseFloat(f[1], 64)
+			if err1 != nil || err2 != nil {
+				return e, fmt.Errorf("ms2: line %d: malformed peak %q", r.line, line)
+			}
+			e.Peaks = append(e.Peaks, spectrum.Peak{MZ: mz, Intensity: in})
+		}
+	}
+	if err := r.s.Err(); err != nil {
+		return e, fmt.Errorf("ms2: %w", err)
+	}
+	return e, nil
+}
+
+// ReadAll parses every scan from r.
+func ReadAll(r io.Reader) ([]spectrum.Experimental, error) {
+	mr := NewReader(r)
+	var out []spectrum.Experimental
+	for {
+		e, err := mr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// ReadFile parses every scan from the named file.
+func ReadFile(path string) ([]spectrum.Experimental, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}
+
+// Writer emits MS2 scan blocks.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// WriteHeader emits one H line; headers must precede all scans.
+func (w *Writer) WriteHeader(key, value string) error {
+	if w.started {
+		return fmt.Errorf("ms2: header after first scan")
+	}
+	_, err := fmt.Fprintf(w.w, "H\t%s\t%s\n", key, value)
+	return err
+}
+
+// Write emits one scan block.
+func (w *Writer) Write(e spectrum.Experimental) error {
+	w.started = true
+	if _, err := fmt.Fprintf(w.w, "S\t%06d\t%06d\t%.5f\n", e.Scan, e.Scan, e.PrecursorMZ); err != nil {
+		return err
+	}
+	if e.Charge > 0 {
+		// Z line carries the singly-protonated mass (M+H).
+		mh := e.PrecursorMass() + 1.00727646688
+		if _, err := fmt.Fprintf(w.w, "Z\t%d\t%.5f\n", e.Charge, mh); err != nil {
+			return err
+		}
+	}
+	if e.RetentionTime > 0 {
+		if _, err := fmt.Fprintf(w.w, "I\tRTime\t%.4f\n", e.RetentionTime); err != nil {
+			return err
+		}
+	}
+	for _, p := range e.Peaks {
+		if _, err := fmt.Fprintf(w.w, "%.5f %.4f\n", p.MZ, p.Intensity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteAll writes headers and scans to w and flushes.
+func WriteAll(w io.Writer, scans []spectrum.Experimental) error {
+	mw := NewWriter(w)
+	if err := mw.WriteHeader("Extractor", "lbe"); err != nil {
+		return err
+	}
+	for _, e := range scans {
+		if err := mw.Write(e); err != nil {
+			return err
+		}
+	}
+	return mw.Flush()
+}
+
+// WriteFile writes every scan to the named file.
+func WriteFile(path string, scans []spectrum.Experimental) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAll(f, scans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

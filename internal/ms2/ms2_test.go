@@ -1,0 +1,184 @@
+package ms2
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lbe/internal/spectrum"
+)
+
+const sample = `H	CreationDate	2019-03-01
+H	Extractor	msconvert
+S	000011	000011	885.32000
+Z	2	1769.63273
+I	RTime	12.3400
+187.40000 12.5000
+193.10000 19.5000
+S	000012	000012	400.00000
+100.00000 1.0000
+`
+
+func TestReadBasic(t *testing.T) {
+	scans, err := ReadAll(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scans) != 2 {
+		t.Fatalf("got %d scans, want 2", len(scans))
+	}
+	s := scans[0]
+	if s.Scan != 11 || s.PrecursorMZ != 885.32 || s.Charge != 2 {
+		t.Errorf("scan metadata = %+v", s)
+	}
+	if math.Abs(s.RetentionTime-12.34) > 1e-9 {
+		t.Errorf("rtime = %v", s.RetentionTime)
+	}
+	if len(s.Peaks) != 2 || s.Peaks[0].MZ != 187.4 || s.Peaks[1].Intensity != 19.5 {
+		t.Errorf("peaks = %+v", s.Peaks)
+	}
+	if scans[1].Charge != 0 || len(scans[1].Peaks) != 1 {
+		t.Errorf("second scan = %+v", scans[1])
+	}
+}
+
+func TestReadHeaders(t *testing.T) {
+	r := NewReader(strings.NewReader(sample))
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Headers) != 2 {
+		t.Errorf("headers = %v", r.Headers)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"X unknown line\n",
+		"S 1 1\n",                   // too few S fields
+		"S a b c d\n",               // bad scan number
+		"S 1 1 croak\n",             // bad precursor
+		"S 1 1 100.0\nnot a peak\n", // malformed peak (single field)
+		"S 1 1 100.0\nfoo bar\n",    // malformed peak (non-numeric)
+		"S 1 1 100.0\nH bad\n",      // header inside scan
+	}
+	for _, in := range cases {
+		if _, err := ReadAll(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	scans, err := ReadAll(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scans) != 0 {
+		t.Errorf("got %d scans", len(scans))
+	}
+	r := NewReader(strings.NewReader("H\tonly\theaders\n"))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("headers-only input: err = %v, want EOF", err)
+	}
+}
+
+func TestWriterHeaderAfterScan(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Write(spectrum.Experimental{Scan: 1, PrecursorMZ: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader("k", "v"); err == nil {
+		t.Error("header after scan must fail")
+	}
+}
+
+func randScans(rng *rand.Rand, n int) []spectrum.Experimental {
+	scans := make([]spectrum.Experimental, n)
+	for i := range scans {
+		e := spectrum.Experimental{
+			Scan:        i + 1,
+			PrecursorMZ: 100 + rng.Float64()*1900,
+			Charge:      rng.Intn(4), // may be 0 = unknown
+		}
+		if rng.Intn(2) == 0 {
+			e.RetentionTime = rng.Float64() * 100
+		}
+		for j := 0; j < rng.Intn(20)+1; j++ {
+			e.Peaks = append(e.Peaks, spectrum.Peak{
+				MZ:        float64(int(rng.Float64()*2e7)) / 1e4, // quantized to 1e-4
+				Intensity: float64(int(rng.Float64()*1e8)) / 1e4,
+			})
+		}
+		e.SortPeaks()
+		scans[i] = e
+	}
+	return scans
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := func(nRaw uint8) bool {
+		scans := randScans(rng, int(nRaw%8)+1)
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, scans); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(scans) {
+			return false
+		}
+		for i := range scans {
+			a, b := scans[i], got[i]
+			if a.Scan != b.Scan || a.Charge != b.Charge {
+				return false
+			}
+			if math.Abs(a.PrecursorMZ-b.PrecursorMZ) > 1e-4 {
+				return false
+			}
+			if len(a.Peaks) != len(b.Peaks) {
+				return false
+			}
+			for j := range a.Peaks {
+				if math.Abs(a.Peaks[j].MZ-b.Peaks[j].MZ) > 1e-4 ||
+					math.Abs(a.Peaks[j].Intensity-b.Peaks[j].Intensity) > 1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	scans := randScans(rng, 3)
+	path := filepath.Join(t.TempDir(), "q.ms2")
+	if err := WriteFile(path, scans); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("got %d scans", len(got))
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.ms2")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,30 @@
+package mzml
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the mzML parser never panics on arbitrary XML-ish
+// input.
+func FuzzRead(f *testing.F) {
+	f.Add(`<?xml version="1.0"?><mzML><run id="r"><spectrumList count="0"></spectrumList></run></mzML>`)
+	f.Add(`<mzML><run id="r"><spectrumList count="1"><spectrum index="0" id="scan=1" defaultArrayLength="0"><binaryDataArrayList count="0"></binaryDataArrayList></spectrum></spectrumList></run></mzML>`)
+	f.Add("not xml")
+	f.Add("")
+	f.Add(`<mzML><run><spectrumList><spectrum defaultArrayLength="-1"></spectrum></spectrumList></run></mzML>`)
+	f.Fuzz(func(t *testing.T, input string) {
+		// Errors are acceptable; panics and hangs are not.
+		_, _ = Read(strings.NewReader(input))
+	})
+}
+
+// FuzzDecodeFloats exercises the binary-array decoder directly.
+func FuzzDecodeFloats(f *testing.F) {
+	f.Add("AAAAAAAA", false)
+	f.Add("!!!not-base64!!!", true)
+	f.Add("", false)
+	f.Fuzz(func(t *testing.T, b64 string, compressed bool) {
+		_, _ = decodeFloats(b64, compressed, -1)
+	})
+}

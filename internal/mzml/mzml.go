@@ -1,0 +1,365 @@
+// Package mzml implements a minimal reader and writer for the PSI mzML
+// interchange format, sufficient to round-trip MS/MS peak lists: spectrum
+// elements with selected-ion precursor information and little-endian
+// float64 binary data arrays, base64-encoded with optional zlib
+// compression.
+//
+// The paper converts instrument RAW files to mzML/MS2 with msconvert; this
+// package plus cmd/lbe-convert plays that role for our pipeline.
+package mzml
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"lbe/internal/spectrum"
+)
+
+// PSI-MS controlled-vocabulary accessions used by the subset we support.
+const (
+	cvMZArray        = "MS:1000514"
+	cvIntensityArray = "MS:1000515"
+	cv64Bit          = "MS:1000523"
+	cv32Bit          = "MS:1000521"
+	cvZlib           = "MS:1000574"
+	cvNoCompression  = "MS:1000576"
+	cvSelectedIonMZ  = "MS:1000744"
+	cvChargeState    = "MS:1000041"
+	cvMSLevel        = "MS:1000511"
+)
+
+// --- XML document model (subset) ---
+
+type xmlMzML struct {
+	XMLName xml.Name `xml:"mzML"`
+	Run     xmlRun   `xml:"run"`
+	Version string   `xml:"version,attr,omitempty"`
+	_       struct{} `xml:"-"`
+}
+
+type xmlRun struct {
+	ID           string          `xml:"id,attr"`
+	SpectrumList xmlSpectrumList `xml:"spectrumList"`
+}
+
+type xmlSpectrumList struct {
+	Count   int           `xml:"count,attr"`
+	Spectra []xmlSpectrum `xml:"spectrum"`
+}
+
+type xmlSpectrum struct {
+	Index           int                `xml:"index,attr"`
+	ID              string             `xml:"id,attr"`
+	DefaultArrayLen int                `xml:"defaultArrayLength,attr"`
+	CVParams        []xmlCVParam       `xml:"cvParam"`
+	Precursors      *xmlPrecursorList  `xml:"precursorList,omitempty"`
+	BinaryArrays    xmlBinaryArrayList `xml:"binaryDataArrayList"`
+}
+
+type xmlPrecursorList struct {
+	Count      int            `xml:"count,attr"`
+	Precursors []xmlPrecursor `xml:"precursor"`
+}
+
+type xmlPrecursor struct {
+	SelectedIons xmlSelectedIonList `xml:"selectedIonList"`
+}
+
+type xmlSelectedIonList struct {
+	Count int              `xml:"count,attr"`
+	Ions  []xmlSelectedIon `xml:"selectedIon"`
+}
+
+type xmlSelectedIon struct {
+	CVParams []xmlCVParam `xml:"cvParam"`
+}
+
+type xmlBinaryArrayList struct {
+	Count  int                  `xml:"count,attr"`
+	Arrays []xmlBinaryDataArray `xml:"binaryDataArray"`
+}
+
+type xmlBinaryDataArray struct {
+	EncodedLen int          `xml:"encodedLength,attr"`
+	CVParams   []xmlCVParam `xml:"cvParam"`
+	Binary     string       `xml:"binary"`
+}
+
+type xmlCVParam struct {
+	Accession string `xml:"accession,attr"`
+	Name      string `xml:"name,attr"`
+	Value     string `xml:"value,attr,omitempty"`
+}
+
+func (s xmlSpectrum) hasCV(acc string) bool {
+	for _, p := range s.CVParams {
+		if p.Accession == acc {
+			return true
+		}
+	}
+	return false
+}
+
+func (a xmlBinaryDataArray) hasCV(acc string) bool {
+	for _, p := range a.CVParams {
+		if p.Accession == acc {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Encoding helpers ---
+
+// encodeFloats packs vals as little-endian float64, optionally zlib
+// compresses, and base64 encodes.
+func encodeFloats(vals []float64, compress bool) (string, error) {
+	raw := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	if compress {
+		var buf bytes.Buffer
+		zw := zlib.NewWriter(&buf)
+		if _, err := zw.Write(raw); err != nil {
+			return "", err
+		}
+		if err := zw.Close(); err != nil {
+			return "", err
+		}
+		raw = buf.Bytes()
+	}
+	return base64.StdEncoding.EncodeToString(raw), nil
+}
+
+// decodeFloats reverses encodeFloats.
+func decodeFloats(b64 string, compressed bool, n int) ([]float64, error) {
+	raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(b64))
+	if err != nil {
+		return nil, fmt.Errorf("mzml: base64: %w", err)
+	}
+	if compressed {
+		zr, err := zlib.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("mzml: zlib: %w", err)
+		}
+		raw, err = io.ReadAll(zr)
+		zr.Close()
+		if err != nil {
+			return nil, fmt.Errorf("mzml: zlib: %w", err)
+		}
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("mzml: binary array length %d not a multiple of 8", len(raw))
+	}
+	vals := make([]float64, len(raw)/8)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	if n >= 0 && len(vals) != n {
+		return nil, fmt.Errorf("mzml: expected %d values, decoded %d", n, len(vals))
+	}
+	return vals, nil
+}
+
+// --- Public API ---
+
+// Read parses an mzML document and returns its MS2-level spectra.
+func Read(r io.Reader) ([]spectrum.Experimental, error) {
+	var doc xmlMzML
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("mzml: %w", err)
+	}
+	var out []spectrum.Experimental
+	for _, xs := range doc.Run.SpectrumList.Spectra {
+		e, err := decodeSpectrum(xs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func decodeSpectrum(xs xmlSpectrum) (spectrum.Experimental, error) {
+	var e spectrum.Experimental
+	e.Scan = scanFromID(xs.ID, xs.Index)
+
+	if xs.Precursors != nil && len(xs.Precursors.Precursors) > 0 {
+		ions := xs.Precursors.Precursors[0].SelectedIons.Ions
+		if len(ions) > 0 {
+			for _, p := range ions[0].CVParams {
+				switch p.Accession {
+				case cvSelectedIonMZ:
+					v, err := strconv.ParseFloat(p.Value, 64)
+					if err != nil {
+						return e, fmt.Errorf("mzml: spectrum %q: bad precursor m/z: %w", xs.ID, err)
+					}
+					e.PrecursorMZ = v
+				case cvChargeState:
+					if z, err := strconv.Atoi(p.Value); err == nil {
+						e.Charge = z
+					}
+				}
+			}
+		}
+	}
+
+	var mzs, ins []float64
+	for _, arr := range xs.BinaryArrays.Arrays {
+		if arr.hasCV(cv32Bit) {
+			return e, fmt.Errorf("mzml: spectrum %q: 32-bit arrays not supported", xs.ID)
+		}
+		vals, err := decodeFloats(arr.Binary, arr.hasCV(cvZlib), xs.DefaultArrayLen)
+		if err != nil {
+			return e, fmt.Errorf("mzml: spectrum %q: %w", xs.ID, err)
+		}
+		switch {
+		case arr.hasCV(cvMZArray):
+			mzs = vals
+		case arr.hasCV(cvIntensityArray):
+			ins = vals
+		}
+	}
+	if len(mzs) != len(ins) {
+		return e, fmt.Errorf("mzml: spectrum %q: m/z and intensity arrays differ (%d vs %d)", xs.ID, len(mzs), len(ins))
+	}
+	e.Peaks = make([]spectrum.Peak, len(mzs))
+	for i := range mzs {
+		e.Peaks[i] = spectrum.Peak{MZ: mzs[i], Intensity: ins[i]}
+	}
+	return e, nil
+}
+
+// scanFromID extracts a scan number from mzML native IDs such as
+// "controllerType=0 controllerNumber=1 scan=42"; it falls back to index+1.
+func scanFromID(id string, index int) int {
+	for _, tok := range strings.Fields(id) {
+		if v, ok := strings.CutPrefix(tok, "scan="); ok {
+			if n, err := strconv.Atoi(v); err == nil {
+				return n
+			}
+		}
+	}
+	return index + 1
+}
+
+// ReadFile parses the named mzML file.
+func ReadFile(path string) ([]spectrum.Experimental, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Write emits the spectra as an mzML document. When compress is true the
+// binary arrays are zlib-compressed (MS:1000574).
+func Write(w io.Writer, scans []spectrum.Experimental, compress bool) error {
+	doc := xmlMzML{Version: "1.1.0"}
+	doc.Run.ID = "lbe_run"
+	doc.Run.SpectrumList.Count = len(scans)
+	compCV := xmlCVParam{Accession: cvNoCompression, Name: "no compression"}
+	if compress {
+		compCV = xmlCVParam{Accession: cvZlib, Name: "zlib compression"}
+	}
+	for i, e := range scans {
+		mzs := make([]float64, len(e.Peaks))
+		ins := make([]float64, len(e.Peaks))
+		for j, p := range e.Peaks {
+			mzs[j] = p.MZ
+			ins[j] = p.Intensity
+		}
+		mzB64, err := encodeFloats(mzs, compress)
+		if err != nil {
+			return err
+		}
+		inB64, err := encodeFloats(ins, compress)
+		if err != nil {
+			return err
+		}
+		xs := xmlSpectrum{
+			Index:           i,
+			ID:              fmt.Sprintf("scan=%d", e.Scan),
+			DefaultArrayLen: len(e.Peaks),
+			CVParams: []xmlCVParam{
+				{Accession: cvMSLevel, Name: "ms level", Value: "2"},
+			},
+			BinaryArrays: xmlBinaryArrayList{
+				Count: 2,
+				Arrays: []xmlBinaryDataArray{
+					{
+						EncodedLen: len(mzB64),
+						CVParams: []xmlCVParam{
+							{Accession: cv64Bit, Name: "64-bit float"},
+							compCV,
+							{Accession: cvMZArray, Name: "m/z array"},
+						},
+						Binary: mzB64,
+					},
+					{
+						EncodedLen: len(inB64),
+						CVParams: []xmlCVParam{
+							{Accession: cv64Bit, Name: "64-bit float"},
+							compCV,
+							{Accession: cvIntensityArray, Name: "intensity array"},
+						},
+						Binary: inB64,
+					},
+				},
+			},
+		}
+		if e.PrecursorMZ > 0 {
+			ion := xmlSelectedIon{CVParams: []xmlCVParam{
+				{Accession: cvSelectedIonMZ, Name: "selected ion m/z", Value: strconv.FormatFloat(e.PrecursorMZ, 'f', -1, 64)},
+			}}
+			if e.Charge > 0 {
+				ion.CVParams = append(ion.CVParams, xmlCVParam{
+					Accession: cvChargeState, Name: "charge state", Value: strconv.Itoa(e.Charge),
+				})
+			}
+			xs.Precursors = &xmlPrecursorList{
+				Count: 1,
+				Precursors: []xmlPrecursor{{
+					SelectedIons: xmlSelectedIonList{Count: 1, Ions: []xmlSelectedIon{ion}},
+				}},
+			}
+		}
+		doc.Run.SpectrumList.Spectra = append(doc.Run.SpectrumList.Spectra, xs)
+	}
+
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("mzml: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// WriteFile writes the spectra to the named mzML file.
+func WriteFile(path string, scans []spectrum.Experimental, compress bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, scans, compress); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

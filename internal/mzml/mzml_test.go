@@ -1,0 +1,189 @@
+package mzml
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lbe/internal/spectrum"
+)
+
+func randScans(rng *rand.Rand, n int) []spectrum.Experimental {
+	scans := make([]spectrum.Experimental, n)
+	for i := range scans {
+		e := spectrum.Experimental{
+			Scan:        i + 1,
+			PrecursorMZ: 100 + rng.Float64()*1900,
+			Charge:      rng.Intn(4),
+		}
+		for j := 0; j < rng.Intn(30)+1; j++ {
+			e.Peaks = append(e.Peaks, spectrum.Peak{
+				MZ:        rng.Float64() * 2000,
+				Intensity: rng.Float64() * 1e6,
+			})
+		}
+		e.SortPeaks()
+		scans[i] = e
+	}
+	return scans
+}
+
+func roundTrip(t *testing.T, compress bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(47))
+	f := func(nRaw uint8) bool {
+		scans := randScans(rng, int(nRaw%6)+1)
+		var buf bytes.Buffer
+		if err := Write(&buf, scans, compress); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		if len(got) != len(scans) {
+			return false
+		}
+		for i := range scans {
+			a, b := scans[i], got[i]
+			if a.Scan != b.Scan || a.Charge != b.Charge {
+				return false
+			}
+			if math.Abs(a.PrecursorMZ-b.PrecursorMZ) > 1e-12 {
+				return false
+			}
+			if len(a.Peaks) != len(b.Peaks) {
+				return false
+			}
+			for j := range a.Peaks {
+				// float64 binary encoding is exact
+				if a.Peaks[j] != b.Peaks[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripUncompressed(t *testing.T) { roundTrip(t, false) }
+func TestRoundTripZlib(t *testing.T)         { roundTrip(t, true) }
+
+func TestScanFromID(t *testing.T) {
+	if got := scanFromID("controllerType=0 controllerNumber=1 scan=42", 7); got != 42 {
+		t.Errorf("scanFromID = %d, want 42", got)
+	}
+	if got := scanFromID("no scan here", 7); got != 8 {
+		t.Errorf("fallback scanFromID = %d, want 8", got)
+	}
+}
+
+func TestZeroPeakSpectrum(t *testing.T) {
+	scans := []spectrum.Experimental{{Scan: 1, PrecursorMZ: 500, Charge: 2}}
+	var buf bytes.Buffer
+	if err := Write(&buf, scans, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Peaks) != 0 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestNoPrecursor(t *testing.T) {
+	scans := []spectrum.Experimental{{
+		Scan:  3,
+		Peaks: []spectrum.Peak{{MZ: 100, Intensity: 1}},
+	}}
+	var buf bytes.Buffer
+	if err := Write(&buf, scans, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].PrecursorMZ != 0 || got[0].Charge != 0 {
+		t.Errorf("precursor should be absent: %+v", got[0])
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	if _, err := Read(strings.NewReader("not xml at all")); err == nil {
+		t.Error("non-XML input should fail")
+	}
+	// Valid XML but broken base64.
+	doc := `<?xml version="1.0"?><mzML><run id="r"><spectrumList count="1">
+	<spectrum index="0" id="scan=1" defaultArrayLength="1">
+	<binaryDataArrayList count="2">
+	<binaryDataArray encodedLength="4"><cvParam accession="MS:1000523" name="64"/><cvParam accession="MS:1000576" name="none"/><cvParam accession="MS:1000514" name="mz"/><binary>!!!!</binary></binaryDataArray>
+	</binaryDataArrayList></spectrum></spectrumList></run></mzML>`
+	if _, err := Read(strings.NewReader(doc)); err == nil {
+		t.Error("broken base64 should fail")
+	}
+}
+
+func TestRead32BitRejected(t *testing.T) {
+	doc := `<?xml version="1.0"?><mzML><run id="r"><spectrumList count="1">
+	<spectrum index="0" id="scan=1" defaultArrayLength="0">
+	<binaryDataArrayList count="1">
+	<binaryDataArray encodedLength="0"><cvParam accession="MS:1000521" name="32"/><cvParam accession="MS:1000514" name="mz"/><binary></binary></binaryDataArray>
+	</binaryDataArrayList></spectrum></spectrumList></run></mzML>`
+	if _, err := Read(strings.NewReader(doc)); err == nil {
+		t.Error("32-bit arrays must be rejected with a clear error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	scans := randScans(rng, 4)
+	path := filepath.Join(t.TempDir(), "run.mzML")
+	if err := WriteFile(path, scans, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Errorf("got %d spectra", len(got))
+	}
+}
+
+func TestEncodeDecodeFloats(t *testing.T) {
+	vals := []float64{0, 1.5, -2.25, math.Pi, 1e308}
+	for _, compress := range []bool{false, true} {
+		b64, err := encodeFloats(vals, compress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeFloats(b64, compress, len(vals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Errorf("compress=%v: vals[%d] = %v, want %v", compress, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestDecodeFloatsLengthMismatch(t *testing.T) {
+	b64, _ := encodeFloats([]float64{1, 2, 3}, false)
+	if _, err := decodeFloats(b64, false, 5); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}

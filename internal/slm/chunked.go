@@ -1,0 +1,212 @@
+package slm
+
+import (
+	"fmt"
+	"sort"
+
+	"lbe/internal/spectrum"
+)
+
+// ChunkedIndex is the shared-memory "internal data partitioning" of the
+// paper's Fig. 1: peptides are sorted by precursor mass and split into
+// independent chunks, so that for a given query all precursor-compatible
+// reference spectra lie in few chunks. Benefits reproduced from the paper:
+//
+//   - a closed-search query touches only the chunks overlapping its
+//     precursor window (§II-B: fewer chunks "need to be loaded into
+//     memory or processed");
+//   - chunks are built one at a time, eliminating the 2x transient
+//     construction footprint of the monolithic index (§V-B discusses this
+//     temporary overhead; §VI notes chunking removes it).
+//
+// Under open search (∆M = ∞) every chunk is consulted, matching the
+// monolithic index result exactly.
+type ChunkedIndex struct {
+	params Params
+	chunks []*Index
+	// pepMap[c][local] is the caller-level peptide index of chunk c's
+	// local peptide `local`.
+	pepMap [][]uint32
+	// lows[c] is the smallest unmodified-peptide precursor in chunk c;
+	// chunk precursor ranges are [lows[c], lows[c+1]) except mod deltas.
+	lows      []float64
+	highs     []float64
+	buildPeak int
+}
+
+// BuildChunked constructs a ChunkedIndex over the peptides with the given
+// number of chunks. Peptides are ordered by unmodified precursor mass and
+// split into contiguous, near-equal chunks (Fig. 1's layout).
+func BuildChunked(peptides []string, params Params, numChunks int) (*ChunkedIndex, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if numChunks < 1 {
+		return nil, fmt.Errorf("slm: chunk count %d must be >= 1", numChunks)
+	}
+	if numChunks > len(peptides) && len(peptides) > 0 {
+		numChunks = len(peptides)
+	}
+
+	ci := &ChunkedIndex{params: params}
+	if len(peptides) == 0 {
+		ix, err := Build(nil, params)
+		if err != nil {
+			return nil, err
+		}
+		ci.chunks = []*Index{ix}
+		ci.pepMap = [][]uint32{nil}
+		ci.lows = []float64{0}
+		ci.highs = []float64{0}
+		return ci, nil
+	}
+
+	// Sort peptide order by unmodified precursor mass, then sequence for
+	// determinism.
+	type pepMass struct {
+		idx  int
+		mass float64
+	}
+	order := make([]pepMass, len(peptides))
+	for i, seq := range peptides {
+		th, err := spectrum.Predict(seq)
+		if err != nil {
+			return nil, fmt.Errorf("slm: peptide %d: %w", i, err)
+		}
+		order[i] = pepMass{idx: i, mass: th.Precursor}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].mass != order[b].mass {
+			return order[a].mass < order[b].mass
+		}
+		return peptides[order[a].idx] < peptides[order[b].idx]
+	})
+
+	base, rem := len(order)/numChunks, len(order)%numChunks
+	pos := 0
+	maxTransient := 0
+	for c := 0; c < numChunks; c++ {
+		sz := base
+		if c < rem {
+			sz++
+		}
+		if sz == 0 {
+			continue
+		}
+		members := order[pos : pos+sz]
+		pos += sz
+
+		seqs := make([]string, sz)
+		pmap := make([]uint32, sz)
+		for i, pm := range members {
+			seqs[i] = peptides[pm.idx]
+			pmap[i] = uint32(pm.idx)
+		}
+		ix, err := Build(seqs, params)
+		if err != nil {
+			return nil, err
+		}
+		// Transient peak while building chunk c: all finished chunks plus
+		// this chunk's build peak.
+		transient := ix.BuildPeakBytes()
+		for _, prev := range ci.chunks {
+			transient += prev.MemoryBytes()
+		}
+		if transient > maxTransient {
+			maxTransient = transient
+		}
+		ci.chunks = append(ci.chunks, ix)
+		ci.pepMap = append(ci.pepMap, pmap)
+		ci.lows = append(ci.lows, members[0].mass)
+		ci.highs = append(ci.highs, members[len(members)-1].mass)
+	}
+	ci.buildPeak = maxTransient
+	return ci, nil
+}
+
+// NumChunks returns the number of chunks.
+func (ci *ChunkedIndex) NumChunks() int { return len(ci.chunks) }
+
+// NumRows returns the total indexed spectra across chunks.
+func (ci *ChunkedIndex) NumRows() int {
+	n := 0
+	for _, ix := range ci.chunks {
+		n += ix.NumRows()
+	}
+	return n
+}
+
+// MemoryBytes returns the total resident size of all chunks plus maps.
+func (ci *ChunkedIndex) MemoryBytes() int {
+	n := 0
+	for _, ix := range ci.chunks {
+		n += ix.MemoryBytes()
+	}
+	for _, m := range ci.pepMap {
+		n += 4 * len(m)
+	}
+	return n
+}
+
+// BuildPeakBytes returns the largest transient footprint observed while
+// constructing the chunks sequentially. For numChunks > 1 this is below
+// the monolithic index's 2x staging requirement.
+func (ci *ChunkedIndex) BuildPeakBytes() int { return ci.buildPeak }
+
+// maxModDelta bounds how much heavier a modified variant can be than its
+// unmodified peptide, for chunk-range widening under closed search.
+func (p Params) maxModDelta() float64 {
+	maxSingle := 0.0
+	for _, m := range p.Mods.Mods {
+		if m.Delta > maxSingle {
+			maxSingle = m.Delta
+		}
+	}
+	return maxSingle * float64(p.Mods.MaxPerPep)
+}
+
+// Search queries one spectrum. Under a closed precursor window only the
+// chunks whose precursor range can reach the window are consulted; under
+// open search all chunks are. Results are identical to the monolithic
+// index (with Peptide resolved through the chunk's map); ChunksTouched in
+// the returned Work statistics... chunk accounting is returned separately.
+func (ci *ChunkedIndex) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]Match, Work, int) {
+	var all []Match
+	var work Work
+	touched := 0
+	qmass := q.PrecursorMass()
+	maxDelta := ci.params.maxModDelta()
+	for c, ix := range ci.chunks {
+		if !ci.params.PrecursorTol.IsOpen() {
+			wlo, whi := ci.params.PrecursorTol.Window(qmass)
+			// Chunk c holds unmodified masses in [lows[c], highs[c]];
+			// modified variants reach up to highs[c]+maxDelta.
+			if ci.highs[c]+maxDelta < wlo || ci.lows[c] > whi {
+				continue
+			}
+		}
+		touched++
+		ms, w := ix.Search(q, 0, scratch)
+		for _, m := range ms {
+			m.Peptide = ci.pepMap[c][m.Peptide]
+			m.Row = 0 // rows are chunk-local; not meaningful across chunks
+			all = append(all, m)
+		}
+		work.Add(w)
+	}
+	if topK > 0 && len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Score != all[j].Score {
+				return all[i].Score > all[j].Score
+			}
+			if all[i].Peptide != all[j].Peptide {
+				return all[i].Peptide < all[j].Peptide
+			}
+			return all[i].Precursor < all[j].Precursor
+		})
+		if len(all) > topK {
+			all = all[:topK]
+		}
+	}
+	return all, work, touched
+}

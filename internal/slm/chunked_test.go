@@ -1,0 +1,261 @@
+package slm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lbe/internal/mass"
+	"lbe/internal/spectrum"
+)
+
+func chunkTestPeptides(rng *rand.Rand, n int) []string {
+	peps := make([]string, n)
+	for i := range peps {
+		peps[i] = randPeptide(rng, 6, 16)
+	}
+	return peps
+}
+
+// matchKey ignores Row (chunk-local) for cross-implementation comparison.
+type matchKey struct {
+	Peptide   uint32
+	Shared    uint16
+	Precursor float64
+}
+
+func keysOf(ms []Match) []matchKey {
+	out := make([]matchKey, len(ms))
+	for i, m := range ms {
+		out[i] = matchKey{m.Peptide, m.Shared, m.Precursor}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Peptide != out[b].Peptide {
+			return out[a].Peptide < out[b].Peptide
+		}
+		if out[a].Shared != out[b].Shared {
+			return out[a].Shared < out[b].Shared
+		}
+		return out[a].Precursor < out[b].Precursor
+	})
+	return out
+}
+
+func TestChunkedMatchesMonolithicOpenSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	params := DefaultParams()
+	params.Mods.MaxPerPep = 1
+	peps := chunkTestPeptides(rng, 40)
+
+	mono, err := Build(peps, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, 7} {
+		chunked, err := BuildChunked(peps, params, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunked.NumRows() != mono.NumRows() {
+			t.Fatalf("k=%d: rows %d vs %d", k, chunked.NumRows(), mono.NumRows())
+		}
+		for trial := 0; trial < 10; trial++ {
+			q := noisyQuery(rng, peps[rng.Intn(len(peps))])
+			a, _ := mono.Search(q, 0, nil)
+			b, _, touched := chunked.Search(q, 0, nil)
+			if touched != k {
+				t.Fatalf("open search must touch all %d chunks, touched %d", k, touched)
+			}
+			ka, kb := keysOf(a), keysOf(b)
+			if len(ka) != len(kb) {
+				t.Fatalf("k=%d trial %d: %d vs %d matches", k, trial, len(ka), len(kb))
+			}
+			for i := range ka {
+				if ka[i] != kb[i] {
+					t.Fatalf("k=%d trial %d match %d: %+v vs %+v", k, trial, i, ka[i], kb[i])
+				}
+			}
+		}
+	}
+}
+
+func noisyQuery(rng *rand.Rand, seq string) spectrum.Experimental {
+	th, _ := spectrum.Predict(seq)
+	q := spectrum.Experimental{PrecursorMZ: mass.MZ(th.Precursor, 1), Charge: 1}
+	for _, ion := range th.Ions {
+		if rng.Float64() < 0.85 {
+			q.Peaks = append(q.Peaks, spectrum.Peak{
+				MZ:        ion + (rng.Float64()-0.5)*0.04,
+				Intensity: rng.Float64()*90 + 10,
+			})
+		}
+	}
+	q.SortPeaks()
+	return q
+}
+
+func TestChunkedClosedSearchPrunesChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	params := DefaultParams()
+	params.Mods.MaxPerPep = 0
+	params.PrecursorTol = mass.Da(0.5)
+	peps := chunkTestPeptides(rng, 60)
+
+	const k = 6
+	chunked, err := BuildChunked(peps, params, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Build(peps, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	totalTouched := 0
+	for trial := 0; trial < 20; trial++ {
+		q := noisyQuery(rng, peps[rng.Intn(len(peps))])
+		a, _ := mono.Search(q, 0, nil)
+		b, _, touched := chunked.Search(q, 0, nil)
+		totalTouched += touched
+		ka, kb := keysOf(a), keysOf(b)
+		if len(ka) != len(kb) {
+			t.Fatalf("trial %d: %d vs %d matches", trial, len(ka), len(kb))
+		}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				t.Fatalf("trial %d: %+v vs %+v", trial, ka[i], kb[i])
+			}
+		}
+	}
+	// With a 0.5 Da window over a 60-peptide mass range, most chunks must
+	// be skipped on average.
+	if totalTouched >= 20*k/2 {
+		t.Errorf("closed search touched %d/%d chunk-visits; pruning ineffective", totalTouched, 20*k)
+	}
+}
+
+func TestChunkedClosedSearchWithModsStaysCorrect(t *testing.T) {
+	// Modified variants are heavier than the unmodified mass that chunk
+	// ranges are built from; pruning must widen ranges accordingly.
+	rng := rand.New(rand.NewSource(97))
+	params := DefaultParams()
+	params.Mods.MaxPerPep = 2
+	params.PrecursorTol = mass.Da(1.0)
+	peps := chunkTestPeptides(rng, 30)
+
+	chunked, err := BuildChunked(peps, params, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Build(peps, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query at a modified variant's mass: pick a peptide with a site.
+	for trial := 0; trial < 30; trial++ {
+		seq := peps[rng.Intn(len(peps))]
+		vs, _ := params.Mods.Variants(seq)
+		v := vs[rng.Intn(len(vs))]
+		th, err := spectrum.PredictVariant(seq, v, params.Mods.Mods)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := spectrum.Experimental{PrecursorMZ: mass.MZ(th.Precursor, 1), Charge: 1}
+		for _, ion := range th.Ions {
+			q.Peaks = append(q.Peaks, spectrum.Peak{MZ: ion, Intensity: 50})
+		}
+		q.SortPeaks()
+
+		a, _ := mono.Search(q, 0, nil)
+		b, _, _ := chunked.Search(q, 0, nil)
+		ka, kb := keysOf(a), keysOf(b)
+		if len(ka) != len(kb) {
+			t.Fatalf("trial %d (%s): %d vs %d matches", trial, seq, len(ka), len(kb))
+		}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				t.Fatalf("trial %d: %+v vs %+v", trial, ka[i], kb[i])
+			}
+		}
+	}
+}
+
+func TestChunkedReducesBuildPeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	params := DefaultParams()
+	params.Mods.MaxPerPep = 1
+	peps := chunkTestPeptides(rng, 80)
+
+	mono, err := Build(peps, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := BuildChunked(peps, params, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole point of internal partitioning (§VI): the transient
+	// staging above the resident index (the "2x index memory" during
+	// construction) shrinks to a single chunk's worth.
+	monoStaging := mono.BuildPeakBytes() - mono.MemoryBytes()
+	chunkedStaging := chunked.BuildPeakBytes() - chunked.MemoryBytes()
+	if chunkedStaging >= monoStaging {
+		t.Errorf("chunked staging %d not below monolithic %d", chunkedStaging, monoStaging)
+	}
+	if monoStaging <= 0 {
+		t.Fatalf("monolithic staging %d; test premise broken", monoStaging)
+	}
+}
+
+func TestChunkedTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	params := DefaultParams()
+	params.Mods.MaxPerPep = 0
+	peps := []string{"PEPTIDEK", "PEPTIDER", "PEPTIDEH", "PEPTIDEW", "PEPTIDEY"}
+	chunked, err := BuildChunked(peps, params, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := noisyQuery(rng, "PEPTIDEK")
+	top, _, _ := chunked.Search(q, 2, nil)
+	if len(top) > 2 {
+		t.Fatalf("topK returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Error("topK not sorted")
+		}
+	}
+}
+
+func TestChunkedEdgeCases(t *testing.T) {
+	params := DefaultParams()
+	params.Mods.MaxPerPep = 0
+	// Empty peptide set.
+	ci, err := BuildChunked(nil, params, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.NumRows() != 0 {
+		t.Error("empty chunked index has rows")
+	}
+	ms, _, _ := ci.Search(spectrum.Experimental{}, 5, nil)
+	if len(ms) != 0 {
+		t.Error("empty index matched")
+	}
+	// More chunks than peptides.
+	ci, err = BuildChunked([]string{"PEPTIDEK", "AAAAGGGGK"}, params, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.NumChunks() != 2 {
+		t.Errorf("chunks = %d, want clamped 2", ci.NumChunks())
+	}
+	// Invalid chunk count.
+	if _, err := BuildChunked([]string{"PEPTIDEK"}, params, 0); err == nil {
+		t.Error("chunk count 0 must fail")
+	}
+	if ci.MemoryBytes() <= 0 {
+		t.Error("memory accounting")
+	}
+}

@@ -1,0 +1,258 @@
+// Package slm implements a shared-peak fragment-ion index in the style of
+// SLM-Transform (Haseeb et al., 2019), the substrate search engine the LBE
+// layer distributes.
+//
+// The index discretizes every theoretical fragment ion of every indexed
+// peptide variant into mass buckets of width Resolution and stores, per
+// bucket, the list of spectrum rows containing such an ion (a CSR layout:
+// one offsets array over buckets, one flat row-id array). Querying walks,
+// for each experimental peak, the bucket window covering the fragment-mass
+// tolerance, accumulates shared-peak counts on a scorecard, filters rows by
+// the shared-peak threshold and the precursor window, and scores the
+// survivors.
+package slm
+
+import (
+	"fmt"
+
+	"lbe/internal/mass"
+	"lbe/internal/mods"
+	"lbe/internal/spectrum"
+)
+
+// Params configures index construction and querying. The defaults mirror
+// the paper's §V-A3 settings.
+type Params struct {
+	Resolution     float64        // bucket width r (Da); paper 0.01
+	FragmentTol    mass.Tolerance // ∆F; paper 0.05 Da
+	PrecursorTol   mass.Tolerance // ∆M; paper ∞ (open search)
+	MinSharedPeaks int            // Shpeak; paper 4
+	Mods           mods.Config    // variable modification settings
+	MaxQueryPeaks  int            // top-N peak preprocessing; paper 100
+	// MaxFragmentMZ bounds the indexed fragment m/z range (the instrument
+	// scan range); ions above it are neither indexed nor matched.
+	MaxFragmentMZ float64
+	// IonSeries selects the fragment series to predict and index; nil
+	// means the paper's model (singly charged b and y ions).
+	IonSeries []spectrum.IonKind
+}
+
+// series returns the effective ion series.
+func (p Params) series() []spectrum.IonKind {
+	if len(p.IonSeries) == 0 {
+		return spectrum.DefaultSeries()
+	}
+	return p.IonSeries
+}
+
+// DefaultParams returns the paper's search settings: r = 0.01,
+// ∆F = 0.05 Da, ∆M = ∞ (open search), Shpeak ≥ 4, the paper's three
+// variable mods with at most 5 modified residues, 100 query peaks.
+func DefaultParams() Params {
+	return Params{
+		Resolution:     0.01,
+		FragmentTol:    mass.Da(0.05),
+		PrecursorTol:   mass.Open(),
+		MinSharedPeaks: 4,
+		Mods:           mods.DefaultConfig(),
+		MaxQueryPeaks:  100,
+		MaxFragmentMZ:  2000,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.Resolution <= 0 {
+		return fmt.Errorf("slm: resolution %g must be positive", p.Resolution)
+	}
+	if p.MinSharedPeaks < 1 {
+		return fmt.Errorf("slm: min shared peaks %d must be >= 1", p.MinSharedPeaks)
+	}
+	if p.FragmentTol.Value < 0 || p.PrecursorTol.Value < 0 {
+		return fmt.Errorf("slm: negative tolerance")
+	}
+	if p.MaxFragmentMZ <= 0 {
+		return fmt.Errorf("slm: MaxFragmentMZ %g must be positive", p.MaxFragmentMZ)
+	}
+	seen := map[spectrum.IonKind]bool{}
+	for _, k := range p.series() {
+		if k > spectrum.IonY2 {
+			return fmt.Errorf("slm: unknown ion kind %d", k)
+		}
+		if seen[k] {
+			return fmt.Errorf("slm: duplicate ion kind %v", k)
+		}
+		seen[k] = true
+	}
+	return p.Mods.Validate()
+}
+
+// capBucket returns the last indexable bucket under MaxFragmentMZ.
+func (p Params) capBucket() int {
+	return mass.NewBucketer(p.Resolution).Bucket(p.MaxFragmentMZ)
+}
+
+// Row is one indexed theoretical spectrum: a peptide variant.
+type Row struct {
+	Peptide   uint32  // local (virtual) peptide index within this partition
+	Precursor float64 // neutral mass including mod deltas
+	NumIons   uint16  // fragment ions indexed for this row
+	Modified  bool    // whether the row carries any modification
+}
+
+// Index is an immutable fragment-ion index over a set of peptides
+// (typically one LBE partition). Build with Build; query with Search.
+type Index struct {
+	params Params
+
+	rows []Row
+
+	// CSR ion index: for bucket b, rows with an ion in b are
+	// ids[offsets[b]:offsets[b+1]].
+	offsets []uint32
+	ids     []uint32
+
+	numBuckets int
+	buildPeak  int // peak transient bytes observed during construction
+}
+
+// NumRows returns the number of indexed spectra (peptide variants).
+func (ix *Index) NumRows() int { return len(ix.rows) }
+
+// NumPeptides returns the number of distinct local peptides indexed.
+func (ix *Index) NumPeptides() int {
+	seen := uint32(0)
+	for _, r := range ix.rows {
+		if r.Peptide+1 > seen {
+			seen = r.Peptide + 1
+		}
+	}
+	return int(seen)
+}
+
+// NumIons returns the total number of indexed fragment-ion postings.
+func (ix *Index) NumIons() int { return len(ix.ids) }
+
+// Params returns the parameters the index was built with.
+func (ix *Index) Params() Params { return ix.params }
+
+// Row returns row metadata by row id.
+func (ix *Index) Row(id uint32) Row { return ix.rows[id] }
+
+// Build constructs the index over the given peptide sequences. Each
+// peptide contributes one row per modification variant (the unmodified
+// form included). Peptides shorter than 2 residues are rejected.
+func Build(peptides []string, params Params) (*Index, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	ix := &Index{params: params}
+	bucketer := mass.NewBucketer(params.Resolution)
+
+	// Pass 1: enumerate rows and count ions per bucket.
+	type rowIons struct {
+		row  Row
+		ions []float64
+	}
+	var pending []rowIons
+	maxBucket := 0
+	totalIons := 0
+	capB := params.capBucket()
+	for pi, seq := range peptides {
+		variants, err := params.Mods.Variants(seq)
+		if err != nil {
+			return nil, fmt.Errorf("slm: peptide %d: %w", pi, err)
+		}
+		for _, v := range variants {
+			th, err := spectrum.PredictIons(seq, v, params.Mods.Mods, params.series())
+			if err != nil {
+				return nil, fmt.Errorf("slm: peptide %d (%q): %w", pi, seq, err)
+			}
+			// Keep only ions inside the instrument scan range.
+			ions := th.Ions[:0:0]
+			for _, ion := range th.Ions {
+				b := bucketer.Bucket(ion)
+				if b > capB {
+					continue
+				}
+				if b > maxBucket {
+					maxBucket = b
+				}
+				ions = append(ions, ion)
+			}
+			r := Row{
+				Peptide:   uint32(pi),
+				Precursor: th.Precursor,
+				NumIons:   uint16(len(ions)),
+				Modified:  v.IsModified(),
+			}
+			totalIons += len(ions)
+			pending = append(pending, rowIons{row: r, ions: ions})
+		}
+	}
+
+	ix.numBuckets = maxBucket + 1
+	ix.rows = make([]Row, len(pending))
+	ix.offsets = make([]uint32, ix.numBuckets+1)
+	ix.ids = make([]uint32, totalIons)
+
+	// Counting sort of (bucket, row) postings into CSR.
+	counts := make([]uint32, ix.numBuckets)
+	for _, ri := range pending {
+		for _, ion := range ri.ions {
+			counts[bucketer.Bucket(ion)]++
+		}
+	}
+	sum := uint32(0)
+	for b := 0; b < ix.numBuckets; b++ {
+		ix.offsets[b] = sum
+		sum += counts[b]
+	}
+	ix.offsets[ix.numBuckets] = sum
+
+	cursor := make([]uint32, ix.numBuckets)
+	copy(cursor, ix.offsets[:ix.numBuckets])
+	for rid, ri := range pending {
+		ix.rows[rid] = ri.row
+		for _, ion := range ri.ions {
+			b := bucketer.Bucket(ion)
+			ix.ids[cursor[b]] = uint32(rid)
+			cursor[b]++
+		}
+	}
+
+	// The transient footprint during construction is the pending ion
+	// lists plus the final arrays — the "2x index memory" effect the
+	// paper describes for distributed SLM construction.
+	ix.buildPeak = ix.MemoryBytes() + 8*totalIons
+
+	return ix, nil
+}
+
+// MemoryBytes returns the resident size of the index structures in bytes:
+// rows (4+8+2+1 padded to 24), offsets (4 per bucket) and ion postings
+// (4 each). This is the quantity reported by the Fig. 5 experiment.
+func (ix *Index) MemoryBytes() int {
+	const rowBytes = 24 // struct layout: uint32 + pad + float64 + uint16 + bool + pad
+	return rowBytes*len(ix.rows) + 4*len(ix.offsets) + 4*len(ix.ids)
+}
+
+// BuildPeakBytes returns the peak transient memory observed while the
+// index was constructed (index plus staging ion lists).
+func (ix *Index) BuildPeakBytes() int { return ix.buildPeak }
+
+// bucketRange returns the posting range for the fragment window around mz.
+func (ix *Index) bucketRange(mz float64) (lo, hi uint32) {
+	bucketer := mass.NewBucketer(ix.params.Resolution)
+	blo, bhi := bucketer.Range(mz, ix.params.FragmentTol)
+	if blo < 0 {
+		blo = 0
+	}
+	if bhi >= ix.numBuckets {
+		bhi = ix.numBuckets - 1
+	}
+	if blo > bhi {
+		return 0, 0
+	}
+	return ix.offsets[blo], ix.offsets[bhi+1]
+}

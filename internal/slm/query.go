@@ -1,0 +1,136 @@
+package slm
+
+import (
+	"sort"
+
+	"lbe/internal/spectrum"
+)
+
+// Match is one candidate peptide-to-spectrum match (cPSM) produced by a
+// query against the index.
+type Match struct {
+	Row       uint32  // index row (peptide variant)
+	Peptide   uint32  // local (virtual) peptide index
+	Shared    uint16  // shared peak count
+	Score     float64 // hyperscore-style match score; higher is better
+	Precursor float64 // row's neutral precursor mass
+}
+
+// Work accounts for the computation a query performed; the engine
+// aggregates it per rank to measure load (im)balance in deterministic
+// units rather than noisy wall-clock.
+type Work struct {
+	IonHits    int64 // postings visited during shared-peak counting
+	Candidates int64 // rows that reached the shared-peak threshold
+	Scored     int64 // candidates surviving the precursor filter and scored
+}
+
+// Add accumulates w2 into w.
+func (w *Work) Add(w2 Work) {
+	w.IonHits += w2.IonHits
+	w.Candidates += w2.Candidates
+	w.Scored += w2.Scored
+}
+
+// Scratch holds reusable per-searcher buffers so concurrent searchers do
+// not contend. A zero Scratch is ready for use; one Scratch must not be
+// shared between goroutines.
+type Scratch struct {
+	counts  []uint16
+	inten   []float64
+	touched []uint32
+}
+
+func (s *Scratch) ensure(rows int) {
+	if len(s.counts) < rows {
+		s.counts = make([]uint16, rows)
+		s.inten = make([]float64, rows)
+	}
+	s.touched = s.touched[:0]
+}
+
+// Search queries one preprocessed experimental spectrum against the index
+// and returns the candidate matches (unordered unless topK > 0, in which
+// case the best topK by score are returned in descending score order).
+//
+// The query's peaks must be sorted by m/z (see spectrum.Preprocess).
+func (ix *Index) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]Match, Work) {
+	if scratch == nil {
+		scratch = &Scratch{}
+	}
+	scratch.ensure(len(ix.rows))
+	var work Work
+
+	// Phase 1: shared-peak counting over the CSR postings.
+	for _, p := range q.Peaks {
+		lo, hi := ix.bucketRange(p.MZ)
+		for i := lo; i < hi; i++ {
+			rid := ix.ids[i]
+			if scratch.counts[rid] == 0 {
+				scratch.touched = append(scratch.touched, rid)
+				scratch.inten[rid] = 0
+			}
+			scratch.counts[rid]++
+			scratch.inten[rid] += p.Intensity
+		}
+		work.IonHits += int64(hi - lo)
+	}
+
+	// Phase 2: threshold + precursor filter + scoring.
+	var matches []Match
+	qmass := q.PrecursorMass()
+	minShared := uint16(ix.params.MinSharedPeaks)
+	for _, rid := range scratch.touched {
+		c := scratch.counts[rid]
+		scratch.counts[rid] = 0 // reset as we go
+		if c < minShared {
+			continue
+		}
+		work.Candidates++
+		row := ix.rows[rid]
+		if !ix.params.PrecursorTol.Contains(qmass, row.Precursor) {
+			continue
+		}
+		work.Scored++
+		matches = append(matches, Match{
+			Row:       rid,
+			Peptide:   row.Peptide,
+			Shared:    c,
+			Score:     hyperscore(c, scratch.inten[rid], int(row.NumIons), len(q.Peaks)),
+			Precursor: row.Precursor,
+		})
+	}
+
+	if topK > 0 && len(matches) > 0 {
+		sortMatches(matches)
+		if len(matches) > topK {
+			matches = matches[:topK]
+		}
+	}
+	return matches, work
+}
+
+// sortMatches orders by descending score, then ascending row id for
+// determinism across runs and machines.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Score != ms[j].Score {
+			return ms[i].Score > ms[j].Score
+		}
+		return ms[i].Row < ms[j].Row
+	})
+}
+
+// SearchAll queries a batch of spectra sequentially, accumulating work.
+// Results are indexed like the input batch.
+func (ix *Index) SearchAll(qs []spectrum.Experimental, topK int) ([][]Match, Work) {
+	var scratch Scratch
+	var total Work
+	out := make([][]Match, len(qs))
+	for i, q := range qs {
+		m, w := ix.Search(q, topK, &scratch)
+		out[i] = m
+		total.Add(w)
+	}
+	return out, total
+}

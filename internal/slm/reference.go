@@ -1,0 +1,73 @@
+package slm
+
+import (
+	"lbe/internal/mass"
+	"lbe/internal/spectrum"
+)
+
+// BruteForce searches q against the same peptide set and parameters with
+// no index: every row's theoretical ions are compared against every query
+// peak through the same bucket discretization. It exists as a correctness
+// oracle for tests and for the filtration-efficiency ablation; results
+// must equal Index.Search exactly (modulo match order).
+func BruteForce(peptides []string, params Params, q spectrum.Experimental) ([]Match, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	bucketer := mass.NewBucketer(params.Resolution)
+	qmass := q.PrecursorMass()
+	capB := params.capBucket()
+
+	var matches []Match
+	rid := uint32(0)
+	for pi, seq := range peptides {
+		variants, err := params.Mods.Variants(seq)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range variants {
+			th, err := spectrum.PredictIons(seq, v, params.Mods.Mods, params.series())
+			if err != nil {
+				return nil, err
+			}
+			// Mirror the index: only ions within the scan range exist.
+			var ions []float64
+			for _, ion := range th.Ions {
+				if bucketer.Bucket(ion) <= capB {
+					ions = append(ions, ion)
+				}
+			}
+			shared := 0
+			intensity := 0.0
+			for _, p := range q.Peaks {
+				blo, bhi := bucketer.Range(p.MZ, params.FragmentTol)
+				if bhi > capB {
+					bhi = capB
+				}
+				hits := 0
+				for _, ion := range ions {
+					b := bucketer.Bucket(ion)
+					if b >= blo && b <= bhi {
+						hits++
+					}
+				}
+				shared += hits
+				if hits > 0 {
+					intensity += p.Intensity * float64(hits)
+				}
+			}
+			if shared >= params.MinSharedPeaks &&
+				params.PrecursorTol.Contains(qmass, th.Precursor) {
+				matches = append(matches, Match{
+					Row:       rid,
+					Peptide:   uint32(pi),
+					Shared:    uint16(shared),
+					Score:     hyperscore(uint16(shared), intensity, len(ions), len(q.Peaks)),
+					Precursor: th.Precursor,
+				})
+			}
+			rid++
+		}
+	}
+	return matches, nil
+}

@@ -1,0 +1,43 @@
+package slm
+
+import "math"
+
+// hyperscore computes a simplified hyperscore in the spirit of X!Tandem /
+// MSFragger: log of the factorial of the matched ion count times the
+// matched intensity sum, normalized by the theoretical ion count so longer
+// peptides are not unduly favored. Shared-peak count dominates; intensity
+// breaks ties. Deterministic and monotone in both arguments.
+func hyperscore(shared uint16, intensitySum float64, rowIons, queryPeaks int) float64 {
+	if shared == 0 {
+		return 0
+	}
+	s := float64(shared)
+	score := logFactorial(int(shared)) + math.Log1p(intensitySum)
+	// Normalize by the fraction of theoretical ions available to match.
+	if rowIons > 0 {
+		score += s * math.Log(s/float64(rowIons)+1)
+	}
+	return score
+}
+
+// logFactorial returns ln(n!) using the precomputed table for small n and
+// Stirling's series beyond it. Matching ion counts are tiny (<= 65535) but
+// almost always < 64.
+func logFactorial(n int) float64 {
+	if n < len(lnFactTable) {
+		return lnFactTable[n]
+	}
+	x := float64(n)
+	// Stirling with the 1/(12n) correction.
+	return x*math.Log(x) - x + 0.5*math.Log(2*math.Pi*x) + 1/(12*x)
+}
+
+var lnFactTable = func() [128]float64 {
+	var t [128]float64
+	acc := 0.0
+	for i := 2; i < len(t); i++ {
+		acc += math.Log(float64(i))
+		t[i] = acc
+	}
+	return t
+}()

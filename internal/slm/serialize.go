@@ -1,0 +1,325 @@
+package slm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"lbe/internal/mass"
+	"lbe/internal/mods"
+	"lbe/internal/spectrum"
+)
+
+// Binary index format ("SLMX"): the paper's shared-memory design stores
+// index chunks on disk when not in use (§II-B); this file gives the index
+// a compact, checksummed serialization so partial indexes can be spilled
+// and reloaded.
+//
+// Layout (little-endian):
+//
+//	magic "SLMX" | version u32 | params block | rows | offsets | ids | crc32
+//
+// The CRC covers everything between the magic and the checksum itself.
+
+const (
+	indexMagic   = "SLMX"
+	indexVersion = 1
+)
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return 0, err
+	}
+	cw := &crcWriter{w: bw}
+	le := binary.LittleEndian
+
+	put := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(cw, le, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	putString := func(s string) error {
+		if err := put(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(cw, s)
+		return err
+	}
+
+	p := ix.params
+	if err := put(uint32(indexVersion),
+		p.Resolution,
+		p.FragmentTol.Value, uint8(p.FragmentTol.Unit),
+		p.PrecursorTol.Value, uint8(p.PrecursorTol.Unit),
+		uint32(p.MinSharedPeaks), uint32(p.MaxQueryPeaks), p.MaxFragmentMZ,
+		uint32(p.Mods.MaxPerPep), uint32(p.Mods.MaxVariant), uint32(len(p.Mods.Mods)),
+	); err != nil {
+		return 0, err
+	}
+	if err := put(uint32(len(p.IonSeries))); err != nil {
+		return 0, err
+	}
+	for _, k := range p.IonSeries {
+		if err := put(uint8(k)); err != nil {
+			return 0, err
+		}
+	}
+	for _, m := range p.Mods.Mods {
+		if err := putString(m.Name); err != nil {
+			return 0, err
+		}
+		if err := putString(m.Residues); err != nil {
+			return 0, err
+		}
+		if err := put(m.Delta); err != nil {
+			return 0, err
+		}
+	}
+
+	if err := put(uint32(len(ix.rows))); err != nil {
+		return 0, err
+	}
+	for _, r := range ix.rows {
+		mod := uint8(0)
+		if r.Modified {
+			mod = 1
+		}
+		if err := put(r.Peptide, r.Precursor, r.NumIons, mod); err != nil {
+			return 0, err
+		}
+	}
+	if err := put(uint32(ix.numBuckets), uint32(len(ix.offsets))); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(cw, le, ix.offsets); err != nil {
+		return 0, err
+	}
+	if err := put(uint32(len(ix.ids))); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(cw, le, ix.ids); err != nil {
+		return 0, err
+	}
+	crc := cw.crc
+	if err := binary.Write(bw, le, crc); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return int64(len(indexMagic)) + cw.n + 4, nil
+}
+
+// ReadIndex deserializes an index written by WriteTo, verifying the
+// checksum and format version.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("slm: reading magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("slm: bad magic %q", magic)
+	}
+	cr := &crcReader{r: br}
+	le := binary.LittleEndian
+
+	get := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(cr, le, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	getString := func() (string, error) {
+		var n uint32
+		if err := get(&n); err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("slm: string length %d implausible", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(cr, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	var version uint32
+	if err := get(&version); err != nil {
+		return nil, err
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("slm: unsupported index version %d (want %d)", version, indexVersion)
+	}
+
+	ix := &Index{}
+	var fragUnit, precUnit uint8
+	var minShared, maxQP, maxPer, maxVar, nmods uint32
+	p := &ix.params
+	if err := get(&p.Resolution,
+		&p.FragmentTol.Value, &fragUnit,
+		&p.PrecursorTol.Value, &precUnit,
+		&minShared, &maxQP, &p.MaxFragmentMZ,
+		&maxPer, &maxVar, &nmods,
+	); err != nil {
+		return nil, err
+	}
+	p.FragmentTol.Unit = mass.ToleranceUnit(fragUnit)
+	p.PrecursorTol.Unit = mass.ToleranceUnit(precUnit)
+	p.MinSharedPeaks = int(minShared)
+	p.MaxQueryPeaks = int(maxQP)
+	p.Mods.MaxPerPep = int(maxPer)
+	p.Mods.MaxVariant = int(maxVar)
+	if nmods > 1<<16 {
+		return nil, fmt.Errorf("slm: mod count %d implausible", nmods)
+	}
+	var nseries uint32
+	if err := get(&nseries); err != nil {
+		return nil, err
+	}
+	if nseries > 16 {
+		return nil, fmt.Errorf("slm: ion series count %d implausible", nseries)
+	}
+	for i := uint32(0); i < nseries; i++ {
+		var k uint8
+		if err := get(&k); err != nil {
+			return nil, err
+		}
+		p.IonSeries = append(p.IonSeries, spectrum.IonKind(k))
+	}
+	for i := uint32(0); i < nmods; i++ {
+		var m mods.Mod
+		var err error
+		if m.Name, err = getString(); err != nil {
+			return nil, err
+		}
+		if m.Residues, err = getString(); err != nil {
+			return nil, err
+		}
+		if err = get(&m.Delta); err != nil {
+			return nil, err
+		}
+		p.Mods.Mods = append(p.Mods.Mods, m)
+	}
+
+	var nrows uint32
+	if err := get(&nrows); err != nil {
+		return nil, err
+	}
+	if nrows > 1<<30 {
+		return nil, fmt.Errorf("slm: row count %d implausible", nrows)
+	}
+	ix.rows = make([]Row, nrows)
+	for i := range ix.rows {
+		var mod uint8
+		if err := get(&ix.rows[i].Peptide, &ix.rows[i].Precursor, &ix.rows[i].NumIons, &mod); err != nil {
+			return nil, err
+		}
+		ix.rows[i].Modified = mod != 0
+	}
+
+	var numBuckets, noffsets uint32
+	if err := get(&numBuckets, &noffsets); err != nil {
+		return nil, err
+	}
+	if noffsets != numBuckets+1 && !(numBuckets == 0 && noffsets <= 1) {
+		return nil, fmt.Errorf("slm: offsets length %d does not match %d buckets", noffsets, numBuckets)
+	}
+	ix.numBuckets = int(numBuckets)
+	ix.offsets = make([]uint32, noffsets)
+	if err := binary.Read(cr, le, ix.offsets); err != nil {
+		return nil, err
+	}
+	var nids uint32
+	if err := get(&nids); err != nil {
+		return nil, err
+	}
+	ix.ids = make([]uint32, nids)
+	if err := binary.Read(cr, le, ix.ids); err != nil {
+		return nil, err
+	}
+
+	want := cr.crc
+	var got uint32
+	if err := binary.Read(br, le, &got); err != nil {
+		return nil, fmt.Errorf("slm: reading checksum: %w", err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("slm: checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	// Sanity: offsets must be monotone and end at len(ids).
+	for i := 1; i < len(ix.offsets); i++ {
+		if ix.offsets[i] < ix.offsets[i-1] {
+			return nil, fmt.Errorf("slm: corrupt offsets at %d", i)
+		}
+	}
+	if len(ix.offsets) > 0 && ix.offsets[len(ix.offsets)-1] != uint32(len(ix.ids)) {
+		return nil, fmt.Errorf("slm: offsets end %d != %d postings", ix.offsets[len(ix.offsets)-1], len(ix.ids))
+	}
+	for _, r := range ix.rows {
+		if math.IsNaN(r.Precursor) || r.Precursor < 0 {
+			return nil, fmt.Errorf("slm: corrupt row precursor")
+		}
+	}
+	ix.buildPeak = ix.MemoryBytes()
+	return ix, nil
+}
+
+// SaveFile writes the index to the named file.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an index from the named file.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadIndex(f)
+}

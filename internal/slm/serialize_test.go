@@ -1,0 +1,157 @@
+package slm
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"lbe/internal/mass"
+)
+
+func buildTestIndex(t *testing.T) *Index {
+	t.Helper()
+	params := DefaultParams()
+	params.Mods.MaxPerPep = 1
+	ix, err := Build([]string{"PEPTIDEK", "NQKCMAAR", "AAAAGGGGK"}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	ix := buildTestIndex(t)
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != ix.NumRows() || got.NumIons() != ix.NumIons() {
+		t.Fatalf("shape: %d/%d rows, %d/%d ions",
+			got.NumRows(), ix.NumRows(), got.NumIons(), ix.NumIons())
+	}
+	// Search results must be identical.
+	q := queryFor(t, "PEPTIDEK")
+	a, wa := ix.Search(q, 0, nil)
+	b, wb := got.Search(q, 0, nil)
+	if len(a) != len(b) || wa != wb {
+		t.Fatalf("results differ after round trip: %d vs %d matches", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("match %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Params preserved, including mods.
+	if got.Params().Mods.MaxPerPep != 1 || len(got.Params().Mods.Mods) != 3 {
+		t.Errorf("params not preserved: %+v", got.Params().Mods)
+	}
+	if !got.Params().PrecursorTol.IsOpen() {
+		t.Error("open precursor tolerance not preserved")
+	}
+}
+
+func TestSerializeFileRoundTrip(t *testing.T) {
+	ix := buildTestIndex(t)
+	path := filepath.Join(t.TempDir(), "part.slm")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MemoryBytes() != ix.MemoryBytes() {
+		t.Errorf("memory accounting differs: %d vs %d", got.MemoryBytes(), ix.MemoryBytes())
+	}
+}
+
+func TestSerializeEmptyIndex(t *testing.T) {
+	ix, err := Build(nil, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 || got.NumIons() != 0 {
+		t.Errorf("empty index round trip: %d rows %d ions", got.NumRows(), got.NumIons())
+	}
+}
+
+func TestSerializeDetectsCorruption(t *testing.T) {
+	ix := buildTestIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the payload.
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xFF
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted index must fail the checksum")
+	}
+}
+
+func TestSerializeRejectsBadMagicAndVersion(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Error("bad magic must fail")
+	}
+	ix := buildTestIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version field
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Error("future version must fail")
+	}
+}
+
+func TestSerializeTruncated(t *testing.T) {
+	ix := buildTestIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{3, 10, len(data) / 2, len(data) - 1} {
+		if _, err := ReadIndex(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d must fail", cut)
+		}
+	}
+}
+
+func TestSerializePreservesTolerances(t *testing.T) {
+	params := DefaultParams()
+	params.Mods.MaxPerPep = 0
+	params.PrecursorTol = mass.Ppm(20)
+	ix, err := Build([]string{"PEPTIDEK"}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params().PrecursorTol != mass.Ppm(20) {
+		t.Errorf("ppm tolerance not preserved: %+v", got.Params().PrecursorTol)
+	}
+}

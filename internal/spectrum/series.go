@@ -1,0 +1,138 @@
+package spectrum
+
+import (
+	"fmt"
+	"sort"
+
+	"lbe/internal/mass"
+	"lbe/internal/mods"
+)
+
+// IonKind identifies a fragment-ion series. The CID model of the paper's
+// pipeline indexes singly charged b and y ions; a ions (b minus CO) and
+// doubly charged series are common instrument realities offered as
+// configuration.
+type IonKind uint8
+
+const (
+	// IonB is the singly protonated b series (N-terminal prefixes).
+	IonB IonKind = iota
+	// IonY is the singly protonated y series (C-terminal suffixes).
+	IonY
+	// IonA is the a series: b minus carbon monoxide.
+	IonA
+	// IonB2 is the doubly charged b series.
+	IonB2
+	// IonY2 is the doubly charged y series.
+	IonY2
+)
+
+// String implements fmt.Stringer.
+func (k IonKind) String() string {
+	switch k {
+	case IonB:
+		return "b"
+	case IonY:
+		return "y"
+	case IonA:
+		return "a"
+	case IonB2:
+		return "b2+"
+	case IonY2:
+		return "y2+"
+	default:
+		return fmt.Sprintf("IonKind(%d)", uint8(k))
+	}
+}
+
+// DefaultSeries is the paper's model: singly charged b and y ions.
+func DefaultSeries() []IonKind { return []IonKind{IonB, IonY} }
+
+// carbonMonoxide is the a-ion offset below the b ion.
+const carbonMonoxide = mass.Carbon + mass.Oxygen
+
+// PredictIons computes the theoretical spectrum of a (possibly modified)
+// peptide over the requested ion series, sorted ascending. kinds must be
+// non-empty; duplicate kinds are an error.
+func PredictIons(seq string, v mods.Variant, modList []mods.Mod, kinds []IonKind) (Theoretical, error) {
+	if len(kinds) == 0 {
+		return Theoretical{}, fmt.Errorf("spectrum: no ion series requested")
+	}
+	seen := map[IonKind]bool{}
+	for _, k := range kinds {
+		if k > IonY2 {
+			return Theoretical{}, fmt.Errorf("spectrum: unknown ion kind %d", k)
+		}
+		if seen[k] {
+			return Theoretical{}, fmt.Errorf("spectrum: duplicate ion kind %v", k)
+		}
+		seen[k] = true
+	}
+
+	n := len(seq)
+	if n < 2 {
+		return Theoretical{}, fmt.Errorf("spectrum: peptide %q too short to fragment", seq)
+	}
+	if !mass.ValidSequence(seq) {
+		return Theoretical{}, fmt.Errorf("spectrum: peptide %q has non-standard residues", seq)
+	}
+	res := make([]float64, n)
+	for i := 0; i < n; i++ {
+		res[i] = mass.MustResidue(seq[i])
+	}
+	for _, s := range v.Sites {
+		if s.Pos < 0 || s.Pos >= n {
+			return Theoretical{}, fmt.Errorf("spectrum: mod site %d out of range for %q", s.Pos, seq)
+		}
+		if s.Mod < 0 || s.Mod >= len(modList) {
+			return Theoretical{}, fmt.Errorf("spectrum: mod index %d out of range", s.Mod)
+		}
+		res[s.Pos] += modList[s.Mod].Delta
+	}
+	total := mass.Water
+	for _, r := range res {
+		total += r
+	}
+
+	ions := make([]float64, 0, len(kinds)*(n-1))
+	prefix := 0.0
+	suffix := 0.0
+	prefixes := make([]float64, n-1) // neutral prefix masses
+	suffixes := make([]float64, n-1) // neutral suffix masses + water
+	for i := 0; i < n-1; i++ {
+		prefix += res[i]
+		prefixes[i] = prefix
+	}
+	for i := n - 1; i >= 1; i-- {
+		suffix += res[i]
+		suffixes[n-1-i] = suffix + mass.Water
+	}
+	for _, k := range kinds {
+		switch k {
+		case IonB:
+			for _, p := range prefixes {
+				ions = append(ions, p+mass.Proton)
+			}
+		case IonY:
+			for _, s := range suffixes {
+				ions = append(ions, s+mass.Proton)
+			}
+		case IonA:
+			for _, p := range prefixes {
+				if a := p - carbonMonoxide + mass.Proton; a > 0 {
+					ions = append(ions, a)
+				}
+			}
+		case IonB2:
+			for _, p := range prefixes {
+				ions = append(ions, (p+2*mass.Proton)/2)
+			}
+		case IonY2:
+			for _, s := range suffixes {
+				ions = append(ions, (s+2*mass.Proton)/2)
+			}
+		}
+	}
+	sort.Float64s(ions)
+	return Theoretical{Precursor: total, Ions: ions}, nil
+}

@@ -1,0 +1,131 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+
+	"lbe/internal/mass"
+	"lbe/internal/mods"
+)
+
+func TestIonKindString(t *testing.T) {
+	cases := map[IonKind]string{IonB: "b", IonY: "y", IonA: "a", IonB2: "b2+", IonY2: "y2+"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if IonKind(99).String() == "" {
+		t.Error("unknown kind must stringify")
+	}
+}
+
+func TestPredictIonsDefaultMatchesPredictVariant(t *testing.T) {
+	modList := []mods.Mod{mods.OxidationM}
+	v := mods.Variant{Sites: []mods.Site{{Pos: 1, Mod: 0}}, Delta: mods.OxidationM.Delta}
+	a, err := PredictVariant("AMAK", v, modList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PredictIons("AMAK", v, modList, DefaultSeries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Precursor != b.Precursor || len(a.Ions) != len(b.Ions) {
+		t.Fatalf("shape mismatch: %v vs %v", a, b)
+	}
+	for i := range a.Ions {
+		if a.Ions[i] != b.Ions[i] {
+			t.Fatalf("ion %d: %v vs %v", i, a.Ions[i], b.Ions[i])
+		}
+	}
+}
+
+func TestAIonOffset(t *testing.T) {
+	th, err := PredictIons("PEPTIDE", mods.Variant{}, nil, []IonKind{IonA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a1 = b1 - CO.
+	want := BIon("PEPTIDE", 1) - (mass.Carbon + mass.Oxygen)
+	found := false
+	for _, ion := range th.Ions {
+		if math.Abs(ion-want) < 1e-9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("a1 = %v missing from %v", want, th.Ions)
+	}
+	if len(th.Ions) != 6 {
+		t.Errorf("a series of 7-mer has %d ions, want 6", len(th.Ions))
+	}
+}
+
+func TestDoublyChargedSeries(t *testing.T) {
+	th, err := PredictIons("PEPTIDE", mods.Variant{}, nil, []IonKind{IonB2, IonY2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b2(k) = (neutral prefix + 2 protons)/2; check b1 2+ against b1 1+.
+	b1 := BIon("PEPTIDE", 1) // prefix + proton
+	neutral := b1 - mass.Proton
+	want := (neutral + 2*mass.Proton) / 2
+	found := false
+	for _, ion := range th.Ions {
+		if math.Abs(ion-want) < 1e-9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("b1(2+) = %v missing", want)
+	}
+	// Doubly charged ions sit below their singly charged counterparts.
+	for _, ion := range th.Ions {
+		if ion >= th.Precursor {
+			t.Errorf("2+ ion %v above precursor %v", ion, th.Precursor)
+		}
+	}
+}
+
+func TestPredictIonsAllSeriesCount(t *testing.T) {
+	all := []IonKind{IonB, IonY, IonA, IonB2, IonY2}
+	th, err := PredictIons("PEPTIDEK", mods.Variant{}, nil, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5 * (8 - 1); th.NumIons() != want {
+		t.Errorf("got %d ions, want %d", th.NumIons(), want)
+	}
+}
+
+func TestPredictIonsErrors(t *testing.T) {
+	if _, err := PredictIons("PEPTIDE", mods.Variant{}, nil, nil); err == nil {
+		t.Error("empty series must fail")
+	}
+	if _, err := PredictIons("PEPTIDE", mods.Variant{}, nil, []IonKind{IonB, IonB}); err == nil {
+		t.Error("duplicate series must fail")
+	}
+	if _, err := PredictIons("PEPTIDE", mods.Variant{}, nil, []IonKind{IonKind(42)}); err == nil {
+		t.Error("unknown series must fail")
+	}
+	if _, err := PredictIons("A", mods.Variant{}, nil, DefaultSeries()); err == nil {
+		t.Error("short peptide must fail")
+	}
+}
+
+func TestPredictIonsModShiftAppliesToAllSeries(t *testing.T) {
+	modList := []mods.Mod{mods.OxidationM}
+	v := mods.Variant{Sites: []mods.Site{{Pos: 0, Mod: 0}}, Delta: mods.OxidationM.Delta}
+	base, _ := PredictIons("MAAK", mods.Variant{}, nil, []IonKind{IonA})
+	modded, err := PredictIons("MAAK", v, modList, []IonKind{IonA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every a ion contains position 0, so every ion shifts.
+	for i := range base.Ions {
+		if math.Abs(modded.Ions[i]-base.Ions[i]-mods.OxidationM.Delta) > 1e-9 {
+			t.Fatalf("a%d not shifted: %v vs %v", i+1, modded.Ions[i], base.Ions[i])
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package spectrum generates theoretical MS/MS spectra from peptide
+// sequences and models experimental spectra, including the preprocessing
+// (top-N peak extraction, normalization) applied before querying.
+//
+// Theoretical spectra follow the standard CID fragmentation model used by
+// SLM-Transform and MSFragger: the singly protonated b- and y-ion series.
+// A peptide of length L yields 2*(L-1) fragment ions.
+package spectrum
+
+import (
+	"fmt"
+	"sort"
+
+	"lbe/internal/mass"
+	"lbe/internal/mods"
+)
+
+// Theoretical holds the fragment-ion m/z values of one peptide (or peptide
+// variant), sorted ascending, together with the precursor neutral mass.
+type Theoretical struct {
+	Precursor float64   // neutral peptide mass (Da), including mod deltas
+	Ions      []float64 // sorted fragment ion m/z (charge 1)
+}
+
+// NumIons returns the number of fragment ions.
+func (t Theoretical) NumIons() int { return len(t.Ions) }
+
+// Predict computes the theoretical spectrum of the unmodified peptide seq:
+// all b- and y-ions at charge 1, sorted ascending. It returns an error if
+// seq is shorter than 2 residues or contains non-standard letters.
+func Predict(seq string) (Theoretical, error) {
+	return PredictVariant(seq, mods.Variant{}, nil)
+}
+
+// PredictVariant computes the theoretical spectrum of a modified peptide
+// variant. Site deltas shift every fragment ion containing the modified
+// residue: b-ions with index > pos and y-ions covering the C-terminal side.
+// modList supplies the mass deltas referenced by v.Sites.
+func PredictVariant(seq string, v mods.Variant, modList []mods.Mod) (Theoretical, error) {
+	n := len(seq)
+	if n < 2 {
+		return Theoretical{}, fmt.Errorf("spectrum: peptide %q too short to fragment", seq)
+	}
+	if !mass.ValidSequence(seq) {
+		return Theoretical{}, fmt.Errorf("spectrum: peptide %q has non-standard residues", seq)
+	}
+
+	// Per-residue mass including any applied modification.
+	res := make([]float64, n)
+	for i := 0; i < n; i++ {
+		res[i] = mass.MustResidue(seq[i])
+	}
+	for _, s := range v.Sites {
+		if s.Pos < 0 || s.Pos >= n {
+			return Theoretical{}, fmt.Errorf("spectrum: mod site %d out of range for %q", s.Pos, seq)
+		}
+		if s.Mod < 0 || s.Mod >= len(modList) {
+			return Theoretical{}, fmt.Errorf("spectrum: mod index %d out of range", s.Mod)
+		}
+		res[s.Pos] += modList[s.Mod].Delta
+	}
+
+	total := mass.Water
+	for _, r := range res {
+		total += r
+	}
+
+	ions := make([]float64, 0, 2*(n-1))
+	// b-ions: prefix sums; b_i = sum(res[0..i-1]) + proton.
+	prefix := 0.0
+	for i := 0; i < n-1; i++ {
+		prefix += res[i]
+		ions = append(ions, prefix+mass.Proton)
+	}
+	// y-ions: suffix sums; y_i = sum(res[n-i..n-1]) + water + proton.
+	suffix := 0.0
+	for i := n - 1; i >= 1; i-- {
+		suffix += res[i]
+		ions = append(ions, suffix+mass.Water+mass.Proton)
+	}
+	sort.Float64s(ions)
+	return Theoretical{Precursor: total, Ions: ions}, nil
+}
+
+// BIon returns the m/z of the singly charged b_k ion (k residues from the
+// N-terminus) of the unmodified peptide seq. k must be in [1, len(seq)-1].
+func BIon(seq string, k int) float64 {
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += mass.MustResidue(seq[i])
+	}
+	return sum + mass.Proton
+}
+
+// YIon returns the m/z of the singly charged y_k ion (k residues from the
+// C-terminus) of the unmodified peptide seq. k must be in [1, len(seq)-1].
+func YIon(seq string, k int) float64 {
+	sum := 0.0
+	for i := len(seq) - k; i < len(seq); i++ {
+		sum += mass.MustResidue(seq[i])
+	}
+	return sum + mass.Water + mass.Proton
+}

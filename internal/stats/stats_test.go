@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if !approx(Mean(xs), 2.8) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Max(xs) != 5 || Min(xs) != 1 {
+		t.Errorf("Max/Min = %v/%v", Max(xs), Min(xs))
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("empty-slice conventions broken")
+	}
+}
+
+func TestLoadImbalancePaperExample(t *testing.T) {
+	// §VI example: ∆Tmax = 80s over Tavg = 100s means LI = 0.8 and, with
+	// 16 CPUs, Twst = 1280s.
+	// Construct 16 machine times with mean 100 and max 180.
+	times := make([]float64, 16)
+	for i := range times {
+		times[i] = 100 - 80.0/15 // 15 machines slightly below average
+	}
+	times[0] = 180
+	if !approx(Mean(times), 100) {
+		t.Fatalf("constructed mean = %v", Mean(times))
+	}
+	li := LoadImbalance(times)
+	if !approx(li, 0.8) {
+		t.Errorf("LI = %v, want 0.8", li)
+	}
+	if got := WastedCPUTime(times); !approx(got, 1280) {
+		t.Errorf("Twst = %v, want 1280", got)
+	}
+}
+
+func TestLoadImbalanceBalanced(t *testing.T) {
+	if got := LoadImbalance([]float64{50, 50, 50, 50}); got != 0 {
+		t.Errorf("balanced LI = %v", got)
+	}
+	if got := LoadImbalance(nil); got != 0 {
+		t.Errorf("empty LI = %v", got)
+	}
+	if got := LoadImbalance([]float64{0, 0}); got != 0 {
+		t.Errorf("zero LI = %v", got)
+	}
+}
+
+func TestLoadImbalanceNonNegativeProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		times := make([]float64, len(raw))
+		for i, r := range raw {
+			times[i] = float64(r)
+		}
+		li := LoadImbalance(times)
+		return li >= 0 && !math.IsNaN(li)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWastedCPUTimeEquivalence(t *testing.T) {
+	// Twst = N*∆Tmax = LI * N * Tavg (the two §VI forms agree).
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		times := make([]float64, len(raw))
+		for i, r := range raw {
+			times[i] = float64(r) + 1
+		}
+		direct := WastedCPUTime(times)
+		viaLI := LoadImbalance(times) * float64(len(times)) * Mean(times)
+		return math.Abs(direct-viaLI) < 1e-6*(1+direct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s := Speedup(100, []float64{100, 50, 25, 0})
+	if !approx(s[0], 1) || !approx(s[1], 2) || !approx(s[2], 4) {
+		t.Errorf("speedups = %v", s)
+	}
+	if !math.IsNaN(s[3]) {
+		t.Error("zero time must map to NaN")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	eff, err := Efficiency([]float64{1, 1.9, 3.6}, []int{4, 8, 16}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(eff[0], 1) || !approx(eff[1], 0.95) || !approx(eff[2], 0.9) {
+		t.Errorf("efficiency = %v", eff)
+	}
+	if _, err := Efficiency([]float64{1}, []int{1, 2}, 1); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := Efficiency([]float64{1}, []int{1}, 0); err == nil {
+		t.Error("zero base CPUs must fail")
+	}
+}
+
+func TestAmdahl(t *testing.T) {
+	// No serial part: perfect scaling.
+	if !approx(AmdahlSpeedup(0, 16), 16) {
+		t.Errorf("Amdahl(0,16) = %v", AmdahlSpeedup(0, 16))
+	}
+	// Fully serial: no scaling.
+	if !approx(AmdahlSpeedup(1, 16), 1) {
+		t.Errorf("Amdahl(1,16) = %v", AmdahlSpeedup(1, 16))
+	}
+	// 10% serial at 16 CPUs: 1/(0.1 + 0.9/16) ≈ 6.4.
+	if got := AmdahlSpeedup(0.1, 16); math.Abs(got-6.4) > 0.01 {
+		t.Errorf("Amdahl(0.1,16) = %v", got)
+	}
+}
+
+func TestFitSerialFractionRoundTrip(t *testing.T) {
+	f := func(sRaw, nRaw uint8) bool {
+		s := float64(sRaw%100) / 100
+		n := int(nRaw%30) + 2
+		sp := AmdahlSpeedup(s, n)
+		got := FitSerialFraction(sp, n)
+		return math.Abs(got-s) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if FitSerialFraction(5, 1) != 1 {
+		t.Error("n=1 convention broken")
+	}
+	if FitSerialFraction(0, 4) != 1 {
+		t.Error("zero speedup convention broken")
+	}
+}

@@ -1,0 +1,338 @@
+// Package lbe is the public API of the LBE reproduction: a load-balanced
+// distributed peptide-search library (Haseeb, Afzali, Saeed — "LBE: A
+// Computational Load Balancing Algorithm for Speeding up Parallel Peptide
+// Search in Mass-Spectrometry based Proteomics", IEEE IPDPSW 2019).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - data preparation: FASTA I/O, tryptic digestion, deduplication,
+//     modification variants, synthetic data generation;
+//   - the SLM fragment-ion index and its search parameters;
+//   - the LBE layer: peptide grouping, partition policies, mapping table;
+//   - the distributed engine over in-process or TCP communicators;
+//   - the load-balance metrics of the paper's evaluation.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	peps, _ := lbe.Digest(lbe.DefaultDigestConfig(), proteins)
+//	cfg := lbe.DefaultEngineConfig()
+//	res, _ := lbe.RunInProcess(8, lbe.PeptideSequences(peps), queries, cfg)
+//	for _, psm := range res.PSMs[0] { ... }
+package lbe
+
+import (
+	"lbe/internal/core"
+	"lbe/internal/digest"
+	"lbe/internal/engine"
+	"lbe/internal/fasta"
+	"lbe/internal/fdr"
+	"lbe/internal/filter"
+	"lbe/internal/gen"
+	"lbe/internal/mass"
+	"lbe/internal/mods"
+	"lbe/internal/mpi"
+	"lbe/internal/ms2"
+	"lbe/internal/mzml"
+	"lbe/internal/slm"
+	"lbe/internal/spectrum"
+	"lbe/internal/stats"
+)
+
+// --- data model ---
+
+// FastaRecord is one protein database entry.
+type FastaRecord = fasta.Record
+
+// Peptide is a digestion product with its mass and provenance.
+type Peptide = digest.Peptide
+
+// Spectrum is one experimental MS/MS spectrum.
+type Spectrum = spectrum.Experimental
+
+// Peak is one (m/z, intensity) pair.
+type Peak = spectrum.Peak
+
+// Mod is a variable post-translational modification.
+type Mod = mods.Mod
+
+// --- data preparation ---
+
+// DigestConfig controls in-silico digestion.
+type DigestConfig = digest.Config
+
+// DefaultDigestConfig returns the paper's Digestor settings (fully
+// tryptic, <=2 missed cleavages, length 6-40, mass 100-5000 Da).
+func DefaultDigestConfig() DigestConfig { return digest.DefaultConfig() }
+
+// Digest digests protein sequences into peptides.
+func Digest(cfg DigestConfig, proteins []string) ([]Peptide, error) {
+	return cfg.Proteome(proteins)
+}
+
+// Dedup removes duplicate peptide sequences, keeping first occurrences.
+func Dedup(peps []Peptide) []Peptide { return digest.Dedup(peps) }
+
+// PeptideSequences projects peptides to their sequences.
+func PeptideSequences(peps []Peptide) []string { return digest.Sequences(peps) }
+
+// ReadFasta parses a FASTA file.
+func ReadFasta(path string) ([]FastaRecord, error) { return fasta.ReadFile(path) }
+
+// WriteFasta writes a FASTA file.
+func WriteFasta(path string, recs []FastaRecord) error { return fasta.WriteFile(path, recs) }
+
+// ReadMS2 parses an MS2 spectra file.
+func ReadMS2(path string) ([]Spectrum, error) { return ms2.ReadFile(path) }
+
+// WriteMS2 writes an MS2 spectra file.
+func WriteMS2(path string, scans []Spectrum) error { return ms2.WriteFile(path, scans) }
+
+// ReadMzML parses an mzML spectra file.
+func ReadMzML(path string) ([]Spectrum, error) { return mzml.ReadFile(path) }
+
+// WriteMzML writes an mzML spectra file (zlib-compressed arrays when
+// compress is true).
+func WriteMzML(path string, scans []Spectrum, compress bool) error {
+	return mzml.WriteFile(path, scans, compress)
+}
+
+// --- modifications ---
+
+// ModConfig controls modification-variant enumeration.
+type ModConfig = mods.Config
+
+// PaperMods returns the paper's three variable modifications
+// (deamidation N/Q, GlyGly K/C, oxidation M).
+func PaperMods() []Mod { return mods.PaperSet() }
+
+// DefaultModConfig returns the paper's mod settings (<=5 modified
+// residues per peptide).
+func DefaultModConfig() ModConfig { return mods.DefaultConfig() }
+
+// --- SLM index ---
+
+// SearchParams configures the SLM fragment-ion index.
+type SearchParams = slm.Params
+
+// Index is an immutable fragment-ion index over a peptide set.
+type Index = slm.Index
+
+// Match is a candidate peptide-to-spectrum match from an index query.
+type Match = slm.Match
+
+// DefaultSearchParams returns the paper's search settings (r=0.01,
+// ∆F=0.05 Da, open precursor window, Shpeak>=4, 100 query peaks).
+func DefaultSearchParams() SearchParams { return slm.DefaultParams() }
+
+// BuildIndex constructs an SLM index over the peptides.
+func BuildIndex(peptides []string, params SearchParams) (*Index, error) {
+	return slm.Build(peptides, params)
+}
+
+// ChunkedIndex is a precursor-mass-partitioned index (the shared-memory
+// internal partitioning of the paper's Fig. 1).
+type ChunkedIndex = slm.ChunkedIndex
+
+// BuildChunkedIndex constructs an internally partitioned index with the
+// given chunk count; closed-search queries only touch compatible chunks
+// and the transient construction footprint drops to one chunk's worth.
+func BuildChunkedIndex(peptides []string, params SearchParams, chunks int) (*ChunkedIndex, error) {
+	return slm.BuildChunked(peptides, params, chunks)
+}
+
+// SaveIndex writes an index to the named file in the checksummed SLMX
+// binary format.
+func SaveIndex(ix *Index, path string) error { return ix.SaveFile(path) }
+
+// LoadIndex reads an index written by SaveIndex.
+func LoadIndex(path string) (*Index, error) { return slm.LoadFile(path) }
+
+// --- the LBE layer ---
+
+// GroupConfig holds Algorithm 1 parameters.
+type GroupConfig = core.GroupConfig
+
+// Grouping is a clustering of the peptide database.
+type Grouping = core.Grouping
+
+// Policy is a data distribution policy (Chunk, Cyclic, Random).
+type Policy = core.Policy
+
+// Partition assigns clustered peptides to machines.
+type Partition = core.Partition
+
+// MappingTable maps (machine, virtual index) back to global entries.
+type MappingTable = core.MappingTable
+
+// Policy values.
+const (
+	Chunk  = core.Chunk
+	Cyclic = core.Cyclic
+	Random = core.Random
+)
+
+// DefaultGroupConfig returns the paper's grouping defaults (criterion 2,
+// d'=0.86, group size 20).
+func DefaultGroupConfig() GroupConfig { return core.DefaultGroupConfig() }
+
+// Group runs Algorithm 1 over the peptide sequences.
+func Group(peptides []string, cfg GroupConfig) (Grouping, error) {
+	return core.Group(peptides, cfg)
+}
+
+// PartitionClustered distributes clustered peptides over p machines.
+func PartitionClustered(g Grouping, p int, policy Policy, seed int64) (Partition, error) {
+	return core.PartitionClustered(g, p, policy, seed)
+}
+
+// PartitionWeighted distributes clustered peptides proportionally to
+// machine speeds (heterogeneous clusters, paper §VIII future work).
+func PartitionWeighted(g Grouping, weights []float64, policy Policy, seed int64) (Partition, error) {
+	return core.PartitionWeighted(g, weights, policy, seed)
+}
+
+// BuildMappingTable constructs the master's O(1) back-mapping table.
+func BuildMappingTable(g Grouping, p Partition) MappingTable {
+	return core.BuildMappingTable(g, p)
+}
+
+// --- distributed engine ---
+
+// EngineConfig assembles a distributed run's settings.
+type EngineConfig = engine.Config
+
+// Result is the master's view of a finished distributed search.
+type Result = engine.Result
+
+// PSM is a globally resolved peptide-to-spectrum match.
+type PSM = engine.PSM
+
+// RankStats carries one rank's load accounting.
+type RankStats = engine.RankStats
+
+// Comm is a message-passing endpoint (see NewWorld, NewTCPCluster).
+type Comm = mpi.Comm
+
+// DefaultEngineConfig returns the paper's setup with the cyclic policy.
+func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
+
+// RunSerial searches on a single shared-memory index (the baseline).
+func RunSerial(peptides []string, queries []Spectrum, cfg EngineConfig) (*Result, error) {
+	return engine.RunSerial(peptides, queries, cfg)
+}
+
+// RunInProcess runs the distributed search on p in-process ranks.
+func RunInProcess(p int, peptides []string, queries []Spectrum, cfg EngineConfig) (*Result, error) {
+	return engine.RunInProcess(p, peptides, queries, cfg)
+}
+
+// RunOverTCP runs the distributed search over loopback TCP links.
+func RunOverTCP(p int, peptides []string, queries []Spectrum, cfg EngineConfig) (*Result, error) {
+	return engine.RunOverTCP(p, peptides, queries, cfg)
+}
+
+// RunRank executes one rank of the distributed search on an existing
+// communicator (for multi-process deployments via HostTCP/JoinTCP).
+func RunRank(c Comm, peptides []string, queries []Spectrum, cfg EngineConfig) (*Result, error) {
+	return engine.RunRank(c, peptides, queries, cfg)
+}
+
+// NewWorld creates p in-process communicator endpoints.
+func NewWorld(p int) []Comm { return mpi.NewWorld(p).Comms() }
+
+// NewTCPCluster creates p endpoints meshed over loopback TCP.
+func NewTCPCluster(p int) ([]Comm, error) { return mpi.NewTCPCluster(p) }
+
+// HostTCP starts the rank-0 side of a multi-process TCP cluster.
+func HostTCP(addr string, size int) (Comm, error) { return mpi.HostTCP(addr, size) }
+
+// JoinTCP joins a multi-process TCP cluster as a worker rank.
+func JoinTCP(addr string) (Comm, error) { return mpi.JoinTCP(addr) }
+
+// --- metrics ---
+
+// LoadImbalance computes the paper's Eq. 1: LI = ∆Tmax / Tavg.
+func LoadImbalance(times []float64) float64 { return stats.LoadImbalance(times) }
+
+// WastedCPUTime computes §VI's Twst = N * ∆Tmax.
+func WastedCPUTime(times []float64) float64 { return stats.WastedCPUTime(times) }
+
+// WorkUnits projects per-rank deterministic work from run stats.
+func WorkUnits(sts []RankStats) []float64 { return engine.WorkUnits(sts) }
+
+// QueryTimes projects per-rank query wall times (seconds) from run stats.
+func QueryTimes(sts []RankStats) []float64 { return engine.QueryTimes(sts) }
+
+// --- synthetic data ---
+
+// ProteomeConfig controls synthetic proteome generation.
+type ProteomeConfig = gen.ProteomeConfig
+
+// SpectraConfig controls synthetic MS/MS run sampling.
+type SpectraConfig = gen.SpectraConfig
+
+// GroundTruth records the generating peptide of a synthetic spectrum.
+type GroundTruth = gen.GroundTruth
+
+// DefaultProteomeConfig returns a laptop-scale human-like proteome config.
+func DefaultProteomeConfig() ProteomeConfig { return gen.DefaultProteomeConfig() }
+
+// DefaultSpectraConfig returns a PXD009072-like synthetic run config.
+func DefaultSpectraConfig() SpectraConfig { return gen.DefaultSpectraConfig() }
+
+// GenerateProteome generates a synthetic protein database.
+func GenerateProteome(cfg ProteomeConfig) ([]FastaRecord, error) { return gen.Proteome(cfg) }
+
+// GenerateSpectra samples a synthetic MS/MS run from the peptides.
+func GenerateSpectra(peptides []string, cfg SpectraConfig) ([]Spectrum, []GroundTruth, error) {
+	return gen.Spectra(peptides, cfg)
+}
+
+// Preprocess applies the paper's query preprocessing (top-N peaks,
+// base-peak normalization).
+func Preprocess(s Spectrum, topN int) Spectrum { return spectrum.Preprocess(s, topN) }
+
+// --- validation (target-decoy FDR) ---
+
+// ScoredPSM is an identification entering FDR estimation.
+type ScoredPSM = fdr.PSM
+
+// Decoy returns the tryptic decoy of a peptide (reversed, C-terminal
+// residue fixed).
+func Decoy(seq string) string { return fdr.Decoy(seq) }
+
+// DecoyDB appends one decoy per target and returns the combined database
+// plus the index of the first decoy entry.
+func DecoyDB(targets []string) ([]string, int) { return fdr.DecoyDB(targets) }
+
+// QValues computes per-PSM q-values by target-decoy competition.
+func QValues(psms []ScoredPSM) []float64 { return fdr.QValues(psms) }
+
+// AcceptedAt counts target PSMs with q-value at or below the threshold.
+func AcceptedAt(psms []ScoredPSM, qvals []float64, threshold float64) (int, error) {
+	return fdr.AcceptedAt(psms, qvals, threshold)
+}
+
+// --- filtration baselines (§II-A) ---
+
+// CandidateFilter narrows a peptide database to candidates for a query.
+type CandidateFilter = filter.Filter
+
+// NewPrecursorFilter builds the §II-A1 precursor-mass filter.
+func NewPrecursorFilter(peptides []string, tol mass.Tolerance) (CandidateFilter, error) {
+	return filter.NewPrecursor(peptides, tol)
+}
+
+// NewTagFilter builds the §II-A2 sequence-tag filter.
+func NewTagFilter(peptides []string, cfg filter.TagConfig) (CandidateFilter, error) {
+	return filter.NewTag(peptides, cfg)
+}
+
+// DaltonTolerance returns an absolute tolerance of v Daltons.
+func DaltonTolerance(v float64) mass.Tolerance { return mass.Da(v) }
+
+// PPMTolerance returns a relative tolerance of v parts per million.
+func PPMTolerance(v float64) mass.Tolerance { return mass.Ppm(v) }
+
+// OpenTolerance returns the open-search (infinite) tolerance.
+func OpenTolerance() mass.Tolerance { return mass.Open() }
