@@ -25,7 +25,7 @@ func main() {
 	log.SetPrefix("lbe-bench: ")
 
 	var (
-		fig     = flag.String("fig", "all", "which experiment: all|setup|5|6|7|8|9|10|11|grouping|transport|hetero")
+		fig     = flag.String("fig", "all", "which experiment: all|setup|5|6|7|8|9|10|11|grouping|transport|hetero|filtration|session")
 		scale   = flag.Float64("scale", 1.0/1000, "fraction of the paper's index sizes")
 		ranks   = flag.Int("ranks", 16, "partitions for the LI figures")
 		queries = flag.Int("queries", 800, "query spectra per run")
@@ -53,6 +53,7 @@ func main() {
 		"transport":  bench.AblationTransport,
 		"hetero":     bench.AblationHeterogeneous,
 		"filtration": bench.FiltrationComparison,
+		"session":    bench.SessionThroughput,
 	}
 
 	var sb strings.Builder
@@ -69,7 +70,7 @@ func main() {
 	} else {
 		run, ok := runners[*fig]
 		if !ok {
-			log.Fatalf("unknown -fig %q; options: all setup 5 6 7 8 9 10 11 grouping transport hetero", *fig)
+			log.Fatalf("unknown -fig %q; options: all setup 5 6 7 8 9 10 11 grouping transport hetero filtration session", *fig)
 		}
 		f, err := run(o)
 		if err != nil {

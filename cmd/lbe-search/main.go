@@ -1,20 +1,28 @@
-// Command lbe-search runs the LBE-distributed peptide search: it reads a
-// peptide FASTA database and an MS2 query file, partitions the database
-// across a virtual cluster under the chosen policy, searches every query,
-// and writes a TSV report of peptide-to-spectrum matches. Per-rank load
-// statistics (the paper's Eq. 1 LI) are printed at the end.
+// Command lbe-search runs the LBE peptide search: it reads a peptide
+// FASTA database and an MS2 query file, builds a streaming Session that
+// partitions the database into shards under the chosen policy, pipelines
+// every query batch through it, and writes a TSV report of
+// peptide-to-spectrum matches. Per-shard load statistics (the paper's
+// Eq. 1 LI) are printed at the end. Ctrl-C cancels the pipelined query
+// phase cleanly; a second Ctrl-C force-kills non-cancellable phases.
 //
 // Usage:
 //
 //	lbe-search -db peptides.fasta -ms2 run.ms2 -ranks 16 -policy cyclic -out psms.tsv
+//
+// The -tcp flag runs the same search as a virtual cluster over loopback
+// TCP links instead of the in-process Session, and -serial runs the
+// single-index shared-memory baseline.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -32,14 +40,15 @@ func main() {
 		db      = flag.String("db", "", "peptide FASTA database (required)")
 		ms2In   = flag.String("ms2", "", "MS2 query file (required)")
 		out     = flag.String("out", "", "output TSV report ('-' or empty for stdout)")
-		ranks   = flag.Int("ranks", 4, "virtual cluster size (MPI processes)")
+		ranks   = flag.Int("ranks", 4, "shards (virtual cluster size)")
 		policy  = flag.String("policy", "cyclic", "distribution policy: chunk|cyclic|random")
 		seed    = flag.Int64("seed", 0, "seed for the random policy")
 		topK    = flag.Int("topk", 5, "PSMs reported per query")
 		maxMods = flag.Int("max-mods", 2, "max modified residues per peptide")
 		serial  = flag.Bool("serial", false, "run the shared-memory baseline instead")
-		tcp     = flag.Bool("tcp", false, "connect ranks over loopback TCP instead of channels")
-		threads = flag.Int("threads", 1, "intra-rank search threads (hybrid mode)")
+		tcp     = flag.Bool("tcp", false, "connect ranks over loopback TCP instead of a Session")
+		threads = flag.Int("threads", 1, "intra-shard search threads (hybrid mode)")
+		batch   = flag.Int("batch", 256, "pipeline batch size in queries (0 = one batch)")
 		weights = flag.String("weights", "", "comma-separated machine speeds for heterogeneous clusters")
 		withFDR = flag.Bool("fdr", false, "append reversed decoys and report q-values per PSM")
 		fdrCut  = flag.Float64("fdr-threshold", 0.01, "FDR acceptance threshold reported with -fdr")
@@ -78,6 +87,7 @@ func main() {
 	}
 	cfg.Policy = pol
 	cfg.ThreadsPerRank = *threads
+	cfg.BatchSize = *batch
 	if *weights != "" {
 		for _, tok := range strings.Split(*weights, ",") {
 			w, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
@@ -88,15 +98,34 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// After the first Ctrl-C cancels ctx, unregister so a second
+		// Ctrl-C force-kills even phases that do not watch the context
+		// (the index build, the -serial baseline).
+		<-ctx.Done()
+		stop()
+	}()
+
 	start := time.Now()
 	var res *lbe.Result
 	switch {
 	case *serial:
 		res, err = lbe.RunSerial(peptides, queries, cfg)
 	case *tcp:
-		res, err = lbe.RunOverTCP(*ranks, peptides, queries, cfg)
+		res, err = lbe.RunOverTCPCtx(ctx, *ranks, peptides, queries, cfg)
 	default:
-		res, err = lbe.RunInProcess(*ranks, peptides, queries, cfg)
+		var sess *lbe.Session
+		sess, err = lbe.NewSession(peptides, lbe.SessionConfig{Config: cfg, Shards: *ranks})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sess.Close()
+		log.Printf("session ready: %d shards, %d groups, index %.2f MB, built in %v",
+			sess.NumShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),
+			time.Since(start).Round(time.Millisecond))
+		res, err = sess.Search(ctx, queries)
 	}
 	if err != nil {
 		log.Fatal(err)

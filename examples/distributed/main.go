@@ -1,12 +1,13 @@
-// Distributed runs a complete LBE search on an 8-rank virtual cluster:
+// Distributed runs a complete LBE search over an 8-shard Session:
 // synthetic proteome, tryptic digestion, grouping, cyclic partitioning,
-// per-rank partial indexes, concurrent querying, and master-side merging
+// per-shard partial indexes, pipelined concurrent querying, and merging
 // through the O(1) mapping table (paper Figs. 3 and 4).
 //
 //	go run ./examples/distributed
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -43,20 +44,26 @@ func main() {
 	cfg := lbe.DefaultEngineConfig()
 	cfg.Params.Mods.MaxPerPep = 1
 	cfg.TopK = 5
+	cfg.BatchSize = 64 // pipeline granularity: search overlaps merging
 
 	start := time.Now()
-	res, err := lbe.RunInProcess(ranks, peptides, queries, cfg)
+	sess, err := lbe.NewSession(peptides, lbe.SessionConfig{Config: cfg, Shards: ranks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Search(context.Background(), queries)
 	if err != nil {
 		log.Fatal(err)
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("searched %d spectra against %d peptides on %d ranks in %v\n",
+	fmt.Printf("searched %d spectra against %d peptides on %d shards in %v\n",
 		len(queries), len(peptides), ranks, wall.Round(time.Millisecond))
 	fmt.Printf("LBE formed %d groups; mapping table %d KB; %d candidate PSMs scored\n\n",
 		res.Groups, res.MappingBytes/1024, res.CandidatePSMs())
 
-	fmt.Printf("%-5s %9s %9s %12s %13s\n", "rank", "peptides", "rows", "index MB", "work units")
+	fmt.Printf("%-5s %9s %9s %12s %13s\n", "shard", "peptides", "rows", "index MB", "work units")
 	for _, s := range res.Stats {
 		fmt.Printf("%-5d %9d %9d %12.2f %13d\n",
 			s.Rank, s.Peptides, s.Rows, float64(s.IndexBytes)/(1<<20),

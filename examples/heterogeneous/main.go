@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,12 @@ func main() {
 		cfg := lbe.DefaultEngineConfig()
 		cfg.Params.Mods.MaxPerPep = 1
 		cfg.Weights = weights
-		res, err := lbe.RunInProcess(ranks, peptides, queries, cfg)
+		sess, err := lbe.NewSession(peptides, lbe.SessionConfig{Config: cfg, Shards: ranks})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sess.Close()
+		res, err := sess.Search(context.Background(), queries)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,12 @@ func main() {
 		cfg.Params.Mods.MaxPerPep = 1
 		cfg.Policy = policy
 		cfg.Seed = 7
-		res, err := lbe.RunInProcess(16, peptides, queries, cfg)
+		sess, err := lbe.NewSession(peptides, lbe.SessionConfig{Config: cfg, Shards: 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sess.Search(context.Background(), queries)
+		sess.Close()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,7 +51,12 @@ func main() {
 		if !open {
 			cfg.Params.PrecursorTol = lbe.DefaultSearchParams().FragmentTol // narrow 0.05 Da window
 		}
-		res, err := lbe.RunInProcess(4, peptides, queries, cfg)
+		sess, err := lbe.NewSession(peptides, lbe.SessionConfig{Config: cfg, Shards: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sess.Close()
+		res, err := sess.Search(context.Background(), queries)
 		if err != nil {
 			log.Fatal(err)
 		}

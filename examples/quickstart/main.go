@@ -1,10 +1,11 @@
-// Quickstart: digest a few proteins, build a distributed search across a
-// 4-rank virtual cluster, and identify one noisy query spectrum.
+// Quickstart: digest a few proteins, build a streaming search Session
+// over a 4-shard LBE partition, and identify one noisy query spectrum.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,11 +40,19 @@ func main() {
 	fmt.Printf("query spectrum: %d peaks, precursor m/z %.4f (true peptide: %s)\n",
 		len(queries[0].Peaks), queries[0].PrecursorMZ, peptides[truth[0].Peptide])
 
-	// Distributed search on a 4-rank virtual cluster with LBE's cyclic
-	// partitioning.
-	cfg := lbe.DefaultEngineConfig()
-	cfg.TopK = 3
-	res, err := lbe.RunInProcess(4, peptides, queries, cfg)
+	// Build the search engine once: LBE grouping, cyclic partitioning
+	// into 4 shards, one partial index per shard. The Session then serves
+	// any number of query batches without rebuilding.
+	sesscfg := lbe.DefaultSessionConfig()
+	sesscfg.TopK = 3
+	sesscfg.Shards = 4
+	sess, err := lbe.NewSession(peptides, sesscfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	res, err := sess.Search(context.Background(), queries)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +63,9 @@ func main() {
 		if int(p.Peptide) == truth[0].Peptide {
 			marker = "   <- correct"
 		}
-		fmt.Printf("  %d. %-24s shared=%2d score=%7.3f (from rank %d)%s\n",
+		fmt.Printf("  %d. %-24s shared=%2d score=%7.3f (from shard %d)%s\n",
 			i+1, peptides[p.Peptide], p.Shared, p.Score, p.Origin, marker)
 	}
+	fmt.Printf("session served %d queries over %d shards (reusable for the next batch)\n",
+		sess.Searched(), sess.NumShards())
 }

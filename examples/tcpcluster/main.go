@@ -2,7 +2,9 @@
 // multi-process bootstrap protocol: a coordinator (rank 0) and workers
 // that join it, exactly as separate machines would. Here all ranks live in
 // one process for convenience; point workers at a remote address to span
-// hosts.
+// hosts. (For single-host serving, prefer the streaming Session API —
+// see examples/quickstart; every rank below runs the same channel-based
+// pipeline the Session uses.)
 //
 //	go run ./examples/tcpcluster
 package main

@@ -1,0 +1,3 @@
+module lbe
+
+go 1.22

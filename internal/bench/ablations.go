@@ -184,6 +184,7 @@ func All(o Options) ([]Figure, error) {
 		{"ablation-transport", AblationTransport},
 		{"ablation-heterogeneous", AblationHeterogeneous},
 		{"filtration", FiltrationComparison},
+		{"session", SessionThroughput},
 	}
 	var figs []Figure
 	for _, r := range runners {

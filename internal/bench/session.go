@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"lbe/internal/engine"
+)
+
+// SessionThroughput measures the streaming Session pipeline: the engine is
+// built once and the query run is then streamed through it at several
+// pipeline batch sizes, against the serial shared-memory baseline's query
+// phase. Small batches overlap preprocess, per-shard search and merge;
+// one huge batch degenerates to the unpipelined gather.
+func SessionThroughput(o Options) (Figure, error) {
+	fig := Figure{
+		ID:     "session",
+		Title:  "Streaming session throughput vs pipeline batch size",
+		XLabel: "batch size (queries)",
+		YLabel: "query wall ms",
+	}
+	c, err := o.corpusAt(paperSizesM[0])
+	if err != nil {
+		return fig, err
+	}
+	cfg := engineConfig()
+
+	serial, err := engine.RunSerial(c.Peptides, c.Queries, cfg)
+	if err != nil {
+		return fig, err
+	}
+	serialMs := float64(serial.Stats[0].QueryNanos) / 1e6
+	serialPSMs := 0
+	for _, qs := range serial.PSMs {
+		serialPSMs += len(qs)
+	}
+
+	sess, err := engine.NewSession(c.Peptides, engine.SessionConfig{Config: cfg, Shards: o.Ranks})
+	if err != nil {
+		return fig, err
+	}
+	defer sess.Close()
+
+	batches := []int{1, 16, 64, 256, len(c.Queries)}
+	session := Series{Label: "session pipeline"}
+	baseline := Series{Label: "serial baseline"}
+	for _, b := range batches {
+		st, err := sess.Stream(context.Background())
+		if err != nil {
+			return fig, err
+		}
+		start := time.Now()
+		go func() {
+			defer st.Close()
+			st.PushAll(c.Queries, b)
+		}()
+		got := 0
+		for br := range st.Results() {
+			for _, qs := range br.PSMs {
+				got += len(qs)
+			}
+		}
+		if err := st.Err(); err != nil {
+			return fig, err
+		}
+		wallMs := float64(time.Since(start).Nanoseconds()) / 1e6
+		if got != serialPSMs {
+			return fig, fmt.Errorf("bench: session batch %d returned %d PSMs, serial %d", b, got, serialPSMs)
+		}
+		session.X = append(session.X, float64(b))
+		session.Y = append(session.Y, wallMs)
+		baseline.X = append(baseline.X, float64(b))
+		baseline.Y = append(baseline.Y, serialMs)
+	}
+	fig.Series = []Series{session, baseline}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("%d shards, engine built once and reused across %d streamed runs; PSM counts equal the serial baseline's (%d)",
+			sess.NumShards(), len(batches), serialPSMs))
+	return fig, nil
+}

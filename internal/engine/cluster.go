@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -13,15 +15,28 @@ import (
 // transport) and returns the master's result. It is the workhorse of the
 // experiments and examples.
 func RunInProcess(p int, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	return RunInProcessCtx(context.Background(), p, peptides, queries, cfg)
+}
+
+// RunInProcessCtx is RunInProcess with cancellation: when ctx is cancelled
+// the communicators are closed, every rank unblocks promptly, and ctx's
+// error is returned.
+func RunInProcessCtx(ctx context.Context, p int, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
 	world := mpi.NewWorld(p)
 	defer world.Close()
-	return runOnComms(world.Comms(), peptides, queries, cfg)
+	return runOnComms(ctx, world.Comms(), peptides, queries, cfg)
 }
 
 // RunOverTCP runs the same search with the p ranks connected through real
 // loopback TCP links, demonstrating wire-level operation; used by the
 // transport ablation.
 func RunOverTCP(p int, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	return RunOverTCPCtx(context.Background(), p, peptides, queries, cfg)
+}
+
+// RunOverTCPCtx is RunOverTCP with cancellation semantics matching
+// RunInProcessCtx.
+func RunOverTCPCtx(ctx context.Context, p int, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
 	comms, err := mpi.NewTCPCluster(p)
 	if err != nil {
 		return nil, err
@@ -31,10 +46,34 @@ func RunOverTCP(p int, peptides []string, queries []spectrum.Experimental, cfg C
 			c.Close()
 		}
 	}()
-	return runOnComms(comms, peptides, queries, cfg)
+	return runOnComms(ctx, comms, peptides, queries, cfg)
 }
 
-func runOnComms(comms []mpi.Comm, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+// runOnComms drives one RunRankCtx goroutine per endpoint. On ctx
+// cancellation — or the first rank failure — it closes every endpoint so
+// ranks blocked in communicator receives (Barrier included) unblock
+// instead of deadlocking; both transports make Close idempotent, so the
+// caller's deferred cleanup stays safe.
+func runOnComms(outer context.Context, comms []mpi.Comm, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	// Every rank lives in this process and builds concurrently, so divide
+	// the construction worker budget across them (RunRank on a real
+	// multi-process cluster keeps the full per-machine budget).
+	cfg.BuildWorkers = divideBuildWorkers(cfg.BuildWorkers, len(comms))
+
+	ctx, cancel := context.WithCancel(outer)
+	defer cancel()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, c := range comms {
+				c.Close()
+			}
+		case <-done:
+		}
+	}()
+
 	var wg sync.WaitGroup
 	results := make([]*Result, len(comms))
 	errs := make([]error, len(comms))
@@ -42,14 +81,34 @@ func runOnComms(comms []mpi.Comm, peptides []string, queries []spectrum.Experime
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			results[r], errs[r] = RunRank(comms[r], peptides, queries, cfg)
+			results[r], errs[r] = RunRankCtx(ctx, comms[r], peptides, queries, cfg)
+			if errs[r] != nil {
+				cancel() // tear the cluster down so peers don't wait forever
+			}
 		}(r)
 	}
 	wg.Wait()
+	if err := outer.Err(); err != nil {
+		return nil, err
+	}
+	// Prefer a root-cause error over the ErrClosed/cancellation fallout
+	// the teardown induced on the surviving ranks.
+	var fallout error
 	for r, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("engine: rank %d failed: %w", r, err)
+		if err == nil {
+			continue
 		}
+		wrapped := fmt.Errorf("engine: rank %d failed: %w", r, err)
+		if errors.Is(err, mpi.ErrClosed) || errors.Is(err, context.Canceled) {
+			if fallout == nil {
+				fallout = wrapped
+			}
+			continue
+		}
+		return nil, wrapped
+	}
+	if fallout != nil {
+		return nil, fallout
 	}
 	if results[0] == nil {
 		return nil, fmt.Errorf("engine: master produced no result")

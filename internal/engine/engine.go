@@ -4,6 +4,13 @@
 // every rank concurrently, and merges results at the master through the
 // O(1) mapping table (paper §III-D/E, Fig. 3 and Fig. 4).
 //
+// Every run mode is built on one channel-based query pipeline (see
+// pipeline.go): queries flow in configurable batches through preprocess →
+// search → incremental merge stages with context cancellation threaded
+// through every stage. RunRankCtx wires the pipeline to a communicator;
+// Session keeps it hot over in-process shards for repeated streaming
+// query batches.
+//
 // The same search can be run serially (RunSerial) as the correctness
 // reference and as the shared-memory baseline for the memory-footprint
 // comparison.
@@ -38,10 +45,20 @@ type Config struct {
 	// Nil or empty means a symmetric cluster. When set, its length must
 	// equal the communicator size.
 	Weights []float64
-	// ResultBatch streams worker results to the master in batches of this
-	// many queries, overlapping search with communication; 0 sends one
-	// message per worker after the whole batch (the paper's description).
+	// BatchSize is the pipeline granularity: queries flow through the
+	// preprocess → search → merge stages in batches of this many spectra,
+	// overlapping compute with communication. 0 falls back to ResultBatch,
+	// and if that is also 0 the whole run is one batch (one message per
+	// worker, the paper's description). Results are identical for every
+	// batch size.
+	BatchSize int
+	// ResultBatch is the legacy name of BatchSize, honored when BatchSize
+	// is 0.
 	ResultBatch int
+	// BuildWorkers is the per-rank index construction parallelism; 0 uses
+	// one worker per available core. The built index is byte-identical
+	// for any worker count.
+	BuildWorkers int
 }
 
 // DefaultConfig mirrors the paper's experimental setup with the cyclic
@@ -126,7 +143,10 @@ func (r *Result) CandidatePSMs() int64 {
 	return n
 }
 
-// sortPSMs orders matches best-first with deterministic tie-breaking.
+// sortPSMs orders matches best-first with deterministic tie-breaking over
+// every merge-order-independent field, so the sorted output is identical
+// no matter which path (serial, session shards, distributed gather)
+// produced the unsorted slice.
 func sortPSMs(ms []PSM) {
 	sort.Slice(ms, func(i, j int) bool {
 		a, b := ms[i], ms[j]
@@ -136,7 +156,10 @@ func sortPSMs(ms []PSM) {
 		if a.Peptide != b.Peptide {
 			return a.Peptide < b.Peptide
 		}
-		return a.Precursor < b.Precursor
+		if a.Precursor != b.Precursor {
+			return a.Precursor < b.Precursor
+		}
+		return a.Shared > b.Shared
 	})
 }
 
@@ -146,7 +169,11 @@ func sortPSMs(ms []PSM) {
 func RunSerial(peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
 	start := time.Now()
 	buildStart := time.Now()
-	ix, err := slm.Build(peptides, cfg.Params)
+	// The baseline is serial end to end — including construction — so its
+	// BuildNanos stays meaningful as the calibration input of the
+	// execution-time model (internal/bench). The parallel build is proven
+	// byte-identical, so results are unaffected either way.
+	ix, err := slm.BuildSerial(peptides, cfg.Params)
 	if err != nil {
 		return nil, fmt.Errorf("engine: serial build: %w", err)
 	}

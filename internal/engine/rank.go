@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"lbe/internal/core"
@@ -27,52 +29,99 @@ type wireMatch struct {
 	Precursor float64
 }
 
-// RunRank executes one rank of the LBE distributed search. Every rank must
-// call it with the same peptide list, query list and configuration (in the
-// paper, every machine reads the clustered database and the MS2 dataset).
-// The master (rank 0) returns the merged Result; workers return nil.
-func RunRank(c mpi.Comm, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
-	start := time.Now()
-	rank, size := c.Rank(), c.Size()
+// lbePrep is the deterministic serial LBE preprocessing every rank (and
+// the Session) replicates: Algorithm 1 grouping plus the policy partition.
+type lbePrep struct {
+	grouping  core.Grouping
+	partition core.Partition
+	groupNs   int64
+	partNs    int64
+}
 
-	// --- LBE preprocessing (deterministic, replicated on every rank) ---
+// prepare runs grouping and partitioning of the peptide database over p
+// machines under cfg.
+func prepare(peptides []string, cfg Config, p int) (lbePrep, error) {
+	var out lbePrep
 	groupStart := time.Now()
-	var grouping core.Grouping
 	if cfg.RawOrder {
-		grouping = core.IdentityGrouping(len(peptides))
+		out.grouping = core.IdentityGrouping(len(peptides))
 	} else {
 		var err error
-		grouping, err = core.Group(peptides, cfg.Group)
+		out.grouping, err = core.Group(peptides, cfg.Group)
 		if err != nil {
-			return nil, fmt.Errorf("engine: rank %d grouping: %w", rank, err)
+			return out, fmt.Errorf("engine: grouping: %w", err)
 		}
 	}
-	groupNanos := time.Since(groupStart).Nanoseconds()
+	out.groupNs = time.Since(groupStart).Nanoseconds()
 
 	partStart := time.Now()
-	var partition core.Partition
 	var err error
 	if len(cfg.Weights) > 0 {
-		if len(cfg.Weights) != size {
-			return nil, fmt.Errorf("engine: %d weights for %d ranks", len(cfg.Weights), size)
+		if len(cfg.Weights) != p {
+			return out, fmt.Errorf("engine: %d weights for %d ranks", len(cfg.Weights), p)
 		}
-		partition, err = core.PartitionWeighted(grouping, cfg.Weights, cfg.Policy, cfg.Seed)
+		out.partition, err = core.PartitionWeighted(out.grouping, cfg.Weights, cfg.Policy, cfg.Seed)
 	} else {
-		partition, err = core.PartitionClustered(grouping, size, cfg.Policy, cfg.Seed)
+		out.partition, err = core.PartitionClustered(out.grouping, p, cfg.Policy, cfg.Seed)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("engine: rank %d partition: %w", rank, err)
+		return out, fmt.Errorf("engine: partition: %w", err)
 	}
-	partNanos := time.Since(partStart).Nanoseconds()
+	out.partNs = time.Since(partStart).Nanoseconds()
+	return out, nil
+}
 
-	// --- local partial index over this rank's peptides ---
-	mine := partition.GlobalIndices(grouping, rank)
+// localPeptides extracts machine m's partition of the peptide list.
+func (pr lbePrep) localPeptides(peptides []string, m int) []string {
+	mine := pr.partition.GlobalIndices(pr.grouping, m)
 	local := make([]string, len(mine))
 	for i, gidx := range mine {
 		local[i] = peptides[gidx]
 	}
+	return local
+}
+
+// RunRank executes one rank of the LBE distributed search. Every rank must
+// call it with the same peptide list, query list and configuration (in the
+// paper, every machine reads the clustered database and the MS2 dataset).
+// The master (rank 0) returns the merged Result; workers return nil.
+//
+// Each rank builds its partial index with the full cfg.BuildWorkers budget
+// (default: one worker per core), which is right when ranks are separate
+// machines. Callers running several ranks inside one process should set
+// cfg.BuildWorkers to divide the cores among them; the in-process cluster
+// runners do this automatically.
+func RunRank(c mpi.Comm, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	return RunRankCtx(context.Background(), c, peptides, queries, cfg)
+}
+
+// RunRankCtx is RunRank with cancellation: when ctx is cancelled the
+// pipeline stages shut down between batches and the rank returns ctx's
+// error. A rank blocked in a communicator receive is only released when
+// the communicator is closed; the cluster runners (RunInProcessCtx,
+// RunOverTCPCtx) do that automatically on cancellation.
+func RunRankCtx(ctx context.Context, c mpi.Comm, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	start := time.Now()
+	rank, size := c.Rank(), c.Size()
+
+	// Internal cancellation lets the master stop its own pipeline the
+	// moment merging fails, instead of searching the rest of the run just
+	// to report the error. Remote messages are still drained so no
+	// goroutine is left parked in a communicator receive.
+	outer := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// --- LBE preprocessing (deterministic, replicated on every rank) ---
+	prep, err := prepare(peptides, cfg, size)
+	if err != nil {
+		return nil, fmt.Errorf("engine: rank %d: %w", rank, err)
+	}
+
+	// --- local partial index over this rank's peptides ---
+	local := prep.localPeptides(peptides, rank)
 	buildStart := time.Now()
-	ix, err := slm.Build(local, cfg.Params)
+	ix, err := slm.BuildWorkers(local, cfg.Params, cfg.BuildWorkers)
 	if err != nil {
 		return nil, fmt.Errorf("engine: rank %d build: %w", rank, err)
 	}
@@ -82,143 +131,123 @@ func RunRank(c mpi.Comm, peptides []string, queries []spectrum.Experimental, cfg
 	// metadata after construction (paper §III-D).
 	var table core.MappingTable
 	if rank == 0 {
-		table = core.BuildMappingTable(grouping, partition)
+		table = core.BuildMappingTable(prep.grouping, prep.partition)
 	}
 
-	// --- distributed query phase ---
+	// --- pipelined query phase ---
 	if err := mpi.Barrier(c); err != nil {
 		return nil, err
 	}
 	queryPhaseStart := time.Now()
 
-	qs := spectrum.PreprocessAll(queries, cfg.Params.MaxQueryPeaks)
-
-	// The query batch is processed in slabs. With ResultBatch <= 0 there
-	// is a single slab (one result message per worker, as the paper
-	// describes); with ResultBatch = K each worker streams results every
-	// K queries, overlapping search with communication.
-	slab := cfg.ResultBatch
-	if slab <= 0 {
-		slab = len(qs)
-	}
-	if slab < 1 {
-		slab = 1
-	}
-
-	flatten := func(offset int, matches [][]slm.Match) []wireMatch {
-		wire := make([]wireMatch, 0, 256)
-		for q, ms := range matches {
-			for _, m := range ms {
-				wire = append(wire, wireMatch{
-					Query:     int32(offset + q),
-					Virtual:   m.Peptide,
-					Shared:    m.Shared,
-					Score:     m.Score,
-					Precursor: m.Precursor,
-				})
-			}
-		}
-		return wire
-	}
+	bsize := cfg.effectiveBatch(len(queries))
+	nb := numBatches(len(queries), bsize)
+	src := batchSource(ctx, queries, bsize)
+	pp := preprocessStage(ctx, src, cfg.Params.MaxQueryPeaks)
+	sr := searchStage(ctx, ix, pp, cfg.ThreadsPerRank)
 
 	var work slm.Work
 	var queryNanos int64
-	var localWire [][]wireMatch // master keeps its own slabs
-	numSlabs := 0
-	for off := 0; off < len(qs); off += slab {
-		end := off + slab
-		if end > len(qs) {
-			end = len(qs)
-		}
-		queryStart := time.Now()
-		matches, w := searchAll(ix, qs[off:end], cfg.ThreadsPerRank)
-		queryNanos += time.Since(queryStart).Nanoseconds()
-		work.Add(w)
-		wire := flatten(off, matches)
-		numSlabs++
-		if rank != 0 {
-			if err := mpi.SendGob(c, 0, tagResults, wire); err != nil {
-				return nil, err
-			}
-		} else {
-			localWire = append(localWire, wire)
-		}
-	}
-	// The no-query edge case still needs one (empty) exchange so the
-	// master's receive count is deterministic.
-	if numSlabs == 0 {
-		numSlabs = 1
-		if rank != 0 {
-			if err := mpi.SendGob(c, 0, tagResults, []wireMatch{}); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	myStats := RankStats{
-		Rank:           rank,
-		Peptides:       len(local),
-		Rows:           ix.NumRows(),
-		IndexBytes:     ix.MemoryBytes(),
-		BuildPeakBytes: ix.BuildPeakBytes(),
-		BuildNanos:     buildNanos,
-		QueryNanos:     queryNanos,
-		Work:           work,
-	}
 
 	if rank != 0 {
+		// Worker: stream each searched batch to the master as soon as it
+		// is ready, overlapping the next batch's search with the send.
+		for s := range sr {
+			work.Add(s.work)
+			queryNanos += s.nanos
+			if err := mpi.SendGob(c, 0, tagResults, flattenWire(s.offset, s.matches)); err != nil {
+				return nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		myStats := rankStats(rank, local, ix, buildNanos, queryNanos, work)
 		if err := mpi.SendGob(c, 0, tagStats, myStats); err != nil {
 			return nil, err
 		}
 		return nil, nil
 	}
 
-	// --- master: gather, map virtual->global, merge ---
+	// --- master: incremental merge, overlapped with its own search ---
 	res := &Result{
 		PSMs:           make([][]PSM, len(queries)),
 		Stats:          make([]RankStats, size),
 		MappingBytes:   table.MemoryBytes(),
-		GroupingNanos:  groupNanos,
-		PartitionNanos: partNanos,
-		Groups:         grouping.NumGroups(),
+		GroupingNanos:  prep.groupNs,
+		PartitionNanos: prep.partNs,
+		Groups:         prep.grouping.NumGroups(),
 	}
-	res.Stats[0] = myStats
-	appendWire := func(from int, ws []wireMatch) error {
-		for _, w := range ws {
-			if int(w.Query) < 0 || int(w.Query) >= len(queries) {
-				return fmt.Errorf("engine: rank %d sent query index %d out of range", from, w.Query)
+
+	type gathered struct {
+		from int
+		wire []wireMatch
+		err  error
+	}
+	mergeCh := make(chan gathered, size)
+	var producers sync.WaitGroup
+
+	// Local feeder: the master's own searched batches.
+	producers.Add(1)
+	go func() {
+		defer producers.Done()
+		for s := range sr {
+			work.Add(s.work)
+			queryNanos += s.nanos
+			if !send(ctx, mergeCh, gathered{from: 0, wire: flattenWire(s.offset, s.matches)}) {
+				return
 			}
-			gidx, err := table.Lookup(from, w.Virtual)
+		}
+	}()
+	// Remote drainer: every worker sends exactly nb result messages;
+	// accept them from any source so fast workers are never blocked
+	// behind slow ones. Sends below are unconditional (no ctx select):
+	// the merge loop consumes mergeCh until it closes even after an
+	// error, so the drainer always runs to completion instead of leaking
+	// into a receive on a still-open communicator.
+	producers.Add(1)
+	go func() {
+		defer producers.Done()
+		for received := 0; received < (size-1)*nb; received++ {
+			var ws []wireMatch
+			src, err := mpi.RecvGob(c, mpi.AnySource, tagResults, &ws)
 			if err != nil {
-				return fmt.Errorf("engine: mapping rank %d: %w", from, err)
+				mergeCh <- gathered{err: err}
+				return
 			}
-			res.PSMs[w.Query] = append(res.PSMs[w.Query], PSM{
-				Peptide:   gidx,
-				Shared:    w.Shared,
-				Score:     w.Score,
-				Precursor: w.Precursor,
-				Origin:    from,
-			})
+			mergeCh <- gathered{from: src, wire: ws}
 		}
-		return nil
-	}
-	for _, wire := range localWire {
-		if err := appendWire(0, wire); err != nil {
-			return nil, err
+	}()
+	go func() {
+		producers.Wait()
+		close(mergeCh)
+	}()
+
+	var mergeErr error
+	for g := range mergeCh {
+		if mergeErr != nil {
+			continue // discard: drain the remote producer to completion
 		}
-	}
-	// Every worker sends exactly numSlabs result messages; drain them from
-	// any source so fast workers are not blocked behind slow ones.
-	for received := 0; received < (size-1)*numSlabs; received++ {
-		var ws []wireMatch
-		src, err := mpi.RecvGob(c, mpi.AnySource, tagResults, &ws)
-		if err != nil {
-			return nil, err
+		if g.err != nil {
+			mergeErr = g.err
+		} else {
+			mergeErr = mergeWire(res, table, g.from, g.wire, len(queries))
 		}
-		if err := appendWire(src, ws); err != nil {
-			return nil, err
+		if mergeErr != nil {
+			// Stop the master's own (expensive) search pipeline; the
+			// drainer keeps receiving the remaining (cheap) messages so
+			// the communicator is left without a parked receiver.
+			cancel()
 		}
 	}
+	if mergeErr != nil {
+		return nil, mergeErr
+	}
+	if err := outer.Err(); err != nil {
+		return nil, err
+	}
+
+	res.Stats[0] = rankStats(0, local, ix, buildNanos, queryNanos, work)
 	for peer := 1; peer < size; peer++ {
 		var st RankStats
 		if _, err := mpi.RecvGob(c, peer, tagStats, &st); err != nil {
@@ -236,4 +265,40 @@ func RunRank(c mpi.Comm, peptides []string, queries []spectrum.Experimental, cfg
 	res.QueryNanos = time.Since(queryPhaseStart).Nanoseconds()
 	res.TotalNanos = time.Since(start).Nanoseconds()
 	return res, nil
+}
+
+// mergeWire resolves one gathered wire batch through the mapping table
+// into the master result.
+func mergeWire(res *Result, table core.MappingTable, from int, wire []wireMatch, nQueries int) error {
+	for _, w := range wire {
+		if int(w.Query) < 0 || int(w.Query) >= nQueries {
+			return fmt.Errorf("engine: rank %d sent query index %d out of range", from, w.Query)
+		}
+		gidx, err := table.Lookup(from, w.Virtual)
+		if err != nil {
+			return fmt.Errorf("engine: mapping rank %d: %w", from, err)
+		}
+		res.PSMs[w.Query] = append(res.PSMs[w.Query], PSM{
+			Peptide:   gidx,
+			Shared:    w.Shared,
+			Score:     w.Score,
+			Precursor: w.Precursor,
+			Origin:    from,
+		})
+	}
+	return nil
+}
+
+// rankStats assembles one rank's load accounting.
+func rankStats(rank int, local []string, ix *slm.Index, buildNanos, queryNanos int64, work slm.Work) RankStats {
+	return RankStats{
+		Rank:           rank,
+		Peptides:       len(local),
+		Rows:           ix.NumRows(),
+		IndexBytes:     ix.MemoryBytes(),
+		BuildPeakBytes: ix.BuildPeakBytes(),
+		BuildNanos:     buildNanos,
+		QueryNanos:     queryNanos,
+		Work:           work,
+	}
 }

@@ -1,0 +1,471 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"lbe/internal/core"
+	"lbe/internal/slm"
+	"lbe/internal/spectrum"
+)
+
+// SessionConfig configures a Session: the engine knobs plus the number of
+// in-process shards the database is partitioned into.
+type SessionConfig struct {
+	Config
+	// Shards is the number of LBE partitions held in-process (the virtual
+	// cluster size); 0 or negative means 1. Results are identical for
+	// every shard count.
+	Shards int
+}
+
+// DefaultSessionConfig returns a traffic-serving setup: the paper's cyclic
+// policy, one shard, one search thread per available core, and 256-query
+// pipeline batches.
+func DefaultSessionConfig() SessionConfig {
+	cfg := DefaultConfig()
+	cfg.ThreadsPerRank = runtime.GOMAXPROCS(0)
+	cfg.BatchSize = 256
+	return SessionConfig{Config: cfg, Shards: 1}
+}
+
+// Session owns a built search engine: the LBE grouping, the policy
+// partition, one SLM index per shard, and the master mapping table. It is
+// constructed once with NewSession and then serves any number of query
+// batches — through Search for whole runs or Stream for continuous
+// streaming — without rebuilding anything.
+//
+// A Session is safe for concurrent use: multiple Streams and Searches may
+// run at once over the same immutable indexes.
+type Session struct {
+	cfg    Config
+	shards []*slm.Index
+	table  core.MappingTable
+
+	groups        int
+	groupingNanos int64
+	partitionNs   int64
+	build         []RankStats // per-shard construction stats (zero query load)
+
+	mu       sync.Mutex
+	closed   bool
+	searched int64       // lifetime queries served
+	load     []RankStats // lifetime per-shard load (build + accumulated query work)
+}
+
+// NewSession groups and partitions the peptide database under cfg and
+// builds every shard's partial index (shards build concurrently, each with
+// cfg.BuildWorkers construction workers).
+func NewSession(peptides []string, cfg SessionConfig) (*Session, error) {
+	p := cfg.Shards
+	if p < 1 {
+		p = 1
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: session: %w", err)
+	}
+	prep, err := prepare(peptides, cfg.Config, p)
+	if err != nil {
+		return nil, fmt.Errorf("engine: session: %w", err)
+	}
+
+	s := &Session{
+		cfg:           cfg.Config,
+		shards:        make([]*slm.Index, p),
+		groups:        prep.grouping.NumGroups(),
+		groupingNanos: prep.groupNs,
+		partitionNs:   prep.partNs,
+		build:         make([]RankStats, p),
+	}
+	// Shards build concurrently, so split the construction worker budget
+	// across them rather than multiplying it (the index is byte-identical
+	// for any worker count).
+	buildWorkers := divideBuildWorkers(cfg.BuildWorkers, p)
+
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for m := 0; m < p; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			local := prep.localPeptides(peptides, m)
+			buildStart := time.Now()
+			ix, err := slm.BuildWorkers(local, cfg.Params, buildWorkers)
+			if err != nil {
+				errs[m] = fmt.Errorf("engine: session shard %d build: %w", m, err)
+				return
+			}
+			s.shards[m] = ix
+			s.build[m] = rankStats(m, local, ix, time.Since(buildStart).Nanoseconds(), 0, slm.Work{})
+		}(m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.table = core.BuildMappingTable(prep.grouping, prep.partition)
+	s.load = append([]RankStats(nil), s.build...)
+	return s, nil
+}
+
+// NumShards returns the number of in-process partitions.
+func (s *Session) NumShards() int { return len(s.build) }
+
+// Groups returns the number of LBE groups formed over the database.
+func (s *Session) Groups() int { return s.groups }
+
+// MappingBytes returns the master mapping table footprint.
+func (s *Session) MappingBytes() int { return s.table.MemoryBytes() }
+
+// IndexBytes returns the total resident size of the shard indexes.
+func (s *Session) IndexBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ix := range s.shards {
+		n += ix.MemoryBytes()
+	}
+	return n
+}
+
+// Searched returns the lifetime number of queries this session served.
+func (s *Session) Searched() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.searched
+}
+
+// Stats returns the lifetime per-shard load: construction stats plus the
+// query work accumulated over every Search and Stream so far.
+func (s *Session) Stats() []RankStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RankStats(nil), s.load...)
+}
+
+// Close releases the shard indexes. Streams opened later fail; streams
+// already open keep their index references and drain normally.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.shards = nil
+}
+
+// record accumulates one merged batch into the lifetime load accounting.
+func (s *Session) record(nq int, works []slm.Work, nanos []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.searched += int64(nq)
+	for m := range works {
+		s.load[m].Work.Add(works[m])
+		s.load[m].QueryNanos += nanos[m]
+	}
+}
+
+// BatchResult is one merged batch emitted by a Stream, in push order.
+type BatchResult struct {
+	Seq    int     // 0-based batch sequence number
+	Offset int     // global index of the batch's first query
+	PSMs   [][]PSM // per query in the batch, best-first, TopK applied
+
+	// ShardWork and ShardNanos give the deterministic work and search
+	// wall time each shard spent on this batch.
+	ShardWork  []slm.Work
+	ShardNanos []int64
+}
+
+// Work returns the batch's total deterministic work across shards.
+func (br BatchResult) Work() slm.Work {
+	var w slm.Work
+	for _, sw := range br.ShardWork {
+		w.Add(sw)
+	}
+	return w
+}
+
+// shardSearched is one batch searched on every shard, pre-merge.
+type shardSearched struct {
+	batch
+	matches [][][]slm.Match // [shard][query in batch]
+	works   []slm.Work
+	nanos   []int64
+}
+
+// Stream is a continuous query pipeline over a Session: batches pushed
+// with Push flow through preprocess → per-shard search → merge stages and
+// come out of Results in push order, so several batches are in flight at
+// once. One goroutine pushes; any number may consume Results.
+type Stream struct {
+	session *Session
+	shards  []*slm.Index // snapshot, so Session.Close cannot race a live stream
+	ctx     context.Context
+	cancel  context.CancelFunc
+	in      chan batch
+	out     chan BatchResult
+
+	seq    int
+	pushed int
+	closed bool
+
+	mu  sync.Mutex
+	err error
+}
+
+// Stream opens a streaming pipeline over the session. Cancel ctx to abort:
+// every stage shuts down promptly and Err reports the cancellation.
+func (s *Session) Stream(ctx context.Context) (*Stream, error) {
+	s.mu.Lock()
+	closed := s.closed
+	shards := s.shards
+	s.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("engine: session is closed")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	st := &Stream{
+		session: s,
+		shards:  shards,
+		ctx:     ctx,
+		cancel:  cancel,
+		in:      make(chan batch, pipeDepth),
+		out:     make(chan BatchResult, pipeDepth),
+	}
+	pp := preprocessStage(ctx, st.in, s.cfg.Params.MaxQueryPeaks)
+	sr := st.searchShardsStage(pp)
+	go st.mergeLoop(sr)
+	return st, nil
+}
+
+// searchShardsStage fans each batch out over every shard index and emits
+// the collected per-shard matches. The ThreadsPerRank budget is divided
+// across the concurrently-searching shards so a batch never runs more
+// than ~ThreadsPerRank scoring goroutines (results are invariant to the
+// thread count).
+func (st *Stream) searchShardsStage(in <-chan batch) <-chan shardSearched {
+	s := st.session
+	threads := s.cfg.ThreadsPerRank
+	if n := len(st.shards); n > 1 && threads > 1 {
+		threads = (threads + n - 1) / n
+	}
+	out := make(chan shardSearched, pipeDepth)
+	go func() {
+		defer close(out)
+		for {
+			b, ok := recv(st.ctx, in)
+			if !ok {
+				return
+			}
+			ss := shardSearched{
+				batch:   b,
+				matches: make([][][]slm.Match, len(st.shards)),
+				works:   make([]slm.Work, len(st.shards)),
+				nanos:   make([]int64, len(st.shards)),
+			}
+			var wg sync.WaitGroup
+			for m, ix := range st.shards {
+				wg.Add(1)
+				go func(m int, ix *slm.Index) {
+					defer wg.Done()
+					start := time.Now()
+					ss.matches[m], ss.works[m] = searchAll(ix, b.qs, threads)
+					ss.nanos[m] = time.Since(start).Nanoseconds()
+				}(m, ix)
+			}
+			wg.Wait()
+			if !send(st.ctx, out, ss) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// mergeLoop is the stream's final stage: it maps every shard-local match
+// to its global peptide through the mapping table, sorts, applies TopK,
+// and emits the merged batch.
+func (st *Stream) mergeLoop(in <-chan shardSearched) {
+	// Release the stream's derived context once the pipeline finishes, so
+	// long-lived parents don't accumulate one cancelCtx per stream served.
+	defer st.cancel()
+	defer close(st.out)
+	s := st.session
+	for {
+		ss, ok := recv(st.ctx, in)
+		if !ok {
+			if err := st.ctx.Err(); err != nil {
+				st.fail(err)
+			}
+			return
+		}
+		psms := make([][]PSM, len(ss.qs))
+		for q := range ss.qs {
+			var merged []PSM
+			for m := range ss.matches {
+				for _, match := range ss.matches[m][q] {
+					gidx, err := s.table.Lookup(m, match.Peptide)
+					if err != nil {
+						st.fail(fmt.Errorf("engine: mapping shard %d: %w", m, err))
+						return
+					}
+					merged = append(merged, PSM{
+						Peptide:   gidx,
+						Shared:    match.Shared,
+						Score:     match.Score,
+						Precursor: match.Precursor,
+						Origin:    m,
+					})
+				}
+			}
+			sortPSMs(merged)
+			if s.cfg.TopK > 0 && len(merged) > s.cfg.TopK {
+				merged = merged[:s.cfg.TopK]
+			}
+			psms[q] = merged
+		}
+		s.record(len(ss.qs), ss.works, ss.nanos)
+		br := BatchResult{
+			Seq:        ss.seq,
+			Offset:     ss.offset,
+			PSMs:       psms,
+			ShardWork:  ss.works,
+			ShardNanos: ss.nanos,
+		}
+		if !send(st.ctx, st.out, br) {
+			if err := st.ctx.Err(); err != nil {
+				st.fail(err)
+			}
+			return
+		}
+	}
+}
+
+// fail records the stream's first error and tears the pipeline down.
+func (st *Stream) fail(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.mu.Unlock()
+	st.cancel()
+}
+
+// Push submits one batch of query spectra to the pipeline. It blocks only
+// when the pipeline is full, and returns an error if the stream was closed
+// or its context cancelled. Push is not safe for concurrent use.
+func (st *Stream) Push(qs []spectrum.Experimental) error {
+	if st.closed {
+		return fmt.Errorf("engine: push on closed stream")
+	}
+	// Fail fast on an already-dead pipeline. This narrows — but cannot
+	// close — the window where a cancellation lands mid-send and a batch
+	// is accepted that no stage will consume; a producer needing exact
+	// accounting must pair Pushes with received BatchResults.
+	if st.ctx.Err() != nil {
+		if err := st.Err(); err != nil {
+			return err
+		}
+		return st.ctx.Err()
+	}
+	b := batch{seq: st.seq, offset: st.pushed, qs: qs}
+	if !send(st.ctx, st.in, b) {
+		if err := st.Err(); err != nil {
+			return err
+		}
+		return st.ctx.Err()
+	}
+	st.seq++
+	st.pushed += len(qs)
+	return nil
+}
+
+// PushAll slices qs into size-query batches and pushes each one,
+// returning the first push error (size < 1 pushes a single batch).
+func (st *Stream) PushAll(qs []spectrum.Experimental, size int) error {
+	if size < 1 {
+		size = len(qs)
+	}
+	var err error
+	forEachBatch(qs, size, func(_ int, b []spectrum.Experimental) bool {
+		err = st.Push(b)
+		return err == nil
+	})
+	return err
+}
+
+// Close marks the input end of the stream: in-flight batches drain and the
+// Results channel closes after the last one.
+func (st *Stream) Close() {
+	if !st.closed {
+		st.closed = true
+		close(st.in)
+	}
+}
+
+// Cancel aborts the stream immediately: every pipeline stage shuts down,
+// Results closes, and Err reports the cancellation. A consumer that
+// abandons Results before draining it must call Cancel (or cancel the
+// stream's context) — Close alone only ends the input side, leaving
+// in-flight batches blocked on the undrained output.
+func (st *Stream) Cancel() { st.cancel() }
+
+// Results returns the channel of merged batches, emitted in push order.
+// It is closed after Close once every in-flight batch has drained, or on
+// cancellation.
+func (st *Stream) Results() <-chan BatchResult { return st.out }
+
+// Err returns the first error the stream hit (nil while healthy). Check
+// it after Results closes.
+func (st *Stream) Err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
+}
+
+// Search runs one whole query set through a fresh stream and assembles
+// the master Result, exactly equal to RunSerial's reference output (up to
+// PSM Origin, which records the owning shard). The session's indexes are
+// reused as-is; nothing is rebuilt.
+func (s *Session) Search(ctx context.Context, queries []spectrum.Experimental) (*Result, error) {
+	start := time.Now()
+	st, err := s.Stream(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer st.cancel()
+
+	go func() {
+		defer st.Close()
+		st.PushAll(queries, s.cfg.effectiveBatch(len(queries)))
+	}()
+
+	res := &Result{
+		PSMs:           make([][]PSM, len(queries)),
+		Stats:          append([]RankStats(nil), s.build...),
+		MappingBytes:   s.table.MemoryBytes(),
+		GroupingNanos:  s.groupingNanos,
+		PartitionNanos: s.partitionNs,
+		Groups:         s.groups,
+	}
+	for br := range st.Results() {
+		copy(res.PSMs[br.Offset:], br.PSMs)
+		for m := range br.ShardWork {
+			res.Stats[m].Work.Add(br.ShardWork[m])
+			res.Stats[m].QueryNanos += br.ShardNanos[m]
+		}
+	}
+	if err := st.Err(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.QueryNanos = time.Since(start).Nanoseconds()
+	res.TotalNanos = time.Since(start).Nanoseconds()
+	return res, nil
+}

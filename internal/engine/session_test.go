@@ -1,0 +1,481 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"lbe/internal/core"
+	"lbe/internal/digest"
+	"lbe/internal/gen"
+	"lbe/internal/spectrum"
+)
+
+// requireSamePSMs asserts that got matches want query-for-query and
+// PSM-for-PSM in every field except Origin (which records provenance and
+// legitimately differs between a serial run and a sharded one).
+func requireSamePSMs(t *testing.T, label string, got, want [][]PSM) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d queries, want %d", label, len(got), len(want))
+	}
+	for q := range want {
+		if len(got[q]) != len(want[q]) {
+			t.Fatalf("%s query %d: %d PSMs, want %d", label, q, len(got[q]), len(want[q]))
+		}
+		for i := range want[q] {
+			g, w := got[q][i], want[q][i]
+			if g.Peptide != w.Peptide || g.Shared != w.Shared || g.Score != w.Score || g.Precursor != w.Precursor {
+				t.Fatalf("%s query %d psm %d: %+v, want %+v", label, q, i, g, w)
+			}
+		}
+	}
+}
+
+// TestSessionMatchesSerial is the tentpole equivalence guarantee: the
+// streaming Session returns PSMs exactly equal to the RunSerial reference
+// for every policy × shard count × thread count × batch size combination.
+func TestSessionMatchesSerial(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 10, 2, 60)
+	base := lightConfig()
+
+	serial, err := RunSerial(peptides, queries, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPSMs := 0
+	for _, qs := range serial.PSMs {
+		nPSMs += len(qs)
+	}
+	if nPSMs == 0 {
+		t.Fatal("serial reference found no PSMs; dataset too small")
+	}
+
+	type knobs struct{ threads, batch int }
+	for _, policy := range []core.Policy{core.Chunk, core.Cyclic, core.Random, core.RandomWithinGroups} {
+		for _, shards := range []int{1, 3} {
+			for _, k := range []knobs{{1, 1}, {2, 7}, {4, 0}, {3, 1000}} {
+				cfg := SessionConfig{Config: base, Shards: shards}
+				cfg.Policy = policy
+				cfg.Seed = 5
+				cfg.ThreadsPerRank = k.threads
+				cfg.BatchSize = k.batch
+				label := fmt.Sprintf("%v/shards=%d/threads=%d/batch=%d", policy, shards, k.threads, k.batch)
+				sess, err := NewSession(peptides, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				res, err := sess.Search(context.Background(), queries)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				requireSamePSMs(t, label, res.PSMs, serial.PSMs)
+				if res.CandidatePSMs() != serial.CandidatePSMs() {
+					t.Fatalf("%s: scored %d, serial %d", label, res.CandidatePSMs(), serial.CandidatePSMs())
+				}
+				sess.Close()
+			}
+		}
+	}
+}
+
+// TestSessionTopKMatchesSerial covers the truncated-report path end to end.
+func TestSessionTopKMatchesSerial(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 8, 2, 30)
+	cfg := lightConfig()
+	cfg.TopK = 3
+	serial, err := RunSerial(peptides, queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := SessionConfig{Config: cfg, Shards: 4}
+	scfg.BatchSize = 8
+	scfg.ThreadsPerRank = 2
+	sess, err := NewSession(peptides, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Search(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamePSMs(t, "topk", res.PSMs, serial.PSMs)
+}
+
+// TestSessionServesRepeatedBatches: the point of a Session — repeated
+// searches over the same built engine return identical results and the
+// load accounting accumulates.
+func TestSessionServesRepeatedBatches(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 8, 2, 24)
+	cfg := SessionConfig{Config: lightConfig(), Shards: 3}
+	cfg.BatchSize = 5
+	sess, err := NewSession(peptides, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	a, err := sess.Search(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.Search(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamePSMs(t, "repeat", b.PSMs, a.PSMs)
+	if got := sess.Searched(); got != int64(2*len(queries)) {
+		t.Errorf("lifetime searched = %d, want %d", got, 2*len(queries))
+	}
+	sts := sess.Stats()
+	if len(sts) != 3 {
+		t.Fatalf("lifetime stats for %d shards", len(sts))
+	}
+	var work int64
+	for _, s := range sts {
+		work += s.Work.Scored
+	}
+	if work != 2*a.CandidatePSMs() {
+		t.Errorf("lifetime scored %d, want %d", work, 2*a.CandidatePSMs())
+	}
+}
+
+// TestStreamOrderingAndEquivalence: batches pushed through a Stream come
+// out in push order with the offsets and contents Search would produce.
+func TestStreamOrderingAndEquivalence(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 8, 2, 33)
+	cfg := SessionConfig{Config: lightConfig(), Shards: 2}
+	cfg.ThreadsPerRank = 2
+	sess, err := NewSession(peptides, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	want, err := sess.Search(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := sess.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uneven batch sizes exercise offset bookkeeping.
+	go func() {
+		defer st.Close()
+		sizes := []int{1, 7, 3, 12, 5, 100}
+		off := 0
+		for _, n := range sizes {
+			if off >= len(queries) {
+				return
+			}
+			end := off + n
+			if end > len(queries) {
+				end = len(queries)
+			}
+			if st.Push(queries[off:end]) != nil {
+				return
+			}
+			off = end
+		}
+	}()
+
+	got := make([][]PSM, len(queries))
+	seq := 0
+	covered := 0
+	for br := range st.Results() {
+		if br.Seq != seq {
+			t.Fatalf("batch seq %d arrived, want %d", br.Seq, seq)
+		}
+		if br.Offset != covered {
+			t.Fatalf("batch offset %d, want %d", br.Offset, covered)
+		}
+		copy(got[br.Offset:], br.PSMs)
+		covered += len(br.PSMs)
+		seq++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if covered != len(queries) {
+		t.Fatalf("stream covered %d of %d queries", covered, len(queries))
+	}
+	requireSamePSMs(t, "stream", got, want.PSMs)
+}
+
+// waitForGoroutines polls until the goroutine count drops back to at most
+// base (allowing the runtime's own background goroutines to come and go).
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d alive, want <= %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamCancellation: cancelling a stream's context shuts every
+// pipeline stage down promptly and leaks no goroutines.
+func TestStreamCancellation(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 8, 2, 40)
+	cfg := SessionConfig{Config: lightConfig(), Shards: 2}
+	cfg.ThreadsPerRank = 2
+	cfg.BatchSize = 2
+	sess, err := NewSession(peptides, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := sess.Stream(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep pushing from the background until cancellation rejects a push.
+	pushDone := make(chan struct{})
+	go func() {
+		defer close(pushDone)
+		for {
+			if err := st.Push(queries); err != nil {
+				return
+			}
+		}
+	}()
+	// Let a few batches through, then pull the plug.
+	<-st.Results()
+	cancel()
+
+	select {
+	case <-pushDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Push did not unblock after cancellation")
+	}
+	drained := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-st.Results():
+			if !ok {
+				if err := st.Err(); err != context.Canceled {
+					t.Fatalf("stream error = %v, want context.Canceled", err)
+				}
+				waitForGoroutines(t, base)
+				return
+			}
+		case <-drained:
+			t.Fatal("Results did not close after cancellation")
+		}
+	}
+}
+
+// TestSearchCancellation: Session.Search must return the context error and
+// leak nothing when cancelled mid-run.
+func TestSearchCancellation(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 8, 2, 60)
+	cfg := SessionConfig{Config: lightConfig(), Shards: 2}
+	cfg.BatchSize = 1
+	sess, err := NewSession(peptides, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: Search must fail fast
+	if _, err := sess.Search(ctx, queries); err == nil {
+		t.Fatal("Search succeeded with a cancelled context")
+	}
+	waitForGoroutines(t, base)
+
+	ctx, cancel = context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := sess.Search(ctx, queries); err == nil {
+		// A fast machine may legitimately finish before the cancel lands;
+		// only a hang or a leak is a failure.
+		t.Log("search finished before cancellation landed")
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestRunInProcessCtxCancellation: the distributed runner must unblock all
+// ranks and return promptly when cancelled.
+func TestRunInProcessCtxCancellation(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 10, 2, 80)
+	cfg := lightConfig()
+	cfg.BatchSize = 1
+
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := RunInProcessCtx(ctx, 4, peptides, queries, cfg)
+	if err == nil && res == nil {
+		t.Fatal("nil result without error")
+	}
+	if err != nil && time.Since(start) > 30*time.Second {
+		t.Fatalf("cancellation took %v", time.Since(start))
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestSessionClosed: a closed session refuses new work.
+func TestSessionClosed(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 4, 1, 5)
+	sess, err := NewSession(peptides, SessionConfig{Config: lightConfig(), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	if _, err := sess.Stream(context.Background()); err == nil {
+		t.Error("Stream on closed session must fail")
+	}
+	if _, err := sess.Search(context.Background(), queries); err == nil {
+		t.Error("Search on closed session must fail")
+	}
+}
+
+// TestSessionEmptyInputs: sessions over empty databases and empty query
+// sets behave like the serial baseline.
+func TestSessionEmptyInputs(t *testing.T) {
+	_, queries, _ := testDataset(t, 4, 1, 5)
+	sess, err := NewSession(nil, SessionConfig{Config: lightConfig(), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Search(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q, psms := range res.PSMs {
+		if len(psms) != 0 {
+			t.Errorf("query %d matched against empty database", q)
+		}
+	}
+	sess.Close()
+
+	peptides, _, _ := testDataset(t, 4, 1, 0)
+	sess, err = NewSession(peptides, SessionConfig{Config: lightConfig(), Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err = sess.Search(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PSMs) != 0 || len(res.Stats) != 3 {
+		t.Errorf("empty query run: %d PSMs, %d stats", len(res.PSMs), len(res.Stats))
+	}
+}
+
+// TestSingleRankFailureDoesNotHang: an error on one rank only (a bad
+// peptide in its partition) must tear the cluster down and surface the
+// root cause, not leave the healthy ranks deadlocked in the barrier.
+func TestSingleRankFailureDoesNotHang(t *testing.T) {
+	peptides := make([]string, 30)
+	for i := range peptides {
+		peptides[i] = "ACDEFGHIKLMNPQRSTVWY"
+	}
+	peptides[29] = "PEPT!DEK" // invalid residue, lands in the last chunk only
+	cfg := lightConfig()
+	cfg.RawOrder = true
+	cfg.Policy = core.Chunk
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunInProcess(3, peptides, nil, cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run with an invalid peptide succeeded")
+		}
+		if !strings.Contains(err.Error(), "build") {
+			t.Fatalf("error does not name the build failure: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("single-rank failure deadlocked the cluster")
+	}
+}
+
+// benchCorpus generates approximately n deduplicated peptides (sliced to
+// exactly n) plus a query run.
+func benchCorpus(b *testing.B, n, nspectra int) ([]string, []spectrum.Experimental) {
+	b.Helper()
+	families := n/20 + 1
+	recs, err := gen.Proteome(gen.ProteomeConfig{
+		Seed: 41, NumFamilies: families, Homologs: 2, MeanLen: 300, MutationRate: 0.03,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqs := make([]string, len(recs))
+	for i, r := range recs {
+		seqs[i] = r.Sequence
+	}
+	peps, err := digest.DefaultConfig().Proteome(seqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	peptides := digest.Sequences(digest.Dedup(peps))
+	if len(peptides) < n {
+		b.Fatalf("corpus too small: %d peptides for target %d", len(peptides), n)
+	}
+	peptides = peptides[:n]
+	scfg := gen.DefaultSpectraConfig()
+	scfg.NumSpectra = nspectra
+	scfg.Seed = 42
+	queries, _, err := gen.Spectra(peptides, scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return peptides, queries
+}
+
+// BenchmarkSessionSearch measures steady-state streaming search over a
+// prebuilt session at increasing database scales.
+func BenchmarkSessionSearch(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 50_000} {
+		b.Run(fmt.Sprintf("peptides=%d", n), func(b *testing.B) {
+			peptides, queries := benchCorpus(b, n, 200)
+			cfg := DefaultSessionConfig()
+			cfg.Params.Mods.MaxPerPep = 0 // unmodified index keeps setup fast
+			cfg.Shards = 4
+			sess, err := NewSession(peptides, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Search(context.Background(), queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(queries)), "queries/op")
+		})
+	}
+}

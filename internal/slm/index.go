@@ -14,6 +14,8 @@ package slm
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"lbe/internal/mass"
 	"lbe/internal/mods"
@@ -139,34 +141,43 @@ func (ix *Index) Params() Params { return ix.params }
 // Row returns row metadata by row id.
 func (ix *Index) Row(id uint32) Row { return ix.rows[id] }
 
-// Build constructs the index over the given peptide sequences. Each
-// peptide contributes one row per modification variant (the unmodified
-// form included). Peptides shorter than 2 residues are rejected.
-func Build(peptides []string, params Params) (*Index, error) {
-	if err := params.Validate(); err != nil {
-		return nil, err
-	}
-	ix := &Index{params: params}
-	bucketer := mass.NewBucketer(params.Resolution)
+// rowIons is one enumerated index row with its in-range fragment ions,
+// staged until the CSR arrays are assembled.
+type rowIons struct {
+	row  Row
+	ions []float64
+}
 
-	// Pass 1: enumerate rows and count ions per bucket.
-	type rowIons struct {
-		row  Row
-		ions []float64
-	}
-	var pending []rowIons
-	maxBucket := 0
-	totalIons := 0
+// buildShard is one worker's contiguous slice of the peptide list during
+// parallel construction. Shards are merged in peptide order, so the
+// assembled index is byte-identical to the serial build.
+type buildShard struct {
+	lo, hi    int // peptide range [lo, hi)
+	pending   []rowIons
+	counts    []uint32 // ion count per bucket, len maxBucket+1
+	maxBucket int
+	totalIons int
+	err       error
+}
+
+// enumerate runs pass 1 for one shard: per-peptide variant expansion, ion
+// prediction, scan-range filtering and per-bucket ion counting.
+func (sh *buildShard) enumerate(peptides []string, params Params) {
+	bucketer := mass.NewBucketer(params.Resolution)
 	capB := params.capBucket()
-	for pi, seq := range peptides {
+	sh.maxBucket = -1
+	for pi := sh.lo; pi < sh.hi; pi++ {
+		seq := peptides[pi]
 		variants, err := params.Mods.Variants(seq)
 		if err != nil {
-			return nil, fmt.Errorf("slm: peptide %d: %w", pi, err)
+			sh.err = fmt.Errorf("slm: peptide %d: %w", pi, err)
+			return
 		}
 		for _, v := range variants {
 			th, err := spectrum.PredictIons(seq, v, params.Mods.Mods, params.series())
 			if err != nil {
-				return nil, fmt.Errorf("slm: peptide %d (%q): %w", pi, seq, err)
+				sh.err = fmt.Errorf("slm: peptide %d (%q): %w", pi, seq, err)
+				return
 			}
 			// Keep only ions inside the instrument scan range.
 			ions := th.Ions[:0:0]
@@ -175,51 +186,148 @@ func Build(peptides []string, params Params) (*Index, error) {
 				if b > capB {
 					continue
 				}
-				if b > maxBucket {
-					maxBucket = b
+				if b > sh.maxBucket {
+					sh.maxBucket = b
+					for len(sh.counts) <= b {
+						sh.counts = append(sh.counts, 0)
+					}
 				}
+				sh.counts[b]++
 				ions = append(ions, ion)
 			}
-			r := Row{
-				Peptide:   uint32(pi),
-				Precursor: th.Precursor,
-				NumIons:   uint16(len(ions)),
-				Modified:  v.IsModified(),
-			}
-			totalIons += len(ions)
-			pending = append(pending, rowIons{row: r, ions: ions})
+			sh.totalIons += len(ions)
+			sh.pending = append(sh.pending, rowIons{
+				row: Row{
+					Peptide:   uint32(pi),
+					Precursor: th.Precursor,
+					NumIons:   uint16(len(ions)),
+					Modified:  v.IsModified(),
+				},
+				ions: ions,
+			})
 		}
+	}
+}
+
+// Build constructs the index over the given peptide sequences. Each
+// peptide contributes one row per modification variant (the unmodified
+// form included). Peptides shorter than 2 residues are rejected.
+//
+// Construction is parallelized over all available cores; the resulting
+// index is byte-identical to BuildSerial's for any worker count.
+func Build(peptides []string, params Params) (*Index, error) {
+	return BuildWorkers(peptides, params, 0)
+}
+
+// BuildSerial is the single-goroutine reference construction, kept as the
+// correctness oracle for the parallel build.
+func BuildSerial(peptides []string, params Params) (*Index, error) {
+	return BuildWorkers(peptides, params, 1)
+}
+
+// BuildWorkers constructs the index with the given number of worker
+// goroutines (0 or negative means one per available core). Peptides are
+// sharded contiguously; each worker enumerates its shard's rows and
+// per-bucket ion counts, and the shards are merged deterministically into
+// the CSR layout, so the output does not depend on the worker count.
+func BuildWorkers(peptides []string, params Params, workers int) (*Index, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(peptides) {
+		workers = len(peptides)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ix := &Index{params: params}
+
+	// Pass 1 (parallel): enumerate rows and count ions per bucket, one
+	// contiguous peptide shard per worker.
+	shards := make([]*buildShard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := len(peptides) * w / workers
+		hi := len(peptides) * (w + 1) / workers
+		shards[w] = &buildShard{lo: lo, hi: hi}
+		wg.Add(1)
+		go func(sh *buildShard) {
+			defer wg.Done()
+			sh.enumerate(peptides, params)
+		}(shards[w])
+	}
+	wg.Wait()
+	// Shards cover ascending peptide ranges and each stops at its first
+	// error, so the lowest failing shard holds the globally first error —
+	// the same one the serial build would report.
+	for _, sh := range shards {
+		if sh.err != nil {
+			return nil, sh.err
+		}
+	}
+
+	maxBucket := 0
+	totalIons := 0
+	numRows := 0
+	for _, sh := range shards {
+		if sh.maxBucket > maxBucket {
+			maxBucket = sh.maxBucket
+		}
+		totalIons += sh.totalIons
+		numRows += len(sh.pending)
 	}
 
 	ix.numBuckets = maxBucket + 1
-	ix.rows = make([]Row, len(pending))
+	ix.rows = make([]Row, numRows)
 	ix.offsets = make([]uint32, ix.numBuckets+1)
 	ix.ids = make([]uint32, totalIons)
 
-	// Counting sort of (bucket, row) postings into CSR.
-	counts := make([]uint32, ix.numBuckets)
-	for _, ri := range pending {
-		for _, ion := range ri.ions {
-			counts[bucketer.Bucket(ion)]++
-		}
-	}
+	// CSR offsets from the summed per-shard bucket counts.
 	sum := uint32(0)
 	for b := 0; b < ix.numBuckets; b++ {
 		ix.offsets[b] = sum
-		sum += counts[b]
+		for _, sh := range shards {
+			if b < len(sh.counts) {
+				sum += sh.counts[b]
+			}
+		}
 	}
 	ix.offsets[ix.numBuckets] = sum
 
-	cursor := make([]uint32, ix.numBuckets)
-	copy(cursor, ix.offsets[:ix.numBuckets])
-	for rid, ri := range pending {
-		ix.rows[rid] = ri.row
-		for _, ion := range ri.ions {
-			b := bucketer.Bucket(ion)
-			ix.ids[cursor[b]] = uint32(rid)
-			cursor[b]++
+	// Pass 2 (parallel): each shard fills its rows and postings. Row ids
+	// are assigned in shard order, and a shard's write cursor for bucket b
+	// starts after all earlier shards' postings in b, so every bucket's
+	// posting list ends up in ascending row-id order — exactly the serial
+	// fill order.
+	base := make([]uint32, ix.numBuckets)
+	copy(base, ix.offsets[:ix.numBuckets])
+	ridBase := 0
+	for _, sh := range shards {
+		cursor := make([]uint32, len(sh.counts))
+		copy(cursor, base[:len(sh.counts)])
+		for b, c := range sh.counts {
+			base[b] += c
 		}
+		wg.Add(1)
+		go func(sh *buildShard, ridBase int, cursor []uint32) {
+			defer wg.Done()
+			bucketer := mass.NewBucketer(params.Resolution)
+			for i, ri := range sh.pending {
+				rid := uint32(ridBase + i)
+				ix.rows[rid] = ri.row
+				for _, ion := range ri.ions {
+					b := bucketer.Bucket(ion)
+					ix.ids[cursor[b]] = rid
+					cursor[b]++
+				}
+			}
+		}(sh, ridBase, cursor)
+		ridBase += len(sh.pending)
 	}
+	wg.Wait()
 
 	// The transient footprint during construction is the pending ion
 	// lists plus the final arrays — the "2x index memory" effect the

@@ -9,18 +9,23 @@
 //     modification variants, synthetic data generation;
 //   - the SLM fragment-ion index and its search parameters;
 //   - the LBE layer: peptide grouping, partition policies, mapping table;
+//   - the streaming Session API: build the partitioned engine once, then
+//     serve repeated query batches through a channel-based pipeline;
 //   - the distributed engine over in-process or TCP communicators;
 //   - the load-balance metrics of the paper's evaluation.
 //
 // Quick start (see examples/quickstart for the runnable version):
 //
 //	peps, _ := lbe.Digest(lbe.DefaultDigestConfig(), proteins)
-//	cfg := lbe.DefaultEngineConfig()
-//	res, _ := lbe.RunInProcess(8, lbe.PeptideSequences(peps), queries, cfg)
+//	sess, _ := lbe.NewSession(lbe.PeptideSequences(peps), lbe.DefaultSessionConfig())
+//	defer sess.Close()
+//	res, _ := sess.Search(ctx, queries)
 //	for _, psm := range res.PSMs[0] { ... }
 package lbe
 
 import (
+	"context"
+
 	"lbe/internal/core"
 	"lbe/internal/digest"
 	"lbe/internal/engine"
@@ -124,9 +129,17 @@ type Match = slm.Match
 // ∆F=0.05 Da, open precursor window, Shpeak>=4, 100 query peaks).
 func DefaultSearchParams() SearchParams { return slm.DefaultParams() }
 
-// BuildIndex constructs an SLM index over the peptides.
+// BuildIndex constructs an SLM index over the peptides, parallelized over
+// all available cores.
 func BuildIndex(peptides []string, params SearchParams) (*Index, error) {
 	return slm.Build(peptides, params)
+}
+
+// BuildIndexWorkers constructs the index with an explicit construction
+// worker count (0 means one per core). The result is byte-identical for
+// every worker count.
+func BuildIndexWorkers(peptides []string, params SearchParams, workers int) (*Index, error) {
+	return slm.BuildWorkers(peptides, params, workers)
 }
 
 // ChunkedIndex is a precursor-mass-partitioned index (the shared-memory
@@ -196,6 +209,34 @@ func BuildMappingTable(g Grouping, p Partition) MappingTable {
 	return core.BuildMappingTable(g, p)
 }
 
+// --- streaming sessions ---
+
+// Session owns a built search engine (grouping, partition, one SLM index
+// per shard, mapping table) and serves repeated streaming query batches
+// without rebuilding — the shape a traffic-serving deployment needs.
+type Session = engine.Session
+
+// SessionConfig configures a Session: engine knobs plus the shard count.
+type SessionConfig = engine.SessionConfig
+
+// Stream is a continuous query pipeline over a Session: push batches in,
+// receive merged results in push order while later batches are searched.
+type Stream = engine.Stream
+
+// BatchResult is one merged batch emitted by a Stream.
+type BatchResult = engine.BatchResult
+
+// DefaultSessionConfig returns a traffic-serving setup: the paper's
+// cyclic policy, one shard, one search thread per core, 256-query batches.
+func DefaultSessionConfig() SessionConfig { return engine.DefaultSessionConfig() }
+
+// NewSession builds a reusable streaming search session over the peptide
+// database. Results are identical to RunSerial for every policy, shard
+// count, thread count and batch size.
+func NewSession(peptides []string, cfg SessionConfig) (*Session, error) {
+	return engine.NewSession(peptides, cfg)
+}
+
 // --- distributed engine ---
 
 // EngineConfig assembles a distributed run's settings.
@@ -226,15 +267,33 @@ func RunInProcess(p int, peptides []string, queries []Spectrum, cfg EngineConfig
 	return engine.RunInProcess(p, peptides, queries, cfg)
 }
 
+// RunInProcessCtx is RunInProcess with cancellation: when ctx is
+// cancelled every rank unblocks promptly and ctx's error is returned.
+func RunInProcessCtx(ctx context.Context, p int, peptides []string, queries []Spectrum, cfg EngineConfig) (*Result, error) {
+	return engine.RunInProcessCtx(ctx, p, peptides, queries, cfg)
+}
+
 // RunOverTCP runs the distributed search over loopback TCP links.
 func RunOverTCP(p int, peptides []string, queries []Spectrum, cfg EngineConfig) (*Result, error) {
 	return engine.RunOverTCP(p, peptides, queries, cfg)
+}
+
+// RunOverTCPCtx is RunOverTCP with cancellation semantics matching
+// RunInProcessCtx.
+func RunOverTCPCtx(ctx context.Context, p int, peptides []string, queries []Spectrum, cfg EngineConfig) (*Result, error) {
+	return engine.RunOverTCPCtx(ctx, p, peptides, queries, cfg)
 }
 
 // RunRank executes one rank of the distributed search on an existing
 // communicator (for multi-process deployments via HostTCP/JoinTCP).
 func RunRank(c Comm, peptides []string, queries []Spectrum, cfg EngineConfig) (*Result, error) {
 	return engine.RunRank(c, peptides, queries, cfg)
+}
+
+// RunRankCtx is RunRank with cancellation: pipeline stages shut down
+// between batches when ctx is cancelled.
+func RunRankCtx(ctx context.Context, c Comm, peptides []string, queries []Spectrum, cfg EngineConfig) (*Result, error) {
+	return engine.RunRankCtx(ctx, c, peptides, queries, cfg)
 }
 
 // NewWorld creates p in-process communicator endpoints.
