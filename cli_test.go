@@ -1,11 +1,14 @@
 package lbe_test
 
 import (
+	"bufio"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 // TestCLIPipeline builds the command-line tools and drives the full
@@ -122,5 +125,68 @@ func TestCLIPipeline(t *testing.T) {
 	out = run(tool("lbe-bench"), "-fig", "transport", "-scale", "0.00005", "-queries", "30", "-ranks", "2")
 	if !strings.Contains(out, "Transport ablation") {
 		t.Fatalf("lbe-bench output: %s", out)
+	}
+
+	// 9. Serve the database over HTTP and drive it with the load client.
+	serve := exec.Command(tool("lbe-serve"),
+		"-db", "peps.fasta", "-addr", "127.0.0.1:0", "-ranks", "2", "-max-mods", "1")
+	serve.Dir = dir
+	stderr, err := serve.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serve.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer serve.Process.Kill()
+
+	// Scan the log for the resolved listen address. The builder is
+	// written by the scanner goroutine and read by the test, so it is
+	// mutex-guarded; scanDone orders the final read and serve.Wait after
+	// the scanner's last pipe access.
+	addr := make(chan string, 1)
+	var logMu sync.Mutex
+	var serveLog strings.Builder
+	scanDone := make(chan struct{})
+	logText := func() string {
+		logMu.Lock()
+		defer logMu.Unlock()
+		return serveLog.String()
+	}
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			logMu.Lock()
+			serveLog.WriteString(line + "\n")
+			logMu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "lbe-serve: listening on "); ok {
+				addr <- rest
+			}
+		}
+	}()
+	var base string
+	select {
+	case a := <-addr:
+		base = "http://" + a
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("lbe-serve never reported its address:\n%s", logText())
+	}
+
+	out = run(tool("lbe-client"), "-addr", base, "-ms2", "run.ms2",
+		"-n", "15", "-c", "4", "-require-matches", "-q")
+	if !strings.Contains(out, "0 failed") || !strings.Contains(out, "0 empty") {
+		t.Fatalf("lbe-client output: %s", out)
+	}
+
+	// Graceful drain on interrupt. The scanner drains stderr to EOF
+	// (process exit) before Wait closes the pipe.
+	if err := serve.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	<-scanDone
+	if err := serve.Wait(); err != nil {
+		t.Fatalf("lbe-serve did not exit cleanly: %v\n%s", err, logText())
 	}
 }

@@ -1,0 +1,166 @@
+// Command lbe-client drives a running lbe-serve instance: it reads query
+// spectra from an MS2 file, POSTs them to /search from concurrent
+// closed-loop workers, and reports per-query match counts. It exits
+// non-zero if any request fails or (with -require-matches) if any query
+// comes back empty, which makes it the assertion step of the CI serving
+// smoke test.
+//
+// Usage:
+//
+//	lbe-client -addr http://127.0.0.1:8417 -ms2 run.ms2 -n 20 -c 4 -require-matches
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lbe"
+)
+
+// Wire types mirror internal/server's JSON contract.
+type spectrumJSON struct {
+	Scan        int          `json:"scan,omitempty"`
+	PrecursorMZ float64      `json:"precursor_mz"`
+	Charge      int          `json:"charge,omitempty"`
+	Peaks       [][2]float64 `json:"peaks"`
+}
+
+type searchRequest struct {
+	Spectra []spectrumJSON `json:"spectra"`
+}
+
+type searchResponse struct {
+	Results []struct {
+		Scan int `json:"scan"`
+		PSMs []struct {
+			Peptide  uint32  `json:"peptide"`
+			Sequence string  `json:"sequence"`
+			Score    float64 `json:"score"`
+		} `json:"psms"`
+	} `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbe-client: ")
+
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8417", "lbe-serve base URL")
+		ms2In   = flag.String("ms2", "", "MS2 query file (required)")
+		n       = flag.Int("n", 0, "spectra to send (0 = all)")
+		workers = flag.Int("c", 4, "concurrent closed-loop clients")
+		require = flag.Bool("require-matches", false, "exit non-zero if any query returns zero PSMs")
+		quiet   = flag.Bool("q", false, "suppress per-query output")
+	)
+	flag.Parse()
+	if *ms2In == "" {
+		log.Fatal("-ms2 is required")
+	}
+
+	queries, err := lbe.ReadMS2(*ms2In)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *n > 0 && *n < len(queries) {
+		queries = queries[:*n]
+	}
+	if len(queries) == 0 {
+		log.Fatal("no spectra to send")
+	}
+	base := strings.TrimRight(*addr, "/")
+
+	var (
+		next    atomic.Int64
+		empty   atomic.Int64
+		matched atomic.Int64
+		failed  atomic.Int64
+		wg      sync.WaitGroup
+	)
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				q := queries[i]
+				sj := spectrumJSON{
+					Scan:        q.Scan,
+					PrecursorMZ: q.PrecursorMZ,
+					Charge:      q.Charge,
+					Peaks:       make([][2]float64, len(q.Peaks)),
+				}
+				for p, pk := range q.Peaks {
+					sj.Peaks[p] = [2]float64{pk.MZ, pk.Intensity}
+				}
+				body, err := json.Marshal(searchRequest{Spectra: []spectrumJSON{sj}})
+				if err != nil {
+					log.Printf("scan %d: %v", q.Scan, err)
+					failed.Add(1)
+					continue
+				}
+				resp, err := client.Post(base+"/search", "application/json", bytes.NewReader(body))
+				if err != nil {
+					log.Printf("scan %d: %v", q.Scan, err)
+					failed.Add(1)
+					continue
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					log.Printf("scan %d: status %d: %s", q.Scan, resp.StatusCode, raw)
+					failed.Add(1)
+					continue
+				}
+				var sr searchResponse
+				if err := json.Unmarshal(raw, &sr); err != nil || len(sr.Results) != 1 {
+					log.Printf("scan %d: bad response: %v (%s)", q.Scan, err, raw)
+					failed.Add(1)
+					continue
+				}
+				psms := sr.Results[0].PSMs
+				if len(psms) == 0 {
+					empty.Add(1)
+					if !*quiet {
+						fmt.Printf("scan %d: no match\n", q.Scan)
+					}
+					continue
+				}
+				matched.Add(1)
+				if !*quiet {
+					fmt.Printf("scan %d: %d PSMs, best %s score %.4f\n",
+						q.Scan, len(psms), psms[0].Sequence, psms[0].Score)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	log.Printf("%d queries in %v (%.1f rps, %d workers): %d matched, %d empty, %d failed",
+		len(queries), wall.Round(time.Millisecond),
+		float64(len(queries))/wall.Seconds(), *workers,
+		matched.Load(), empty.Load(), failed.Load())
+	if failed.Load() > 0 {
+		log.Fatalf("%d requests failed", failed.Load())
+	}
+	if *require && empty.Load() > 0 {
+		log.Fatalf("%d queries returned zero PSMs with -require-matches set", empty.Load())
+	}
+	if *require && matched.Load() == 0 {
+		log.Fatal("no query matched anything with -require-matches set")
+	}
+}

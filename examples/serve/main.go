@@ -1,0 +1,128 @@
+// Serving walkthrough: build a Session over a synthetic peptide
+// database, wrap it in the HTTP serving layer, and hit it with a burst
+// of concurrent single-spectrum clients — the "many small requests"
+// workload the micro-batch coalescer exists for. Prints each client's
+// best match, then the server's coalescing statistics.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"lbe"
+	"lbe/internal/server"
+)
+
+func main() {
+	// Synthetic database + a handful of query spectra sampled from it.
+	recs, err := lbe.GenerateProteome(lbe.DefaultProteomeConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	proteins := make([]string, len(recs))
+	for i, r := range recs {
+		proteins[i] = r.Sequence
+	}
+	peps, err := lbe.Digest(lbe.DefaultDigestConfig(), proteins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peptides := lbe.PeptideSequences(lbe.Dedup(peps))
+
+	scfg := lbe.DefaultSpectraConfig()
+	scfg.NumSpectra = 12
+	queries, _, err := lbe.GenerateSpectra(peptides, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the engine once; the server reuses it for every request.
+	sesscfg := lbe.DefaultSessionConfig()
+	sesscfg.Shards = 4
+	sesscfg.TopK = 3
+	sess, err := lbe.NewSession(peptides, sesscfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	fmt.Printf("session: %d peptides over %d shards (%.1f MB index)\n",
+		len(peptides), sess.NumShards(), float64(sess.IndexBytes())/(1<<20))
+
+	// Serve it. Requests arriving within the 20ms flush window coalesce
+	// into one merged engine batch of up to 64 queries.
+	srv := server.New(sess, peptides, server.Config{
+		BatchSize:     64,
+		FlushInterval: 20 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// A burst of concurrent single-spectrum clients.
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q lbe.Spectrum) {
+			defer wg.Done()
+			sj := server.SpectrumJSON{
+				Scan:        q.Scan,
+				PrecursorMZ: q.PrecursorMZ,
+				Charge:      q.Charge,
+				Peaks:       make([][2]float64, len(q.Peaks)),
+			}
+			for p, pk := range q.Peaks {
+				sj.Peaks[p] = [2]float64{pk.MZ, pk.Intensity}
+			}
+			body, _ := json.Marshal(server.SearchRequest{Spectra: []server.SpectrumJSON{sj}})
+			resp, err := http.Post(base+"/search", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Printf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			raw, _ := io.ReadAll(resp.Body)
+			var sr server.SearchResponse
+			if err := json.Unmarshal(raw, &sr); err != nil || len(sr.Results) != 1 {
+				log.Printf("client %d: bad response %s", i, raw)
+				return
+			}
+			if psms := sr.Results[0].PSMs; len(psms) > 0 {
+				fmt.Printf("client %2d scan %3d: best %s (score %.3f, shard %d)\n",
+					i, q.Scan, psms[0].Sequence, psms[0].Score, psms[0].Shard)
+			} else {
+				fmt.Printf("client %2d scan %3d: no match\n", i, q.Scan)
+			}
+		}(i, q)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	fmt.Printf("\n%d requests -> %d coalesced engine batches (%.1f queries per batch)\n",
+		st.Accepted, st.Batches, float64(st.BatchedQueries)/float64(st.Batches))
+
+	// Graceful drain, then the HTTP listener.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained cleanly")
+}

@@ -185,6 +185,7 @@ func All(o Options) ([]Figure, error) {
 		{"ablation-heterogeneous", AblationHeterogeneous},
 		{"filtration", FiltrationComparison},
 		{"session", SessionThroughput},
+		{"serve", ServeThroughput},
 	}
 	var figs []Figure
 	for _, r := range runners {

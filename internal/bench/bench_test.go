@@ -334,3 +334,28 @@ func TestAblationTransport(t *testing.T) {
 		}
 	}
 }
+
+func TestServeThroughputTiny(t *testing.T) {
+	o := tinyOptions()
+	o.Ranks = 2
+	fig, err := ServeThroughput(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("serve figure should have p50/p95/p99 series: %+v", fig.Series)
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 5 {
+			t.Fatalf("series %s has %d points, want 5", s.Label, len(s.Y))
+		}
+		for _, v := range s.Y {
+			if v <= 0 {
+				t.Errorf("non-positive latency in %s: %v", s.Label, s.Y)
+			}
+		}
+	}
+	if len(fig.Notes) < 2 {
+		t.Fatalf("serve figure missing rate/coalescing notes: %v", fig.Notes)
+	}
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lbe/internal/engine"
+	"lbe/internal/server"
+	"lbe/internal/spectrum"
+)
+
+// ServeThroughput measures the HTTP serving path with a closed-loop load
+// generator: C concurrent clients each POST single-spectrum /search
+// requests back to back until the query set is exhausted, for growing C.
+// It reports latency percentiles per concurrency level, plus achieved
+// request rates and the coalescing ratio in the notes — the serving-side
+// companion of SessionThroughput's single-driver pipeline figure.
+func ServeThroughput(o Options) (Figure, error) {
+	fig := Figure{
+		ID:     "serve",
+		Title:  "Serve latency vs closed-loop concurrency",
+		XLabel: "concurrent clients",
+		YLabel: "latency ms",
+	}
+	c, err := o.corpusAt(paperSizesM[0])
+	if err != nil {
+		return fig, err
+	}
+	cfg := engineConfig()
+	sess, err := engine.NewSession(c.Peptides, engine.SessionConfig{Config: cfg, Shards: o.Ranks})
+	if err != nil {
+		return fig, err
+	}
+	defer sess.Close()
+
+	srv := server.New(sess, c.Peptides, server.Config{
+		BatchSize:     64,
+		FlushInterval: time.Millisecond,
+		QueueDepth:    1024,
+		MaxInFlight:   4,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	bodies := make([][]byte, len(c.Queries))
+	for i, q := range c.Queries {
+		b, err := marshalQuery(q)
+		if err != nil {
+			return fig, err
+		}
+		bodies[i] = b
+	}
+
+	levels := []int{1, 2, 4, 8, 16}
+	p50 := Series{Label: "p50"}
+	p95 := Series{Label: "p95"}
+	p99 := Series{Label: "p99"}
+	var rates []float64
+	for _, concurrency := range levels {
+		lat, wall, err := closedLoop(ts.Client(), ts.URL, bodies, concurrency)
+		if err != nil {
+			return fig, err
+		}
+		sort.Float64s(lat)
+		x := float64(concurrency)
+		p50.X, p50.Y = append(p50.X, x), append(p50.Y, percentile(lat, 0.50))
+		p95.X, p95.Y = append(p95.X, x), append(p95.Y, percentile(lat, 0.95))
+		p99.X, p99.Y = append(p99.X, x), append(p99.Y, percentile(lat, 0.99))
+		rates = append(rates, float64(len(bodies))/wall.Seconds())
+	}
+	fig.Series = []Series{p50, p95, p99}
+
+	st := srv.Stats()
+	ratio := 0.0
+	if st.Batches > 0 {
+		ratio = float64(st.BatchedQueries) / float64(st.Batches)
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("achieved request rates per level: %s rps", trimFloats(rates)),
+		fmt.Sprintf("%d requests coalesced into %d engine batches (%.1f queries/batch); %d shards",
+			st.Accepted, st.Batches, ratio, sess.NumShards()))
+	return fig, nil
+}
+
+// closedLoop runs one load level: concurrency workers race through the
+// request bodies, each measuring per-request latency. Returns the
+// latencies in milliseconds and the wall time of the whole level.
+func closedLoop(client *http.Client, baseURL string, bodies [][]byte, concurrency int) ([]float64, time.Duration, error) {
+	lat := make([]float64, len(bodies))
+	var next atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bodies) {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(baseURL+"/search", "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					fail(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("bench: serve request %d: status %d", i, resp.StatusCode))
+					return
+				}
+				lat[i] = float64(time.Since(t0).Nanoseconds()) / 1e6
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	return lat, wall, firstErr
+}
+
+// marshalQuery renders one spectrum as a single-query /search body.
+func marshalQuery(q spectrum.Experimental) ([]byte, error) {
+	sj := server.SpectrumJSON{
+		Scan:        q.Scan,
+		PrecursorMZ: q.PrecursorMZ,
+		Charge:      q.Charge,
+		Peaks:       make([][2]float64, len(q.Peaks)),
+	}
+	for i, p := range q.Peaks {
+		sj.Peaks[i] = [2]float64{p.MZ, p.Intensity}
+	}
+	return json.Marshal(server.SearchRequest{Spectra: []server.SpectrumJSON{sj}})
+}
+
+// percentile reads the nearest-rank p-quantile from ascending-sorted
+// values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -53,6 +53,7 @@ type Session struct {
 	mu       sync.Mutex
 	closed   bool
 	searched int64       // lifetime queries served
+	batches  int64       // lifetime merged batches emitted
 	load     []RankStats // lifetime per-shard load (build + accumulated query work)
 }
 
@@ -140,6 +141,18 @@ func (s *Session) Searched() int64 {
 	return s.searched
 }
 
+// Batches returns the lifetime number of merged pipeline batches the
+// session emitted across every Search and Stream. A serving layer that
+// coalesces requests can read it to verify how much batching it achieved.
+func (s *Session) Batches() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batches
+}
+
+// Config returns the engine configuration the session was built with.
+func (s *Session) Config() Config { return s.cfg }
+
 // Stats returns the lifetime per-shard load: construction stats plus the
 // query work accumulated over every Search and Stream so far.
 func (s *Session) Stats() []RankStats {
@@ -162,6 +175,7 @@ func (s *Session) record(nq int, works []slm.Work, nanos []int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.searched += int64(nq)
+	s.batches++
 	for m := range works {
 		s.load[m].Work.Add(works[m])
 		s.load[m].QueryNanos += nanos[m]

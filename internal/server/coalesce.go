@@ -1,0 +1,202 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"lbe/internal/engine"
+	"lbe/internal/spectrum"
+)
+
+// Admission errors mapped to HTTP statuses by the /search handler.
+var (
+	// ErrQueueFull means the bounded admission queue is at capacity and
+	// the request was rejected with backpressure (HTTP 429).
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrDraining means the server is shutting down and no longer admits
+	// new requests (HTTP 503).
+	ErrDraining = errors.New("server: draining")
+)
+
+// request is one admitted /search call waiting for its slice of a merged
+// batch.
+type request struct {
+	ctx     context.Context
+	queries []spectrum.Experimental
+	// resp is buffered (capacity 1) and receives exactly one response, so
+	// the dispatcher never blocks on an abandoned request.
+	resp chan response
+}
+
+type response struct {
+	psms [][]engine.PSM
+	err  error
+}
+
+// submit places a request on the admission queue, failing fast when the
+// server is draining or the queue is full. The read lock is held across
+// the send so Shutdown can establish "no more enqueues" by taking the
+// write lock after flipping draining.
+func (s *Server) submit(r *request) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		s.rejectedDrain.Add(1)
+		return ErrDraining
+	}
+	// The WaitGroup must be incremented before the request is visible on
+	// the queue: the coalescer may dequeue and answer it (Done) at any
+	// moment after the send.
+	s.reqWG.Add(1)
+	select {
+	case s.queue <- r:
+		s.accepted.Add(1)
+		return nil
+	default:
+		s.reqWG.Done()
+		s.rejectedQueue.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// coalesceLoop is the server's single collector goroutine: it gathers
+// admitted requests into merged batches of up to BatchSize queries,
+// flushing a partial batch after FlushInterval, and hands each batch to a
+// bounded pool of search workers. Acquiring an in-flight slot happens
+// here, synchronously — when every worker is busy the collector stalls,
+// the admission queue fills, and new requests get 429s. That is the
+// backpressure path.
+func (s *Server) coalesceLoop() {
+	defer close(s.coalesceDone)
+	for {
+		var first *request
+		select {
+		case first = <-s.queue:
+		case <-s.quit:
+			s.drainRemaining()
+			return
+		}
+		pending := []*request{first}
+		total := len(first.queries)
+		timer := time.NewTimer(s.cfg.FlushInterval)
+	collect:
+		for total < s.cfg.BatchSize {
+			select {
+			case r := <-s.queue:
+				pending = append(pending, r)
+				total += len(r.queries)
+			case <-timer.C:
+				break collect
+			case <-s.quit:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.dispatch(pending)
+	}
+}
+
+// drainRemaining flushes everything left on the queue after Shutdown
+// closed admission. The queue's contents are fixed at this point (submit
+// cannot run once draining is set), so non-blocking receives see it all.
+func (s *Server) drainRemaining() {
+	var pending []*request
+	total := 0
+	for {
+		select {
+		case r := <-s.queue:
+			pending = append(pending, r)
+			total += len(r.queries)
+			if total >= s.cfg.BatchSize {
+				s.dispatch(pending)
+				pending, total = nil, 0
+			}
+		default:
+			if len(pending) > 0 {
+				s.dispatch(pending)
+			}
+			return
+		}
+	}
+}
+
+// dispatch merges one collected batch and runs it on a search worker.
+// Requests whose context is already done are answered (and discounted)
+// without searching. Called only from the coalescer goroutine.
+func (s *Server) dispatch(reqs []*request) {
+	live := reqs[:0]
+	for _, r := range reqs {
+		if err := r.ctx.Err(); err != nil {
+			r.resp <- response{err: err}
+			s.reqWG.Done()
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	// Blocking slot acquisition: see coalesceLoop.
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.baseCtx.Done():
+		for _, r := range live {
+			r.resp <- response{err: s.baseCtx.Err()}
+			s.reqWG.Done()
+		}
+		return
+	}
+
+	total := 0
+	for _, r := range live {
+		total += len(r.queries)
+	}
+	merged := make([]spectrum.Experimental, 0, total)
+	for _, r := range live {
+		merged = append(merged, r.queries...)
+	}
+	s.batches.Add(1)
+	s.batchedQueries.Add(int64(total))
+
+	s.batchWG.Add(1)
+	go func() {
+		defer s.batchWG.Done()
+		defer func() { <-s.sem }()
+
+		// The batch runs under the server's base context but is cancelled
+		// early if every member request's context ends first (all clients
+		// disconnected or timed out), so abandoned work stops promptly.
+		bctx, bcancel := context.WithCancel(s.baseCtx)
+		defer bcancel()
+		remaining := new(atomic.Int64)
+		remaining.Store(int64(len(live)))
+		for _, r := range live {
+			go func(rc context.Context) {
+				select {
+				case <-rc.Done():
+					if remaining.Add(-1) == 0 {
+						bcancel()
+					}
+				case <-bctx.Done():
+				}
+			}(r.ctx)
+		}
+
+		res, err := s.searchFn(bctx, merged)
+		bcancel()
+
+		off := 0
+		for _, r := range live {
+			n := len(r.queries)
+			if err != nil {
+				r.resp <- response{err: err}
+			} else {
+				r.resp <- response{psms: res.PSMs[off : off+n]}
+			}
+			off += n
+			s.reqWG.Done()
+		}
+	}()
+}

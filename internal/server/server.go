@@ -1,0 +1,326 @@
+// Package server exposes a built engine.Session as a long-running HTTP
+// search service: the always-on serving shape the ROADMAP's north star
+// asks for, on top of the streaming engine from PR 1.
+//
+// The service admits POST /search requests (JSON spectra) through a
+// bounded queue, coalesces concurrent small requests into merged engine
+// batches — many tiny messages become few large ones, the
+// communication-lower-bound guidance of the HiCOPS line of work — and
+// scatters each merged result back to its callers. Results are exactly
+// what Session.Search would return for the same queries, because the
+// engine's output is invariant to batch composition.
+//
+// Operational endpoints: /healthz (liveness, flips to 503 while
+// draining) and /stats (session-lifetime engine figures plus admission
+// and coalescing counters). Shutdown stops admission, flushes the queue,
+// finishes in-flight batches, and answers every accepted request before
+// returning.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lbe/internal/engine"
+	"lbe/internal/spectrum"
+)
+
+// Config tunes the serving layer. The zero value of any field falls back
+// to its DefaultConfig value.
+type Config struct {
+	// BatchSize caps the queries merged into one coalesced engine batch.
+	BatchSize int
+	// FlushInterval bounds how long a partial batch waits for company
+	// before it is searched anyway; it is the latency the slowest request
+	// in a quiet period pays for batching.
+	FlushInterval time.Duration
+	// QueueDepth bounds the admission queue (in requests). A full queue
+	// rejects with HTTP 429 — backpressure instead of unbounded memory.
+	QueueDepth int
+	// MaxInFlight bounds concurrently searching merged batches. When all
+	// slots are busy the coalescer stalls and the queue fills.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline, applied on top of the
+	// client's own context; 0 or negative disables it.
+	RequestTimeout time.Duration
+	// MaxQueriesPerRequest caps spectra in one request (HTTP 413 over).
+	MaxQueriesPerRequest int
+	// MaxBodyBytes caps the /search request body.
+	MaxBodyBytes int64
+}
+
+// DefaultConfig returns serving defaults: 64-query merges flushed every
+// 2ms, a 256-request queue, 4 concurrent batches, 30s request deadline.
+func DefaultConfig() Config {
+	return Config{
+		BatchSize:            64,
+		FlushInterval:        2 * time.Millisecond,
+		QueueDepth:           256,
+		MaxInFlight:          4,
+		RequestTimeout:       30 * time.Second,
+		MaxQueriesPerRequest: 1024,
+		MaxBodyBytes:         32 << 20,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.BatchSize <= 0 {
+		c.BatchSize = d.BatchSize
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = d.FlushInterval
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = d.MaxInFlight
+	}
+	if c.MaxQueriesPerRequest <= 0 {
+		c.MaxQueriesPerRequest = d.MaxQueriesPerRequest
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	return c
+}
+
+// Server is the HTTP serving layer over one engine.Session. Create with
+// New, mount Handler on an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg      Config
+	sess     *engine.Session
+	peptides []string // global peptide list for sequence reporting; may be nil
+
+	queue chan *request
+	sem   chan struct{} // in-flight batch slots
+	quit  chan struct{} // closed once when draining starts
+
+	baseCtx    context.Context // parent of every batch search
+	cancelBase context.CancelFunc
+
+	coalesceDone chan struct{}
+	reqWG        sync.WaitGroup // accepted requests not yet answered
+	batchWG      sync.WaitGroup // batch workers in flight
+
+	mu       sync.RWMutex
+	draining bool
+
+	// searchFn runs one merged batch; it is sess.Search except in tests,
+	// which substitute a controllable stand-in.
+	searchFn func(context.Context, []spectrum.Experimental) (*engine.Result, error)
+
+	accepted       atomic.Int64
+	rejectedQueue  atomic.Int64
+	rejectedDrain  atomic.Int64
+	batches        atomic.Int64
+	batchedQueries atomic.Int64
+}
+
+// New wraps a built session in a serving layer and starts its collector.
+// peptides is the global peptide list the session was built over, used to
+// report matched sequences; pass nil to omit sequences from responses.
+// The caller keeps ownership of the session but must not Close it before
+// Shutdown returns.
+func New(sess *engine.Session, peptides []string, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:          cfg,
+		sess:         sess,
+		peptides:     peptides,
+		queue:        make(chan *request, cfg.QueueDepth),
+		sem:          make(chan struct{}, cfg.MaxInFlight),
+		quit:         make(chan struct{}),
+		baseCtx:      ctx,
+		cancelBase:   cancel,
+		coalesceDone: make(chan struct{}),
+		searchFn:     sess.Search,
+	}
+	go s.coalesceLoop()
+	return s
+}
+
+// Handler returns the service's HTTP routes: POST /search, GET /healthz,
+// GET /stats.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// Shutdown drains the server gracefully: admission stops (new requests
+// get 503), queued requests are flushed into batches, in-flight batches
+// finish, and every accepted request receives its answer. If ctx expires
+// first, in-flight searches are cancelled and Shutdown returns ctx's
+// error after they unwind. Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.quit)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		<-s.coalesceDone
+		s.batchWG.Wait()
+		s.reqWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelBase()
+		<-done // searches watch baseCtx, so this unwinds promptly
+		return ctx.Err()
+	}
+}
+
+// Close force-drains the server: like Shutdown with an already-expired
+// context, for tests and defer-style cleanup.
+func (s *Server) Close() {
+	s.cancelBase()
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Shutdown(expired)
+}
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// handleSearch decodes one search request, admits it through the bounded
+// queue, and waits for its slice of a merged batch.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST a SearchRequest JSON body")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Spectra) == 0 {
+		writeError(w, http.StatusBadRequest, "request has no spectra")
+		return
+	}
+	if len(req.Spectra) > s.cfg.MaxQueriesPerRequest {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%d spectra exceeds the per-request limit of %d", len(req.Spectra), s.cfg.MaxQueriesPerRequest)
+		return
+	}
+	qs := make([]spectrum.Experimental, len(req.Spectra))
+	for i, sj := range req.Spectra {
+		e, err := sj.experimental()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "spectrum %d: %v", i, err)
+			return
+		}
+		qs[i] = e
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	rq := &request{ctx: ctx, queries: qs, resp: make(chan response, 1)}
+	switch err := s.submit(rq); {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+		return
+	}
+
+	select {
+	case resp := <-rq.resp:
+		if resp.err != nil {
+			if errors.Is(resp.err, context.Canceled) || errors.Is(resp.err, context.DeadlineExceeded) {
+				writeError(w, http.StatusGatewayTimeout, "request cancelled or deadline exceeded")
+			} else {
+				writeError(w, http.StatusInternalServerError, "search failed: %v", resp.err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, buildResponse(qs, resp.psms, s.peptides))
+	case <-ctx.Done():
+		// Client gone or per-request deadline hit while queued/searching.
+		// The dispatcher still answers rq.resp (buffered) and settles the
+		// accounting; nobody blocks on this abandonment.
+		writeError(w, http.StatusGatewayTimeout, "request cancelled or deadline exceeded")
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := HealthResponse{Status: "ok", Shards: s.sess.NumShards(), Groups: s.sess.Groups()}
+	if s.isDraining() {
+		h.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots the serving counters and session-lifetime load.
+func (s *Server) Stats() StatsResponse {
+	st := StatsResponse{
+		Status:         "ok",
+		Shards:         s.sess.NumShards(),
+		Groups:         s.sess.Groups(),
+		IndexBytes:     s.sess.IndexBytes(),
+		MappingBytes:   s.sess.MappingBytes(),
+		Searched:       s.sess.Searched(),
+		SessionBatches: s.sess.Batches(),
+		Accepted:       s.accepted.Load(),
+		RejectedQueue:  s.rejectedQueue.Load(),
+		RejectedDrain:  s.rejectedDrain.Load(),
+		Batches:        s.batches.Load(),
+		BatchedQueries: s.batchedQueries.Load(),
+		QueueLen:       len(s.queue),
+		QueueDepth:     s.cfg.QueueDepth,
+		BatchSize:      s.cfg.BatchSize,
+		FlushMicros:    s.cfg.FlushInterval.Microseconds(),
+		MaxInFlight:    s.cfg.MaxInFlight,
+	}
+	if s.isDraining() {
+		st.Status = "draining"
+	}
+	for _, rs := range s.sess.Stats() {
+		st.PerShard = append(st.PerShard, ShardStatsJSON{
+			Rank:        rs.Rank,
+			Peptides:    rs.Peptides,
+			Rows:        rs.Rows,
+			IndexBytes:  rs.IndexBytes,
+			WorkUnits:   rs.Work.IonHits + rs.Work.Scored,
+			QueryMillis: float64(rs.QueryNanos) / 1e6,
+		})
+	}
+	return st
+}

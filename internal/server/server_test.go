@@ -1,0 +1,556 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lbe/internal/digest"
+	"lbe/internal/engine"
+	"lbe/internal/gen"
+	"lbe/internal/mods"
+	"lbe/internal/spectrum"
+)
+
+// testCorpus generates a small peptide database and query run, shared by
+// every test through sync.Once (construction is the expensive part).
+type corpus struct {
+	peptides []string
+	queries  []spectrum.Experimental
+}
+
+var (
+	corpusOnce sync.Once
+	corpusVal  corpus
+	corpusErr  error
+)
+
+func testCorpus(t *testing.T) corpus {
+	t.Helper()
+	corpusOnce.Do(func() {
+		recs, err := gen.Proteome(gen.ProteomeConfig{
+			Seed: 11, NumFamilies: 10, Homologs: 3, MeanLen: 300, MutationRate: 0.03,
+		})
+		if err != nil {
+			corpusErr = err
+			return
+		}
+		seqs := make([]string, len(recs))
+		for i, r := range recs {
+			seqs[i] = r.Sequence
+		}
+		peps, err := digest.DefaultConfig().Proteome(seqs)
+		if err != nil {
+			corpusErr = err
+			return
+		}
+		peptides := digest.Sequences(digest.Dedup(peps))
+
+		scfg := gen.DefaultSpectraConfig()
+		scfg.Seed = 12
+		scfg.NumSpectra = 48
+		scfg.Mods = mods.Config{Mods: mods.PaperSet(), MaxPerPep: 1}
+		queries, _, err := gen.Spectra(peptides, scfg)
+		if err != nil {
+			corpusErr = err
+			return
+		}
+		corpusVal = corpus{peptides: peptides, queries: queries}
+	})
+	if corpusErr != nil {
+		t.Fatal(corpusErr)
+	}
+	return corpusVal
+}
+
+func testSession(t *testing.T, c corpus, shards int) *engine.Session {
+	t.Helper()
+	cfg := engine.DefaultSessionConfig()
+	cfg.Params.Mods = mods.Config{Mods: mods.PaperSet(), MaxPerPep: 1}
+	cfg.TopK = 5
+	cfg.Shards = shards
+	sess, err := engine.NewSession(c.peptides, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sess.Close)
+	return sess
+}
+
+// toWire converts an engine query to its JSON request form.
+func toWire(e spectrum.Experimental) SpectrumJSON {
+	sj := SpectrumJSON{
+		Scan:        e.Scan,
+		PrecursorMZ: e.PrecursorMZ,
+		Charge:      e.Charge,
+		Peaks:       make([][2]float64, len(e.Peaks)),
+	}
+	for i, p := range e.Peaks {
+		sj.Peaks[i] = [2]float64{p.MZ, p.Intensity}
+	}
+	return sj
+}
+
+func postSearch(t *testing.T, client *http.Client, url string, spectra ...SpectrumJSON) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(SearchRequest{Spectra: spectra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestConcurrentServeMatchesSessionSearch is the acceptance-criterion
+// test: N concurrent single-query clients receive, query for query, PSMs
+// byte-equivalent (as rendered JSON) to one Session.Search over the same
+// queries.
+func TestConcurrentServeMatchesSessionSearch(t *testing.T) {
+	c := testCorpus(t)
+	sess := testSession(t, c, 3)
+	srv := New(sess, c.peptides, Config{BatchSize: 8, FlushInterval: 20 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ref, err := sess.Search(context.Background(), c.queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([][]byte, len(c.queries))
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.queries))
+	for i := range c.queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, err := json.Marshal(SearchRequest{Spectra: []SpectrumJSON{toWire(c.queries[i])}})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := ts.Client().Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("query %d: status %d: %s", i, resp.StatusCode, b)
+				return
+			}
+			got[i] = b
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	found := 0
+	for i := range c.queries {
+		want, err := json.Marshal(buildResponse(
+			c.queries[i:i+1], ref.PSMs[i:i+1], c.peptides))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bytes.TrimSpace(got[i]), bytes.TrimSpace(want)) {
+			t.Fatalf("query %d: served response differs from Session.Search\nserved: %s\ndirect: %s",
+				i, got[i], want)
+		}
+		found += len(ref.PSMs[i])
+	}
+	if found == 0 {
+		t.Fatal("reference search matched nothing; corpus is not exercising the comparison")
+	}
+}
+
+// TestCoalesceMergesConcurrentRequests asserts that concurrent small
+// requests share engine batches: with a flush window much longer than
+// request skew, K single-query requests must arrive in far fewer than K
+// coalesced batches.
+func TestCoalesceMergesConcurrentRequests(t *testing.T) {
+	c := testCorpus(t)
+	sess := testSession(t, c, 2)
+	const k = 16
+	srv := New(sess, c.peptides, Config{BatchSize: k, FlushInterval: 300 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postSearch(t, ts.Client(), ts.URL, toWire(c.queries[i%len(c.queries)]))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	if st.Accepted != k {
+		t.Fatalf("accepted %d requests, want %d", st.Accepted, k)
+	}
+	if st.BatchedQueries != k {
+		t.Fatalf("batched %d queries, want %d", st.BatchedQueries, k)
+	}
+	// All k requests land within the 300ms window, so they should pack
+	// into very few batches; allow slack for slow-starting goroutines
+	// under the race detector, but far fewer than one batch per request.
+	if st.Batches >= k/2 {
+		t.Fatalf("%d requests produced %d batches; coalescing is not merging", k, st.Batches)
+	}
+	// The engine-side hook agrees: each coalesced batch of <= BatchSize
+	// queries is one session pipeline batch.
+	if sb := sess.Batches(); sb != st.Batches {
+		t.Fatalf("session saw %d batches, server dispatched %d", sb, st.Batches)
+	}
+}
+
+// blockingSearch substitutes the engine search with one that parks until
+// released (or its context ends), so tests can hold batches in flight.
+type blockingSearch struct {
+	started chan struct{} // receives one value per search invocation
+	release chan struct{} // close to let searches complete
+	inner   func(context.Context, []spectrum.Experimental) (*engine.Result, error)
+}
+
+func newBlockingSearch(sess *engine.Session) *blockingSearch {
+	return &blockingSearch{
+		started: make(chan struct{}, 64),
+		release: make(chan struct{}),
+		inner:   sess.Search,
+	}
+}
+
+func (b *blockingSearch) search(ctx context.Context, qs []spectrum.Experimental) (*engine.Result, error) {
+	b.started <- struct{}{}
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return b.inner(ctx, qs)
+}
+
+// TestQueueFullReturns429 fills the admission path — one batch parked in
+// flight, one stuck in the coalescer waiting for a slot, QueueDepth
+// requests queued — and asserts the next request is rejected with 429
+// and a Retry-After header.
+func TestQueueFullReturns429(t *testing.T) {
+	c := testCorpus(t)
+	sess := testSession(t, c, 1)
+	srv := New(sess, c.peptides, Config{
+		BatchSize:     1,
+		FlushInterval: time.Millisecond,
+		QueueDepth:    2,
+		MaxInFlight:   1,
+	})
+	defer srv.Close()
+	bs := newBlockingSearch(sess)
+	srv.searchFn = bs.search
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	q := toWire(c.queries[0])
+	send := func() {
+		go func() {
+			body, _ := json.Marshal(SearchRequest{Spectra: []SpectrumJSON{q}})
+			resp, err := ts.Client().Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	// Request A reaches the worker and parks in searchFn.
+	send()
+	select {
+	case <-bs.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first request never reached the search worker")
+	}
+	// Request B: collected by the coalescer, which now blocks acquiring
+	// the single in-flight slot. Requests C, D: fill the depth-2 queue.
+	for i := 0; i < 3; i++ {
+		send()
+	}
+	waitFor(t, func() bool { return srv.Stats().QueueLen == 2 }, "queue never filled")
+
+	// The next request must bounce with 429.
+	resp, body := postSearch(t, ts.Client(), ts.URL, q)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429; body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	if st := srv.Stats(); st.RejectedQueue == 0 {
+		t.Error("stats do not count the queue-full rejection")
+	}
+
+	close(bs.release) // let the parked batches finish
+	waitFor(t, func() bool { return srv.Stats().QueueLen == 0 }, "queue never drained")
+}
+
+// TestShutdownDrainsInFlight asserts graceful shutdown: requests already
+// accepted complete with 200s, requests arriving after Shutdown begins
+// get 503, and Shutdown returns only once everything is answered.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	c := testCorpus(t)
+	sess := testSession(t, c, 1)
+	srv := New(sess, c.peptides, Config{BatchSize: 4, FlushInterval: time.Millisecond})
+	bs := newBlockingSearch(sess)
+	srv.searchFn = bs.search
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const k = 4
+	codes := make(chan int, k)
+	for i := 0; i < k; i++ {
+		go func(i int) {
+			resp, _ := postSearch(t, ts.Client(), ts.URL, toWire(c.queries[i]))
+			codes <- resp.StatusCode
+		}(i)
+	}
+	// Wait until at least one batch is parked in the worker.
+	select {
+	case <-bs.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no batch reached the search worker")
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	waitFor(t, srv.isDraining, "server never started draining")
+
+	// New work is refused while draining.
+	resp, body := postSearch(t, ts.Client(), ts.URL, toWire(c.queries[0]))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, want 503; body %s", resp.StatusCode, body)
+	}
+
+	close(bs.release)
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+	for i := 0; i < k; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("in-flight request finished with %d, want 200", code)
+		}
+	}
+}
+
+// TestClientDisconnectCancelsBatch asserts the context plumbing: when
+// every client in a merged batch disconnects, the batch's search context
+// is cancelled instead of burning shard time for nobody.
+func TestClientDisconnectCancelsBatch(t *testing.T) {
+	c := testCorpus(t)
+	sess := testSession(t, c, 1)
+	srv := New(sess, c.peptides, Config{BatchSize: 1, FlushInterval: time.Millisecond})
+	defer srv.Close()
+
+	cancelled := make(chan struct{})
+	srv.searchFn = func(ctx context.Context, qs []spectrum.Experimental) (*engine.Result, error) {
+		<-ctx.Done() // park until the disconnect propagates
+		close(cancelled)
+		return nil, ctx.Err()
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(SearchRequest{Spectra: []SpectrumJSON{toWire(c.queries[0])}})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/search", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	// Give the request time to reach the parked searchFn, then hang up.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch context not cancelled after client disconnect")
+	}
+	<-done
+}
+
+// TestRequestValidation covers the handler's rejection paths.
+func TestRequestValidation(t *testing.T) {
+	c := testCorpus(t)
+	sess := testSession(t, c, 1)
+	srv := New(sess, c.peptides, Config{MaxQueriesPerRequest: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get, err := ts.Client().Get(ts.URL + "/search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /search: status %d, want 405", get.StatusCode)
+	}
+
+	resp, err := ts.Client().Post(ts.URL+"/search", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, body := postSearch(t, ts.Client(), ts.URL)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty spectra: status %d, want 400; body %s", resp.StatusCode, body)
+	}
+
+	q := toWire(c.queries[0])
+	resp, body = postSearch(t, ts.Client(), ts.URL, q, q, q)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized request: status %d, want 413; body %s", resp.StatusCode, body)
+	}
+
+	bad := SpectrumJSON{PrecursorMZ: -5, Peaks: [][2]float64{{100, 1}}}
+	resp, body = postSearch(t, ts.Client(), ts.URL, bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spectrum: status %d, want 400; body %s", resp.StatusCode, body)
+	}
+}
+
+// TestHealthAndStatsEndpoints exercises the operational endpoints before
+// and during drain.
+func TestHealthAndStatsEndpoints(t *testing.T) {
+	c := testCorpus(t)
+	sess := testSession(t, c, 2)
+	srv := New(sess, c.peptides, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Shards != 2 {
+		t.Fatalf("healthz: status %d body %+v", resp.StatusCode, h)
+	}
+
+	q := toWire(c.queries[0])
+	if r, body := postSearch(t, ts.Client(), ts.URL, q); r.StatusCode != http.StatusOK {
+		t.Fatalf("search: status %d: %s", r.StatusCode, body)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Accepted != 1 || st.Searched != 1 || st.Batches != 1 {
+		t.Fatalf("stats after one search: %+v", st)
+	}
+	if st.IndexBytes <= 0 || len(st.PerShard) != 2 {
+		t.Fatalf("stats missing session figures: %+v", st)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while drained: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestRequestTimeout asserts the per-request deadline turns a stuck
+// search into a 504 for the caller.
+func TestRequestTimeout(t *testing.T) {
+	c := testCorpus(t)
+	sess := testSession(t, c, 1)
+	srv := New(sess, c.peptides, Config{
+		BatchSize:      1,
+		FlushInterval:  time.Millisecond,
+		RequestTimeout: 50 * time.Millisecond,
+	})
+	defer srv.Close()
+	srv.searchFn = func(ctx context.Context, qs []spectrum.Experimental) (*engine.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postSearch(t, ts.Client(), ts.URL, toWire(c.queries[0]))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504; body %s", resp.StatusCode, body)
+	}
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}

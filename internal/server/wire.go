@@ -1,0 +1,152 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"lbe/internal/engine"
+	"lbe/internal/spectrum"
+)
+
+// SearchRequest is the JSON body of POST /search: one or more query
+// spectra searched as a unit. Single-spectrum requests are the expected
+// serving shape; the coalescer merges concurrent ones into larger engine
+// batches.
+type SearchRequest struct {
+	Spectra []SpectrumJSON `json:"spectra"`
+}
+
+// SpectrumJSON is one query spectrum on the wire. Peaks are [m/z,
+// intensity] pairs and need not be sorted; the server sorts them.
+type SpectrumJSON struct {
+	Scan          int          `json:"scan,omitempty"`
+	PrecursorMZ   float64      `json:"precursor_mz"`
+	Charge        int          `json:"charge,omitempty"`
+	RetentionTime float64      `json:"retention_time,omitempty"`
+	Peaks         [][2]float64 `json:"peaks"`
+}
+
+// experimental converts the wire spectrum to the engine's query type.
+func (sj SpectrumJSON) experimental() (spectrum.Experimental, error) {
+	e := spectrum.Experimental{
+		Scan:          sj.Scan,
+		PrecursorMZ:   sj.PrecursorMZ,
+		Charge:        sj.Charge,
+		RetentionTime: sj.RetentionTime,
+		Peaks:         make([]spectrum.Peak, len(sj.Peaks)),
+	}
+	for i, p := range sj.Peaks {
+		e.Peaks[i] = spectrum.Peak{MZ: p[0], Intensity: p[1]}
+	}
+	e.SortPeaks()
+	if err := e.Validate(); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+// SearchResponse is the JSON body of a successful /search: one entry per
+// request spectrum, in request order.
+type SearchResponse struct {
+	Results []QueryResult `json:"results"`
+}
+
+// QueryResult holds one query's matches, best-first, TopK applied.
+type QueryResult struct {
+	Scan int       `json:"scan"`
+	PSMs []PSMJSON `json:"psms"`
+}
+
+// PSMJSON is one peptide-to-spectrum match on the wire.
+type PSMJSON struct {
+	Peptide   uint32  `json:"peptide"`
+	Sequence  string  `json:"sequence,omitempty"`
+	Score     float64 `json:"score"`
+	Shared    uint16  `json:"shared"`
+	Precursor float64 `json:"precursor"`
+	Shard     int     `json:"shard"`
+}
+
+// HealthResponse is the JSON body of /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Shards int    `json:"shards"`
+	Groups int    `json:"groups"`
+}
+
+// ShardStatsJSON is one shard's lifetime load in /stats.
+type ShardStatsJSON struct {
+	Rank        int     `json:"rank"`
+	Peptides    int     `json:"peptides"`
+	Rows        int     `json:"rows"`
+	IndexBytes  int     `json:"index_bytes"`
+	WorkUnits   int64   `json:"work_units"`
+	QueryMillis float64 `json:"query_ms"`
+}
+
+// StatsResponse is the JSON body of /stats: session-lifetime engine
+// figures plus the server's admission and coalescing counters.
+type StatsResponse struct {
+	Status         string           `json:"status"`
+	Shards         int              `json:"shards"`
+	Groups         int              `json:"groups"`
+	IndexBytes     int              `json:"index_bytes"`
+	MappingBytes   int              `json:"mapping_bytes"`
+	Searched       int64            `json:"searched"`
+	SessionBatches int64            `json:"session_batches"`
+	Accepted       int64            `json:"requests_accepted"`
+	RejectedQueue  int64            `json:"requests_rejected_queue_full"`
+	RejectedDrain  int64            `json:"requests_rejected_draining"`
+	Batches        int64            `json:"coalesced_batches"`
+	BatchedQueries int64            `json:"coalesced_queries"`
+	QueueLen       int              `json:"queue_len"`
+	QueueDepth     int              `json:"queue_depth"`
+	BatchSize      int              `json:"batch_size"`
+	FlushMicros    int64            `json:"flush_interval_us"`
+	MaxInFlight    int              `json:"max_in_flight"`
+	PerShard       []ShardStatsJSON `json:"per_shard"`
+}
+
+// errorResponse is the JSON body of every non-200 reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// buildResponse assembles the wire response for one request's slice of
+// the merged batch. peptides may be nil, in which case sequences are
+// omitted.
+func buildResponse(qs []spectrum.Experimental, psms [][]engine.PSM, peptides []string) SearchResponse {
+	out := SearchResponse{Results: make([]QueryResult, len(qs))}
+	for q := range qs {
+		qr := QueryResult{Scan: qs[q].Scan, PSMs: make([]PSMJSON, len(psms[q]))}
+		for i, p := range psms[q] {
+			pj := PSMJSON{
+				Peptide:   p.Peptide,
+				Score:     p.Score,
+				Shared:    p.Shared,
+				Precursor: p.Precursor,
+				Shard:     p.Origin,
+			}
+			if int(p.Peptide) < len(peptides) {
+				pj.Sequence = peptides[p.Peptide]
+			}
+			qr.PSMs[i] = pj
+		}
+		out.Results[q] = qr
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// The response was fully assembled from plain data, so encoding can
+	// only fail on a dead connection; nothing useful to do then.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
