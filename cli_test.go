@@ -2,6 +2,8 @@ package lbe_test
 
 import (
 	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -114,6 +116,24 @@ func TestCLIPipeline(t *testing.T) {
 			len(plainLines), len(serialLines))
 	}
 
+	// 6b. Persistent store: lbe-index -out emits a session store, and a
+	// warm-started lbe-search over it must reproduce the freshly built
+	// run byte for byte.
+	out = run(tool("lbe-index"), "-in", "peps.fasta", "-out", "store",
+		"-ranks", "3", "-max-mods", "2")
+	if !strings.Contains(out, "save time") {
+		t.Fatalf("lbe-index -out output: %s", out)
+	}
+	run(tool("lbe-search"), "-index", "store", "-ms2", "run.ms2", "-out", "psms_store.tsv")
+	storeTSV, err := os.ReadFile(filepath.Join(dir, "psms_store.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(storeTSV), "\t") || string(storeTSV) != string(plainTSV) {
+		t.Fatalf("warm-started search differs from fresh build:\nstore: %d bytes\nfresh: %d bytes",
+			len(storeTSV), len(plainTSV))
+	}
+
 	// 7. Convert MS2 -> mzML -> MS2.
 	run(tool("lbe-convert"), "-in", "run.ms2", "-out", "run.mzML")
 	out = run(tool("lbe-convert"), "-in", "run.mzML", "-out", "back.ms2")
@@ -127,9 +147,71 @@ func TestCLIPipeline(t *testing.T) {
 		t.Fatalf("lbe-bench output: %s", out)
 	}
 
-	// 9. Serve the database over HTTP and drive it with the load client.
-	serve := exec.Command(tool("lbe-serve"),
+	// 9. Serve the database over HTTP two ways — a fresh build from
+	// FASTA and a warm start from a store emitted by lbe-index -out —
+	// and assert both serve byte-identical /search responses before
+	// driving the warm one with the load client.
+	run(tool("lbe-index"), "-in", "peps.fasta", "-out", "store2",
+		"-ranks", "2", "-max-mods", "1")
+
+	fresh := startServe(t, dir, tool("lbe-serve"),
 		"-db", "peps.fasta", "-addr", "127.0.0.1:0", "-ranks", "2", "-max-mods", "1")
+	warm := startServe(t, dir, tool("lbe-serve"),
+		"-index", "store2", "-addr", "127.0.0.1:0")
+
+	const searchBody = `{"spectra":[{"scan":1,"precursor_mz":500.3,"charge":2,` +
+		`"peaks":[[147.11,1.0],[262.14,0.8],[375.22,0.6]]}]}`
+	freshResp := postJSON(t, fresh.base+"/search", searchBody)
+	warmResp := postJSON(t, warm.base+"/search", searchBody)
+	if freshResp != warmResp {
+		t.Fatalf("fresh and warm-started servers answered differently:\nfresh: %s\nwarm:  %s",
+			freshResp, warmResp)
+	}
+
+	out = run(tool("lbe-client"), "-addr", warm.base, "-ms2", "run.ms2",
+		"-n", "15", "-c", "4", "-require-matches", "-q")
+	if !strings.Contains(out, "0 failed") || !strings.Contains(out, "0 empty") {
+		t.Fatalf("lbe-client output: %s", out)
+	}
+
+	// Graceful drain on interrupt, for both servers.
+	fresh.drain(t)
+	warm.drain(t)
+}
+
+// postJSON posts body to url and returns the response body.
+func postJSON(t *testing.T, url, body string) string {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+// serveProc is one running lbe-serve under test.
+type serveProc struct {
+	cmd      *exec.Cmd
+	base     string // http://host:port
+	scanDone chan struct{}
+	logText  func() string
+}
+
+// startServe boots an lbe-serve process and waits for its resolved
+// listen address. The log builder is written by the scanner goroutine
+// and read by the test, so it is mutex-guarded; scanDone orders the
+// final read and cmd.Wait after the scanner's last pipe access.
+func startServe(t *testing.T, dir, bin string, args ...string) *serveProc {
+	t.Helper()
+	serve := exec.Command(bin, args...)
 	serve.Dir = dir
 	stderr, err := serve.StderrPipe()
 	if err != nil {
@@ -138,23 +220,19 @@ func TestCLIPipeline(t *testing.T) {
 	if err := serve.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer serve.Process.Kill()
+	t.Cleanup(func() { serve.Process.Kill() })
 
-	// Scan the log for the resolved listen address. The builder is
-	// written by the scanner goroutine and read by the test, so it is
-	// mutex-guarded; scanDone orders the final read and serve.Wait after
-	// the scanner's last pipe access.
 	addr := make(chan string, 1)
 	var logMu sync.Mutex
 	var serveLog strings.Builder
-	scanDone := make(chan struct{})
-	logText := func() string {
+	p := &serveProc{cmd: serve, scanDone: make(chan struct{})}
+	p.logText = func() string {
 		logMu.Lock()
 		defer logMu.Unlock()
 		return serveLog.String()
 	}
 	go func() {
-		defer close(scanDone)
+		defer close(p.scanDone)
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
@@ -166,27 +244,24 @@ func TestCLIPipeline(t *testing.T) {
 			}
 		}
 	}()
-	var base string
 	select {
 	case a := <-addr:
-		base = "http://" + a
+		p.base = "http://" + a
 	case <-time.After(2 * time.Minute):
-		t.Fatalf("lbe-serve never reported its address:\n%s", logText())
+		t.Fatalf("lbe-serve never reported its address:\n%s", p.logText())
 	}
+	return p
+}
 
-	out = run(tool("lbe-client"), "-addr", base, "-ms2", "run.ms2",
-		"-n", "15", "-c", "4", "-require-matches", "-q")
-	if !strings.Contains(out, "0 failed") || !strings.Contains(out, "0 empty") {
-		t.Fatalf("lbe-client output: %s", out)
-	}
-
-	// Graceful drain on interrupt. The scanner drains stderr to EOF
-	// (process exit) before Wait closes the pipe.
-	if err := serve.Process.Signal(os.Interrupt); err != nil {
+// drain interrupts the server and asserts a clean exit. The scanner
+// drains stderr to EOF (process exit) before Wait closes the pipe.
+func (p *serveProc) drain(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(os.Interrupt); err != nil {
 		t.Fatal(err)
 	}
-	<-scanDone
-	if err := serve.Wait(); err != nil {
-		t.Fatalf("lbe-serve did not exit cleanly: %v\n%s", err, logText())
+	<-p.scanDone
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("lbe-serve did not exit cleanly: %v\n%s", err, p.logText())
 	}
 }

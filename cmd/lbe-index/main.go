@@ -1,10 +1,15 @@
 // Command lbe-index builds an SLM fragment-ion index over a peptide FASTA
-// database and reports its dimensions and memory footprint — the numbers
-// behind the paper's Fig. 5.
+// database. By default it reports the index dimensions and memory
+// footprint — the numbers behind the paper's Fig. 5. With -out it instead
+// builds a full partitioned session (grouping, policy partition, one
+// parallel-built SLM index per shard, mapping table) and persists it as a
+// store directory that lbe-serve -index and lbe-search -index warm-start
+// from without rebuilding.
 //
 // Usage:
 //
-//	lbe-index -in peptides.fasta -max-mods 3
+//	lbe-index -in peptides.fasta -max-mods 3                  # stats report
+//	lbe-index -in proteins.fasta -digest -out store -ranks 4  # emit a session store
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"time"
 
 	"lbe"
+	"lbe/internal/cliutil"
 )
 
 func main() {
@@ -21,15 +27,29 @@ func main() {
 	log.SetPrefix("lbe-index: ")
 
 	var (
-		in      = flag.String("in", "", "input peptide FASTA (required)")
-		maxMods = flag.Int("max-mods", 5, "maximum modified residues per peptide")
-		resol   = flag.Float64("resolution", 0.01, "bucket resolution r (Da)")
-		fragTol = flag.Float64("frag-tol", 0.05, "fragment mass tolerance ∆F (Da)")
-		maxFrag = flag.Float64("max-frag-mz", 2000, "instrument scan range upper bound (Da)")
+		in       = flag.String("in", "", "input peptide FASTA (required)")
+		doDigest = flag.Bool("digest", false, "treat -in as proteins and digest in-process")
+		maxMods  = flag.Int("max-mods", 5, "maximum modified residues per peptide")
+		resol    = flag.Float64("resolution", 0.01, "bucket resolution r (Da)")
+		fragTol  = flag.Float64("frag-tol", 0.05, "fragment mass tolerance ∆F (Da)")
+		maxFrag  = flag.Float64("max-frag-mz", 2000, "instrument scan range upper bound (Da)")
+		outDir   = flag.String("out", "", "emit a persistent session store into this directory instead of the stats report")
+		ranks    = flag.Int("ranks", 4, "shards in the emitted store (with -out)")
+		policy   = flag.String("policy", "cyclic", "distribution policy for the store: chunk|cyclic|random")
+		seed     = flag.Int64("seed", 0, "seed for the random policy (with -out)")
+		topK     = flag.Int("topk", 5, "PSMs reported per query by the stored session (with -out)")
 	)
 	flag.Parse()
 	if *in == "" {
 		log.Fatal("-in is required")
+	}
+	if *outDir == "" {
+		// Mirror the -index flag discipline of lbe-serve/lbe-search:
+		// refuse store-only flags loudly instead of silently ignoring
+		// them in the stats report.
+		if bad := cliutil.ExplicitlySet("ranks", "policy", "seed", "topk"); len(bad) > 0 {
+			log.Fatalf("-%s only applies with -out (it shapes the emitted store)", bad[0])
+		}
 	}
 
 	recs, err := lbe.ReadFasta(*in)
@@ -39,6 +59,19 @@ func main() {
 	peptides := make([]string, len(recs))
 	for i, r := range recs {
 		peptides[i] = r.Sequence
+	}
+	if *doDigest {
+		digested, err := cliutil.DigestPeptides(peptides)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("digested %d proteins into %d unique peptides", len(peptides), len(digested))
+		peptides = digested
+	}
+
+	if *outDir != "" {
+		emitStore(peptides, *outDir, *ranks, *policy, *seed, *topK, *maxMods, *resol, *fragTol, *maxFrag)
+		return
 	}
 
 	params := lbe.DefaultSearchParams()
@@ -64,4 +97,44 @@ func main() {
 		perM := float64(ix.MemoryBytes()) / (1 << 30) / (float64(ix.NumRows()) / 1e6)
 		fmt.Printf("GB per million spectra: %.4f (paper: 0.346 shared / 0.366 distributed)\n", perM)
 	}
+}
+
+// emitStore builds a partitioned session with the same defaults lbe-serve
+// uses and persists it, so a store built here and a session built there
+// from the same inputs are interchangeable.
+func emitStore(peptides []string, dir string, ranks int, policy string, seed int64, topK, maxMods int, resol, fragTol, maxFrag float64) {
+	scfg := lbe.DefaultSessionConfig()
+	scfg.Params.Mods.MaxPerPep = maxMods
+	scfg.Params.Resolution = resol
+	scfg.Params.MaxFragmentMZ = maxFrag
+	scfg.Params.FragmentTol.Value = fragTol
+	scfg.Seed = seed
+	scfg.TopK = topK
+	pol, err := lbe.ParsePolicy(policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scfg.Policy = pol
+	scfg.Shards = ranks
+
+	buildStart := time.Now()
+	sess, err := lbe.NewSession(peptides, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	buildTime := time.Since(buildStart)
+
+	saveStart := time.Now()
+	if err := sess.Save(dir, peptides); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("store:      %s\n", dir)
+	fmt.Printf("peptides:   %d\n", len(peptides))
+	fmt.Printf("shards:     %d (%s policy)\n", sess.NumShards(), pol)
+	fmt.Printf("groups:     %d\n", sess.Groups())
+	fmt.Printf("index size: %.2f MB (+ %.2f KB mapping)\n",
+		float64(sess.IndexBytes())/(1<<20), float64(sess.MappingBytes())/(1<<10))
+	fmt.Printf("build time: %v\n", buildTime)
+	fmt.Printf("save time:  %v\n", time.Since(saveStart))
 }

@@ -9,10 +9,14 @@
 // Usage:
 //
 //	lbe-search -db peptides.fasta -ms2 run.ms2 -ranks 16 -policy cyclic -out psms.tsv
+//	lbe-search -index store -ms2 run.ms2 -out psms.tsv
 //
 // The -tcp flag runs the same search as a virtual cluster over loopback
 // TCP links instead of the in-process Session, and -serial runs the
-// single-index shared-memory baseline.
+// single-index shared-memory baseline. With -index the session is
+// warm-started from a persistent store written by lbe-index -out
+// instead of rebuilt from FASTA; the store fixes the database-shape
+// knobs, so only -threads and -batch still apply.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"lbe"
+	"lbe/internal/cliutil"
 	"lbe/internal/core"
 	"lbe/internal/stats"
 )
@@ -37,7 +42,8 @@ func main() {
 	log.SetPrefix("lbe-search: ")
 
 	var (
-		db      = flag.String("db", "", "peptide FASTA database (required)")
+		db      = flag.String("db", "", "peptide FASTA database (required unless -index is set)")
+		index   = flag.String("index", "", "warm-start from a session store directory written by lbe-index -out")
 		ms2In   = flag.String("ms2", "", "MS2 query file (required)")
 		out     = flag.String("out", "", "output TSV report ('-' or empty for stdout)")
 		ranks   = flag.Int("ranks", 4, "shards (virtual cluster size)")
@@ -54,18 +60,71 @@ func main() {
 		fdrCut  = flag.Float64("fdr-threshold", 0.01, "FDR acceptance threshold reported with -fdr")
 	)
 	flag.Parse()
-	if *db == "" || *ms2In == "" {
-		log.Fatal("-db and -ms2 are required")
+	if *ms2In == "" {
+		log.Fatal("-ms2 is required")
+	}
+	if *index != "" {
+		// The store fixes everything that shapes the built database;
+		// combining it with build-time flags (or the rebuild-only modes)
+		// would silently ignore them.
+		if bad := cliutil.ExplicitlySet("db", "serial", "tcp", "fdr", "fdr-threshold",
+			"ranks", "policy", "seed", "max-mods", "topk", "weights"); len(bad) > 0 {
+			log.Fatalf("-%s cannot be combined with -index: the store fixes it", bad[0])
+		}
+	} else if *db == "" {
+		log.Fatal("-db or -index is required")
 	}
 
-	recs, err := lbe.ReadFasta(*db)
-	if err != nil {
-		log.Fatal(err)
+	var peptides []string
+	var sess *lbe.Session
+	cfg := lbe.DefaultEngineConfig()
+	if *index == "" {
+		recs, err := lbe.ReadFasta(*db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peptides = make([]string, len(recs))
+		for i, r := range recs {
+			peptides[i] = r.Sequence
+		}
+
+		cfg.Params.Mods.MaxPerPep = *maxMods
+		cfg.Seed = *seed
+		cfg.TopK = *topK
+		pol, err := core.ParsePolicy(*policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Policy = pol
+		cfg.ThreadsPerRank = *threads
+		cfg.BatchSize = *batch
+		if *weights != "" {
+			for _, tok := range strings.Split(*weights, ",") {
+				w, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+				if err != nil {
+					log.Fatalf("bad weight %q: %v", tok, err)
+				}
+				cfg.Weights = append(cfg.Weights, w)
+			}
+		}
+	} else {
+		loadStart := time.Now()
+		var err error
+		sess, peptides, err = lbe.OpenSession(*index)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sess.Close()
+		if peptides == nil {
+			log.Fatal("store was saved without its peptide list; rebuild it with lbe-index -out")
+		}
+		sess.Tune(*threads, *batch)
+		cfg = sess.Config()
+		log.Printf("session restored from %s: %d shards, %d groups, index %.2f MB, loaded in %v",
+			*index, sess.NumShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),
+			time.Since(loadStart).Round(time.Millisecond))
 	}
-	peptides := make([]string, len(recs))
-	for i, r := range recs {
-		peptides[i] = r.Sequence
-	}
+
 	firstDecoy := len(peptides)
 	if *withFDR {
 		peptides, firstDecoy = lbe.DecoyDB(peptides)
@@ -76,26 +135,10 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("database: %d peptides; queries: %d spectra", firstDecoy, len(queries))
-
-	cfg := lbe.DefaultEngineConfig()
-	cfg.Params.Mods.MaxPerPep = *maxMods
-	cfg.Seed = *seed
-	cfg.TopK = *topK
-	pol, err := core.ParsePolicy(*policy)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg.Policy = pol
-	cfg.ThreadsPerRank = *threads
-	cfg.BatchSize = *batch
-	if *weights != "" {
-		for _, tok := range strings.Split(*weights, ",") {
-			w, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
-			if err != nil {
-				log.Fatalf("bad weight %q: %v", tok, err)
-			}
-			cfg.Weights = append(cfg.Weights, w)
-		}
+	if sess != nil && *batch <= 0 {
+		// Honor the documented "-batch 0 = one batch" contract in
+		// warm-start mode too; Tune alone would keep the stored size.
+		sess.Tune(0, max(len(queries), 1))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -115,8 +158,9 @@ func main() {
 		res, err = lbe.RunSerial(peptides, queries, cfg)
 	case *tcp:
 		res, err = lbe.RunOverTCPCtx(ctx, *ranks, peptides, queries, cfg)
+	case sess != nil: // warm-started from -index
+		res, err = sess.Search(ctx, queries)
 	default:
-		var sess *lbe.Session
 		sess, err = lbe.NewSession(peptides, lbe.SessionConfig{Config: cfg, Shards: *ranks})
 		if err != nil {
 			log.Fatal(err)

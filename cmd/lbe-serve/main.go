@@ -10,6 +10,15 @@
 //
 //	lbe-serve -db peps.fasta -addr :8417 -ranks 4
 //	lbe-serve -db proteins.fasta -digest -coalesce 128 -flush 5ms
+//	lbe-serve -index store -addr :8417
+//
+// With -index the service warm-starts from a persistent session store
+// written by lbe-index -out: instead of re-digesting and rebuilding
+// every shard index (minutes of cold start on real databases), the
+// saved indexes are loaded in parallel — O(index bytes) instead of
+// O(database). The store fixes the database-shape knobs (shards,
+// policy, mods, topk); only runtime knobs (-threads, -batch, and the
+// serving flags) still apply.
 //
 // The first SIGINT/SIGTERM drains gracefully: admission stops (503),
 // queued and in-flight requests complete, then the process exits. A
@@ -26,10 +35,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"lbe"
+	"lbe/internal/cliutil"
 	"lbe/internal/core"
 	"lbe/internal/server"
 )
@@ -40,7 +51,8 @@ func main() {
 
 	var (
 		addr     = flag.String("addr", ":8417", "listen address (host:port; port 0 picks a free port)")
-		db       = flag.String("db", "", "peptide FASTA database (required)")
+		db       = flag.String("db", "", "peptide FASTA database (required unless -index is set)")
+		index    = flag.String("index", "", "warm-start from a session store directory written by lbe-index -out")
 		doDigest = flag.Bool("digest", false, "treat -db as proteins and digest in-process")
 		maxMods  = flag.Int("max-mods", 2, "max modified residues per peptide")
 		ranks    = flag.Int("ranks", 4, "shards (virtual cluster size)")
@@ -57,52 +69,78 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
 	)
 	flag.Parse()
-	if *db == "" {
-		log.Fatal("-db is required")
-	}
 
-	recs, err := lbe.ReadFasta(*db)
-	if err != nil {
-		log.Fatal(err)
-	}
-	seqs := make([]string, len(recs))
-	for i, r := range recs {
-		seqs[i] = r.Sequence
-	}
-	peptides := seqs
-	if *doDigest {
-		peps, err := lbe.Digest(lbe.DefaultDigestConfig(), seqs)
+	var sess *lbe.Session
+	var peptides []string
+	if *index != "" {
+		// The store fixes everything that shapes the built database;
+		// combining it with build-time flags would silently ignore them.
+		if bad := cliutil.ExplicitlySet("db", "digest", "max-mods", "ranks", "policy", "seed", "topk"); len(bad) > 0 {
+			log.Fatalf("-%s cannot be combined with -index: the store fixes it", bad[0])
+		}
+		loadStart := time.Now()
+		var err error
+		sess, peptides, err = lbe.OpenSession(*index)
 		if err != nil {
 			log.Fatal(err)
 		}
-		peptides = lbe.PeptideSequences(lbe.Dedup(peps))
-		log.Printf("digested %d proteins into %d unique peptides", len(seqs), len(peptides))
-	}
+		threadBudget := *threads
+		if threadBudget <= 0 {
+			threadBudget = runtime.GOMAXPROCS(0)
+		}
+		sess.Tune(threadBudget, *batch)
+		log.Printf("session restored from %s: %d peptides, %d shards, %d groups, index %.2f MB, loaded in %v",
+			*index, len(peptides), sess.NumShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),
+			time.Since(loadStart).Round(time.Millisecond))
+		if peptides == nil {
+			log.Printf("store has no peptide list; responses will omit matched sequences")
+		}
+	} else {
+		if *db == "" {
+			log.Fatal("-db or -index is required")
+		}
+		recs, err := lbe.ReadFasta(*db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seqs := make([]string, len(recs))
+		for i, r := range recs {
+			seqs[i] = r.Sequence
+		}
+		peptides = seqs
+		if *doDigest {
+			peptides, err = cliutil.DigestPeptides(seqs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("digested %d proteins into %d unique peptides", len(seqs), len(peptides))
+		}
 
-	scfg := lbe.DefaultSessionConfig()
-	scfg.Params.Mods.MaxPerPep = *maxMods
-	scfg.Seed = *seed
-	scfg.TopK = *topK
-	pol, err := core.ParsePolicy(*policy)
-	if err != nil {
-		log.Fatal(err)
-	}
-	scfg.Policy = pol
-	if *threads > 0 {
-		scfg.ThreadsPerRank = *threads
-	}
-	scfg.BatchSize = *batch
-	scfg.Shards = *ranks
+		scfg := lbe.DefaultSessionConfig()
+		scfg.Params.Mods.MaxPerPep = *maxMods
+		scfg.Seed = *seed
+		scfg.TopK = *topK
+		pol, err := core.ParsePolicy(*policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scfg.Policy = pol
+		if *threads > 0 {
+			scfg.ThreadsPerRank = *threads
+		}
+		scfg.BatchSize = *batch
+		scfg.Shards = *ranks
 
-	buildStart := time.Now()
-	sess, err := lbe.NewSession(peptides, scfg)
-	if err != nil {
-		log.Fatal(err)
+		buildStart := time.Now()
+		sess, err = lbe.NewSession(peptides, scfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("session ready: %d peptides, %d shards, %d groups, index %.2f MB, built in %v",
+			len(peptides), sess.NumShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),
+			time.Since(buildStart).Round(time.Millisecond))
 	}
 	defer sess.Close()
-	log.Printf("session ready: %d peptides, %d shards, %d groups, index %.2f MB, built in %v",
-		len(peptides), sess.NumShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),
-		time.Since(buildStart).Round(time.Millisecond))
 
 	srv := server.New(sess, peptides, server.Config{
 		BatchSize:      *coalesce,

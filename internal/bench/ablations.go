@@ -186,6 +186,7 @@ func All(o Options) ([]Figure, error) {
 		{"filtration", FiltrationComparison},
 		{"session", SessionThroughput},
 		{"serve", ServeThroughput},
+		{"coldstart", ColdStart},
 	}
 	var figs []Figure
 	for _, r := range runners {

@@ -359,3 +359,31 @@ func TestServeThroughputTiny(t *testing.T) {
 		t.Fatalf("serve figure missing rate/coalescing notes: %v", fig.Notes)
 	}
 }
+
+func TestColdStartShape(t *testing.T) {
+	fig, err := ColdStart(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	rebuild, warm := fig.Series[0], fig.Series[1]
+	if len(rebuild.Y) != len(paperSizesM) || len(warm.Y) != len(rebuild.Y) {
+		t.Fatalf("notches: rebuild %d, warm %d, want %d", len(rebuild.Y), len(warm.Y), len(paperSizesM))
+	}
+	for i := range warm.Y {
+		if warm.Y[i] <= 0 || rebuild.Y[i] <= 0 {
+			t.Errorf("notch %d: non-positive wall time (rebuild %.3f, open %.3f)", i, rebuild.Y[i], warm.Y[i])
+		}
+	}
+	// The figure's reason to exist is that opening beats rebuilding, but
+	// at tinyOptions scale both are single-digit milliseconds, so a
+	// strict inequality would flake on a loaded CI runner. Allow a wide
+	// margin; the real comparison is the reported figure itself.
+	last := len(rebuild.Y) - 1
+	if warm.Y[last] >= 3*rebuild.Y[last] {
+		t.Errorf("open-from-store (%.2fms) wildly slower than rebuild (%.2fms) at the largest notch",
+			warm.Y[last], rebuild.Y[last])
+	}
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"lbe/internal/engine"
+)
+
+// ColdStart measures the serving cold start the persistent session store
+// removes: for growing index sizes, the wall time of a full rebuild
+// (grouping, policy partition, parallel per-shard index construction)
+// versus engine.OpenSession over a store saved beforehand. The rebuild is
+// O(database); the open is O(index bytes), loaded in parallel — the
+// store's reason to exist.
+func ColdStart(o Options) (Figure, error) {
+	fig := Figure{
+		ID:     "coldstart",
+		Title:  fmt.Sprintf("Serving cold start: rebuild vs open from store, %d shards", o.Ranks),
+		XLabel: "index size (rows)",
+		YLabel: "wall ms",
+	}
+	rebuild := Series{Label: "rebuild (NewSession)"}
+	warm := Series{Label: "open from store (OpenSession)"}
+	var speedups, storeMB []float64
+	for _, sizeM := range paperSizesM {
+		c, err := o.corpusAt(sizeM)
+		if err != nil {
+			return fig, err
+		}
+		cfg := engineConfig()
+		scfg := engine.SessionConfig{Config: cfg, Shards: o.Ranks}
+
+		buildStart := time.Now()
+		sess, err := engine.NewSession(c.Peptides, scfg)
+		if err != nil {
+			return fig, err
+		}
+		buildMs := float64(time.Since(buildStart).Nanoseconds()) / 1e6
+
+		dir, err := os.MkdirTemp("", "lbe-coldstart-*")
+		if err != nil {
+			sess.Close()
+			return fig, err
+		}
+		openMs, rows, bytes, err := openFromStore(sess, c, dir)
+		os.RemoveAll(dir)
+		sess.Close()
+		if err != nil {
+			return fig, err
+		}
+
+		x := float64(rows)
+		rebuild.X, rebuild.Y = append(rebuild.X, x), append(rebuild.Y, buildMs)
+		warm.X, warm.Y = append(warm.X, x), append(warm.Y, openMs)
+		speedups = append(speedups, buildMs/openMs)
+		storeMB = append(storeMB, float64(bytes)/(1<<20))
+	}
+	fig.Series = []Series{rebuild, warm}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("open-from-store speedup per notch: %sx", trimFloats(speedups)),
+		fmt.Sprintf("store size on disk per notch: %s MB; reloaded sessions verified PSM-identical on a query sample",
+			trimFloats(storeMB)))
+	return fig, nil
+}
+
+// openFromStore saves the session to dir, times OpenSession, verifies the
+// reloaded session answers a query sample identically, and reports the
+// open wall time, total indexed rows, and store bytes on disk.
+func openFromStore(sess *engine.Session, c Corpus, dir string) (openMs float64, rows int, storeBytes int64, err error) {
+	if err := sess.Save(dir, c.Peptides); err != nil {
+		return 0, 0, 0, err
+	}
+	err = filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return err
+		}
+		storeBytes += fi.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	openStart := time.Now()
+	loaded, _, err := engine.OpenSession(dir)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	openMs = float64(time.Since(openStart).Nanoseconds()) / 1e6
+	defer loaded.Close()
+
+	for _, rs := range loaded.Stats() {
+		rows += rs.Rows
+	}
+
+	// Keep the figure honest: the warm session must answer exactly like
+	// the one that saved it.
+	sample := c.Queries
+	if len(sample) > 32 {
+		sample = sample[:32]
+	}
+	want, err := sess.Search(context.Background(), sample)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	got, err := loaded.Search(context.Background(), sample)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if !reflect.DeepEqual(got.PSMs, want.PSMs) {
+		return 0, 0, 0, fmt.Errorf("bench: coldstart: reloaded session PSMs differ from the saved session's")
+	}
+	return openMs, rows, storeBytes, nil
+}

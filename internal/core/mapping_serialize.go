@@ -1,0 +1,121 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Binary mapping-table format ("LBMT"), the master-side companion of the
+// SLMX index format: a persistent session store saves the mapping table
+// once so a reloaded cluster can resolve (machine, virtual index) pairs
+// without re-running grouping and partitioning.
+//
+// Layout (little-endian):
+//
+//	magic "LBMT" | version u32 | machines u32 |
+//	offsets u64 × (machines+1) | nentries u32 | entries u32 × n | crc32
+//
+// The CRC covers everything between the magic and the checksum itself.
+// Length fields are untrusted until the CRC verifies, so the decoder
+// bounds every one against the bytes actually present before allocating.
+
+const (
+	mappingMagic   = "LBMT"
+	mappingVersion = 1
+
+	// maxMappingMachines is an absolute sanity cap on the machine count;
+	// real deployments are orders of magnitude smaller.
+	maxMappingMachines = 1 << 20
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler. It rejects tables
+// the decoder's caps would refuse, so a saved blob always reloads.
+func (t MappingTable) MarshalBinary() ([]byte, error) {
+	p := t.Machines()
+	if p < 0 {
+		return nil, fmt.Errorf("core: mapping table has no offsets")
+	}
+	if p > maxMappingMachines {
+		return nil, fmt.Errorf("core: %d machines exceed the serializable cap %d", p, maxMappingMachines)
+	}
+	if len(t.entries) > math.MaxInt32 {
+		return nil, fmt.Errorf("core: %d entries exceed the serializable cap %d", len(t.entries), math.MaxInt32)
+	}
+	le := binary.LittleEndian
+	out := make([]byte, 0, 4+4+4+8*(p+1)+4+4*len(t.entries)+4)
+	out = append(out, mappingMagic...)
+	out = le.AppendUint32(out, mappingVersion)
+	out = le.AppendUint32(out, uint32(p))
+	for _, off := range t.offsets {
+		out = le.AppendUint64(out, uint64(off))
+	}
+	out = le.AppendUint32(out, uint32(len(t.entries)))
+	for _, e := range t.entries {
+		out = le.AppendUint32(out, e)
+	}
+	crc := crc32.ChecksumIEEE(out[len(mappingMagic):])
+	out = le.AppendUint32(out, crc)
+	return out, nil
+}
+
+// UnmarshalMappingTable parses a table written by MarshalBinary,
+// verifying the checksum, the format version and the structural
+// invariants (monotone offsets starting at zero and ending at the entry
+// count). Allocation is bounded by len(data).
+func UnmarshalMappingTable(data []byte) (MappingTable, error) {
+	var t MappingTable
+	le := binary.LittleEndian
+	if len(data) < len(mappingMagic)+4+4+8+4+4 {
+		return t, fmt.Errorf("core: mapping blob of %d bytes is too short", len(data))
+	}
+	if string(data[:len(mappingMagic)]) != mappingMagic {
+		return t, fmt.Errorf("core: bad mapping magic %q", data[:len(mappingMagic)])
+	}
+	payload := data[len(mappingMagic) : len(data)-4]
+	if got, want := le.Uint32(data[len(data)-4:]), crc32.ChecksumIEEE(payload); got != want {
+		return t, fmt.Errorf("core: mapping checksum mismatch: blob %08x, computed %08x", got, want)
+	}
+	if v := le.Uint32(payload); v != mappingVersion {
+		return t, fmt.Errorf("core: unsupported mapping version %d (want %d)", v, mappingVersion)
+	}
+	p := le.Uint32(payload[4:])
+	if p > maxMappingMachines {
+		return t, fmt.Errorf("core: mapping machine count %d implausible", p)
+	}
+	rest := payload[8:]
+	need := 8*(int64(p)+1) + 4
+	if int64(len(rest)) < need {
+		return t, fmt.Errorf("core: mapping blob truncated: %d machines need %d bytes, %d remain",
+			p, need, len(rest))
+	}
+	t.offsets = make([]int, p+1)
+	for i := range t.offsets {
+		off := le.Uint64(rest[8*i:])
+		if off > math.MaxInt32 {
+			return t, fmt.Errorf("core: mapping offset %d out of range", off)
+		}
+		t.offsets[i] = int(off)
+		if i > 0 && t.offsets[i] < t.offsets[i-1] {
+			return t, fmt.Errorf("core: mapping offsets not monotone at machine %d", i)
+		}
+	}
+	if t.offsets[0] != 0 {
+		return t, fmt.Errorf("core: mapping offsets start at %d, want 0", t.offsets[0])
+	}
+	rest = rest[8*(int(p)+1):]
+	n := le.Uint32(rest)
+	if int(n) != t.offsets[p] {
+		return t, fmt.Errorf("core: mapping entry count %d != offsets end %d", n, t.offsets[p])
+	}
+	rest = rest[4:]
+	if int64(len(rest)) != 4*int64(n) {
+		return t, fmt.Errorf("core: mapping blob has %d entry bytes, want %d", len(rest), 4*int64(n))
+	}
+	t.entries = make([]uint32, n)
+	for i := range t.entries {
+		t.entries[i] = le.Uint32(rest[4*i:])
+	}
+	return t, nil
+}

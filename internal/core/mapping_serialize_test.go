@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// recrc recomputes the trailing checksum after a deliberate field patch,
+// so the test exercises the semantic validation rather than the CRC.
+func recrc(d []byte) uint32 { return crc32.ChecksumIEEE(d[4 : len(d)-4]) }
+
+func testTable(t *testing.T) MappingTable {
+	t.Helper()
+	g := grouping(23, 4)
+	p, err := PartitionClustered(g, 5, Cyclic, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildMappingTable(g, p)
+}
+
+func TestMappingBinaryRoundTrip(t *testing.T) {
+	tab := testTable(t)
+	blob, err := tab.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalMappingTable(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Machines() != tab.Machines() || got.Len() != tab.Len() {
+		t.Fatalf("shape: %d/%d machines, %d/%d entries",
+			got.Machines(), tab.Machines(), got.Len(), tab.Len())
+	}
+	for m := 0; m < tab.Machines(); m++ {
+		for v := 0; v < tab.MachineLen(m); v++ {
+			a, err1 := tab.Lookup(m, uint32(v))
+			b, err2 := got.Lookup(m, uint32(v))
+			if err1 != nil || err2 != nil || a != b {
+				t.Fatalf("lookup (%d,%d): %d/%v vs %d/%v", m, v, a, err1, b, err2)
+			}
+		}
+	}
+	// Re-marshal must be byte-identical.
+	blob2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Error("re-marshaled mapping blob differs")
+	}
+}
+
+func TestMappingEmptyTableRoundTrip(t *testing.T) {
+	g := grouping(0, 4)
+	p, err := PartitionClustered(g, 2, Chunk, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := BuildMappingTable(g, p)
+	blob, err := tab.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalMappingTable(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Machines() != 2 || got.Len() != 0 {
+		t.Fatalf("empty table round trip: %d machines, %d entries", got.Machines(), got.Len())
+	}
+}
+
+func TestMappingUnmarshalRejectsCorruption(t *testing.T) {
+	tab := testTable(t)
+	valid, err := tab.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := binary.LittleEndian
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(d []byte) []byte { return nil }},
+		{"too short", func(d []byte) []byte { return d[:10] }},
+		{"bad magic", func(d []byte) []byte { d[0] = 'X'; return d }},
+		{"bit flip", func(d []byte) []byte { d[len(d)/2] ^= 0x40; return d }},
+		{"truncated tail", func(d []byte) []byte { return d[:len(d)-5] }},
+		{"trailing junk", func(d []byte) []byte { return append(d, 0xAA) }},
+		{"future version", func(d []byte) []byte {
+			le.PutUint32(d[4:], 99)
+			le.PutUint32(d[len(d)-4:], recrc(d))
+			return d
+		}},
+		{"huge machine count", func(d []byte) []byte {
+			le.PutUint32(d[8:], 0xFFFFFFFF)
+			le.PutUint32(d[len(d)-4:], recrc(d))
+			return d
+		}},
+		{"non-monotone offsets", func(d []byte) []byte {
+			le.PutUint64(d[12+8:], 1<<20)
+			le.PutUint32(d[len(d)-4:], recrc(d))
+			return d
+		}},
+	}
+	for _, tc := range cases {
+		data := tc.mutate(append([]byte(nil), valid...))
+		if _, err := UnmarshalMappingTable(data); err == nil {
+			t.Errorf("%s: UnmarshalMappingTable accepted corrupt blob", tc.name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 )
@@ -41,6 +42,26 @@ func (p Policy) String() string {
 	}
 }
 
+// MarshalJSON encodes the policy as its String name, keeping persisted
+// session manifests readable and stable across renumbering.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON decodes a policy name as written by MarshalJSON.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	v, err := ParsePolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
 // ParsePolicy converts a policy name as printed by String back to a Policy.
 func ParsePolicy(s string) (Policy, error) {
 	switch s {
@@ -58,8 +79,9 @@ func ParsePolicy(s string) (Policy, error) {
 
 // Partition assigns the clustered peptide order to p machines under the
 // given policy. The result's Assign[m] lists, for machine m, the positions
-// in clustered order (indices into Grouping.Order) it owns, in ascending
-// order of assignment.
+// in clustered order (indices into Grouping.Order) it owns. For the
+// deterministic policies (Chunk, Cyclic) the positions are in ascending
+// order; the Random policies list them in shuffled assignment order.
 //
 // seed is used only by the Random policies.
 type Partition struct {

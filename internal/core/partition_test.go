@@ -225,3 +225,56 @@ func TestGlobalIndices(t *testing.T) {
 		t.Errorf("machine 1 global indices = %v", m1)
 	}
 }
+
+// TestPartitionInvariants pins, for every policy, the contract Partition
+// documents: Assign partitions 0..n-1 exactly (no duplicates, no gaps),
+// MachineOf round-trips the assignment, and the deterministic policies
+// (Chunk, Cyclic) list positions in ascending order.
+func TestPartitionInvariants(t *testing.T) {
+	policies := []Policy{Chunk, Cyclic, Random, RandomWithinGroups}
+	for _, policy := range policies {
+		for _, n := range []int{0, 1, 7, 64, 251} {
+			for _, p := range []int{1, 3, 8} {
+				g := grouping(n, 5)
+				part, err := PartitionClustered(g, p, policy, 42)
+				if err != nil {
+					t.Fatalf("%v n=%d p=%d: %v", policy, n, p, err)
+				}
+				seen := make([]int, n) // occurrences per position
+				for m, a := range part.Assign {
+					for _, pos := range a {
+						if pos < 0 || pos >= n {
+							t.Fatalf("%v n=%d p=%d: machine %d owns out-of-range position %d", policy, n, p, m, pos)
+						}
+						seen[pos]++
+					}
+				}
+				for pos, c := range seen {
+					if c != 1 {
+						t.Fatalf("%v n=%d p=%d: position %d assigned %d times", policy, n, p, pos, c)
+					}
+				}
+				owner := part.MachineOf()
+				if len(owner) != n {
+					t.Fatalf("%v n=%d p=%d: MachineOf has %d positions, want %d", policy, n, p, len(owner), n)
+				}
+				for m, a := range part.Assign {
+					for _, pos := range a {
+						if owner[pos] != m {
+							t.Fatalf("%v n=%d p=%d: MachineOf[%d]=%d, but machine %d owns it", policy, n, p, pos, owner[pos], m)
+						}
+					}
+				}
+				if policy == Chunk || policy == Cyclic {
+					for m, a := range part.Assign {
+						for i := 1; i < len(a); i++ {
+							if a[i] <= a[i-1] {
+								t.Fatalf("%v n=%d p=%d: machine %d positions not ascending: %v", policy, n, p, m, a)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

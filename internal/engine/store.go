@@ -1,0 +1,453 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+
+	"lbe/internal/core"
+	"lbe/internal/slm"
+)
+
+// Persistent session store: the paper's shared-memory design stores index
+// chunks on disk when not in use (§II-B); a store generalizes that to the
+// whole built engine, so a serving process can warm-start by loading
+// index bytes instead of re-digesting and rebuilding the database — the
+// amortization HiCOPS-style deployments rely on at tera-scale.
+//
+// On-disk layout of a store directory:
+//
+//	manifest.json    format version, the full SessionConfig (tolerances
+//	                 in their string form, policy by name), grouping and
+//	                 partition metadata (group count, preprocessing
+//	                 nanos, per-shard build RankStats), the number of
+//	                 peptides, and one {name, size, crc32} record per
+//	                 companion file
+//	mapping.lbmt     the master mapping table in the checksummed "LBMT"
+//	                 binary format (internal/core/mapping_serialize.go)
+//	peptides.txt     optional: the global peptide list, one sequence per
+//	                 line, for sequence reporting at serve time
+//	shard-%04d.slmx  one checksummed SLMX partial index per shard
+//	                 (internal/slm/serialize.go)
+//
+// The manifest is written last, so a crashed Save leaves a directory
+// that OpenSession refuses. Every companion file carries two layers of
+// integrity: its own format checksum (SLMX/LBMT CRC) and the whole-file
+// CRC recorded in the manifest, which also catches files swapped between
+// stores of identical parameters. OpenSession loads shards in parallel
+// and validates counts, CRCs, and the mapping/shard shape against each
+// other before constructing the session.
+
+const (
+	storeFormatVersion = 1
+
+	manifestFile = "manifest.json"
+	mappingFile  = "mapping.lbmt"
+	peptidesFile = "peptides.txt"
+	shardPattern = "shard-%04d.slmx"
+
+	// maxManifestBytes bounds how much of a (possibly corrupt) manifest
+	// is read before JSON decoding.
+	maxManifestBytes = 16 << 20
+)
+
+// storedFile identifies one companion file of the store with its
+// integrity record.
+type storedFile struct {
+	Name  string `json:"name"`
+	Size  int64  `json:"size"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// storeManifest is the JSON document tying the store together.
+type storeManifest struct {
+	FormatVersion  int           `json:"format_version"`
+	Config         SessionConfig `json:"config"`
+	Groups         int           `json:"groups"`
+	GroupingNanos  int64         `json:"grouping_nanos"`
+	PartitionNanos int64         `json:"partition_nanos"`
+	Build          []RankStats   `json:"build"`
+	NumPeptides    int           `json:"num_peptides,omitempty"`
+	Mapping        storedFile    `json:"mapping"`
+	Peptides       *storedFile   `json:"peptides,omitempty"`
+	Shards         []storedFile  `json:"shards"`
+}
+
+// checksumWriter accumulates the whole-file CRC and byte count recorded
+// in the manifest.
+type checksumWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (cw *checksumWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
+// writeStoreFile creates dir/name, streams fill through a CRC accountant,
+// and returns the manifest record.
+func writeStoreFile(dir, name string, fill func(io.Writer) error) (storedFile, error) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return storedFile{}, err
+	}
+	cw := &checksumWriter{w: f}
+	if err := fill(cw); err != nil {
+		f.Close()
+		return storedFile{}, fmt.Errorf("engine: writing %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return storedFile{}, fmt.Errorf("engine: writing %s: %w", name, err)
+	}
+	return storedFile{Name: name, Size: cw.n, CRC32: cw.crc}, nil
+}
+
+// Save persists the session as a store directory that OpenSession can
+// warm-start from. peptides is the global peptide list the session was
+// built over; pass nil to omit it (sequence reporting is then
+// unavailable after reload). dir is created if needed; existing store
+// files in it are overwritten.
+func (s *Session) Save(dir string, peptides []string) error {
+	s.mu.Lock()
+	closed := s.closed
+	shards := s.shards
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("engine: save: session is closed")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+
+	man := storeManifest{
+		FormatVersion:  storeFormatVersion,
+		Config:         SessionConfig{Config: s.cfg, Shards: len(shards)},
+		Groups:         s.groups,
+		GroupingNanos:  s.groupingNanos,
+		PartitionNanos: s.partitionNs,
+		Build:          append([]RankStats(nil), s.build...),
+	}
+
+	// Shards write in parallel, mirroring the parallel load: each file is
+	// independent, so save time does not grow linearly with shard count.
+	man.Shards = make([]storedFile, len(shards))
+	werrs := make([]error, len(shards))
+	var wwg sync.WaitGroup
+	for m, ix := range shards {
+		wwg.Add(1)
+		go func(m int, ix *slm.Index) {
+			defer wwg.Done()
+			man.Shards[m], werrs[m] = writeStoreFile(dir, fmt.Sprintf(shardPattern, m), func(w io.Writer) error {
+				_, err := ix.WriteTo(w)
+				return err
+			})
+		}(m, ix)
+	}
+	wwg.Wait()
+	for _, err := range werrs {
+		if err != nil {
+			return err
+		}
+	}
+
+	blob, err := s.table.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	if man.Mapping, err = writeStoreFile(dir, mappingFile, func(w io.Writer) error {
+		_, err := w.Write(blob)
+		return err
+	}); err != nil {
+		return err
+	}
+
+	if peptides != nil {
+		// Fail fast on the wrong list (e.g. pre-digest proteins) instead
+		// of persisting a store OpenSession will refuse.
+		if len(peptides) != s.table.Len() {
+			return fmt.Errorf("engine: save: %d peptides do not match the session's %d mapped entries",
+				len(peptides), s.table.Len())
+		}
+		for i, p := range peptides {
+			if strings.ContainsAny(p, "\r\n") {
+				return fmt.Errorf("engine: save: peptide %d contains a line break", i)
+			}
+		}
+		sf, err := writeStoreFile(dir, peptidesFile, func(w io.Writer) error {
+			for _, p := range peptides {
+				if _, err := io.WriteString(w, p); err != nil {
+					return err
+				}
+				if _, err := w.Write([]byte{'\n'}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		man.Peptides = &sf
+		man.NumPeptides = len(peptides)
+	}
+
+	// The manifest goes last: a store interrupted mid-save has no
+	// manifest and is refused by OpenSession instead of half-loading.
+	doc, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), append(doc, '\n'), 0o644); err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	return nil
+}
+
+// measuredReader feeds a shard file to slm.ReadIndex while accumulating
+// the whole-file CRC. Len exposes the unread byte count so the SLMX
+// decoder can bound its allocations against the true input size.
+type measuredReader struct {
+	r   io.Reader
+	rem int64
+	crc uint32
+}
+
+func (m *measuredReader) Read(p []byte) (int, error) {
+	n, err := m.r.Read(p)
+	m.crc = crc32.Update(m.crc, crc32.IEEETable, p[:n])
+	m.rem -= int64(n)
+	return n, err
+}
+
+func (m *measuredReader) Len() int {
+	if m.rem < 0 {
+		return 0
+	}
+	return int(m.rem)
+}
+
+// checkStoredName rejects manifest file names that would escape the
+// store directory.
+func checkStoredName(name string) error {
+	if name == "" || name != filepath.Base(name) || name == "." || name == ".." {
+		return fmt.Errorf("engine: open: manifest names invalid file %q", name)
+	}
+	return nil
+}
+
+// openStoredFile reads dir/name fully, verifying the manifest's size and
+// whole-file CRC.
+func openStoredFile(dir string, sf storedFile) ([]byte, error) {
+	if err := checkStoredName(sf.Name); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, sf.Name)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open: %w", err)
+	}
+	if fi.Size() != sf.Size {
+		return nil, fmt.Errorf("engine: open: %s is %d bytes, manifest says %d", sf.Name, fi.Size(), sf.Size)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open: %w", err)
+	}
+	if crc := crc32.ChecksumIEEE(data); crc != sf.CRC32 {
+		return nil, fmt.Errorf("engine: open: %s checksum %08x does not match manifest %08x", sf.Name, crc, sf.CRC32)
+	}
+	return data, nil
+}
+
+// openShard loads and verifies one SLMX shard file.
+func openShard(dir string, sf storedFile) (*slm.Index, error) {
+	if err := checkStoredName(sf.Name); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, sf.Name)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("engine: open: %w", err)
+	}
+	if fi.Size() != sf.Size {
+		return nil, fmt.Errorf("engine: open: %s is %d bytes, manifest says %d", sf.Name, fi.Size(), sf.Size)
+	}
+	mr := &measuredReader{r: f, rem: fi.Size()}
+	ix, err := slm.ReadIndex(mr)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open: %s: %w", sf.Name, err)
+	}
+	// Drain read-ahead to EOF so the CRC covers the whole file; trailing
+	// junk after the SLMX checksum surfaces as a manifest CRC mismatch.
+	if _, err := io.Copy(io.Discard, mr); err != nil {
+		return nil, fmt.Errorf("engine: open: %s: %w", sf.Name, err)
+	}
+	if mr.crc != sf.CRC32 {
+		return nil, fmt.Errorf("engine: open: %s checksum %08x does not match manifest %08x", sf.Name, mr.crc, sf.CRC32)
+	}
+	return ix, nil
+}
+
+// OpenSession warm-starts a session from a store directory written by
+// Save: the manifest is validated, the mapping table and every shard
+// index are reloaded (shards in parallel) with their checksums verified,
+// and the cross-file shape is checked before the session is assembled.
+// The returned peptide list is the one saved alongside the session, or
+// nil when the store was saved without peptides.
+//
+// The loaded session serves queries exactly as the session that saved it
+// would: the indexes and mapping table are byte-for-byte the saved ones.
+func OpenSession(dir string) (*Session, []string, error) {
+	f, err := os.Open(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: open: %w", err)
+	}
+	doc, err := io.ReadAll(io.LimitReader(f, maxManifestBytes+1))
+	f.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: open: reading manifest: %w", err)
+	}
+	if len(doc) > maxManifestBytes {
+		return nil, nil, fmt.Errorf("engine: open: manifest exceeds %d bytes", maxManifestBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	dec.DisallowUnknownFields()
+	var man storeManifest
+	if err := dec.Decode(&man); err != nil {
+		return nil, nil, fmt.Errorf("engine: open: parsing manifest: %w", err)
+	}
+	if man.FormatVersion != storeFormatVersion {
+		return nil, nil, fmt.Errorf("engine: open: unsupported store format version %d (want %d)",
+			man.FormatVersion, storeFormatVersion)
+	}
+	p := man.Config.Shards
+	if p < 1 {
+		return nil, nil, fmt.Errorf("engine: open: manifest declares %d shards", p)
+	}
+	if len(man.Shards) != p {
+		return nil, nil, fmt.Errorf("engine: open: manifest lists %d shard files for %d shards", len(man.Shards), p)
+	}
+	if len(man.Build) != p {
+		return nil, nil, fmt.Errorf("engine: open: manifest has %d build stats for %d shards", len(man.Build), p)
+	}
+	if err := man.Config.Params.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("engine: open: stored config: %w", err)
+	}
+
+	blob, err := openStoredFile(dir, man.Mapping)
+	if err != nil {
+		return nil, nil, err
+	}
+	table, err := core.UnmarshalMappingTable(blob)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: open: %s: %w", man.Mapping.Name, err)
+	}
+	if table.Machines() != p {
+		return nil, nil, fmt.Errorf("engine: open: mapping covers %d machines, manifest declares %d shards",
+			table.Machines(), p)
+	}
+
+	var peptides []string
+	if man.Peptides != nil {
+		data, err := openStoredFile(dir, *man.Peptides)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(data) > 0 {
+			if data[len(data)-1] != '\n' {
+				return nil, nil, fmt.Errorf("engine: open: %s is not newline-terminated", man.Peptides.Name)
+			}
+			peptides = strings.Split(string(data[:len(data)-1]), "\n")
+		} else {
+			peptides = []string{}
+		}
+		if len(peptides) != man.NumPeptides {
+			return nil, nil, fmt.Errorf("engine: open: %s holds %d peptides, manifest says %d",
+				man.Peptides.Name, len(peptides), man.NumPeptides)
+		}
+		if table.Len() != len(peptides) {
+			return nil, nil, fmt.Errorf("engine: open: mapping covers %d peptides, store holds %d",
+				table.Len(), len(peptides))
+		}
+	}
+
+	// Shards load in parallel — the O(index bytes) warm start replacing
+	// the O(database) rebuild.
+	shards := make([]*slm.Index, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for m := 0; m < p; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			shards[m], errs[m] = openShard(dir, man.Shards[m])
+		}(m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Cross-file shape checks: every shard must agree with the manifest's
+	// build stats and fit inside its mapping chunk, so a query can never
+	// hit an unmappable virtual index. The params check closes the gap
+	// between the human-editable JSON manifest and the CRC-protected
+	// SLMX files: query preprocessing runs off the manifest's Params
+	// while matching runs off each shard's, so they must be identical.
+	for m, ix := range shards {
+		if !reflect.DeepEqual(ix.Params(), man.Config.Params) {
+			return nil, nil, fmt.Errorf("engine: open: shard %d params disagree with the manifest", m)
+		}
+		if ix.NumRows() != man.Build[m].Rows {
+			return nil, nil, fmt.Errorf("engine: open: shard %d has %d rows, manifest says %d",
+				m, ix.NumRows(), man.Build[m].Rows)
+		}
+		if np := ix.NumPeptides(); np > table.MachineLen(m) {
+			return nil, nil, fmt.Errorf("engine: open: shard %d indexes %d peptides but the mapping grants it %d",
+				m, np, table.MachineLen(m))
+		}
+	}
+
+	s := &Session{
+		cfg:           man.Config.Config,
+		shards:        shards,
+		table:         table,
+		groups:        man.Groups,
+		groupingNanos: man.GroupingNanos,
+		partitionNs:   man.PartitionNanos,
+		build:         man.Build,
+	}
+	s.load = append([]RankStats(nil), s.build...)
+	return s, peptides, nil
+}
+
+// Tune adjusts the session's runtime knobs after OpenSession: the
+// intra-shard search thread budget and the pipeline batch size (values
+// <= 0 keep the stored setting). Results are invariant to both. Call it
+// before serving; it must not race open Streams or Searches.
+func (s *Session) Tune(threads, batch int) {
+	if threads > 0 {
+		s.cfg.ThreadsPerRank = threads
+	}
+	if batch > 0 {
+		s.cfg.BatchSize = batch
+	}
+}

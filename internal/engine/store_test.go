@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lbe/internal/core"
+)
+
+// requireIdenticalPSMs asserts exact equality, Origin included: a session
+// reloaded from a store has the very same sharding as the one that saved
+// it, so even provenance must match.
+func requireIdenticalPSMs(t *testing.T, label string, got, want [][]PSM) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d queries, want %d", label, len(got), len(want))
+	}
+	for q := range want {
+		if !reflect.DeepEqual(got[q], want[q]) {
+			t.Fatalf("%s query %d:\n got %+v\nwant %+v", label, q, got[q], want[q])
+		}
+	}
+}
+
+// TestStoreRoundTripMatchesLiveSession is the tentpole equivalence
+// guarantee of the persistent store: for every policy × shard count, a
+// session opened from a store returns PSMs identical to the session that
+// saved it — same peptide list, same shapes, same provenance.
+func TestStoreRoundTripMatchesLiveSession(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 8, 2, 40)
+	base := lightConfig()
+	ctx := context.Background()
+
+	for _, policy := range []core.Policy{core.Chunk, core.Cyclic, core.Random, core.RandomWithinGroups} {
+		for _, shards := range []int{1, 3} {
+			label := fmt.Sprintf("%v/shards=%d", policy, shards)
+			cfg := SessionConfig{Config: base, Shards: shards}
+			cfg.Policy = policy
+			cfg.Seed = 7
+			live, err := NewSession(peptides, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			want, err := live.Search(ctx, queries)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+
+			dir := filepath.Join(t.TempDir(), "store")
+			if err := live.Save(dir, peptides); err != nil {
+				t.Fatalf("%s: save: %v", label, err)
+			}
+			loaded, gotPeps, err := OpenSession(dir)
+			if err != nil {
+				t.Fatalf("%s: open: %v", label, err)
+			}
+			if !reflect.DeepEqual(gotPeps, peptides) {
+				t.Fatalf("%s: reloaded peptide list differs", label)
+			}
+			if loaded.NumShards() != live.NumShards() || loaded.Groups() != live.Groups() {
+				t.Fatalf("%s: shape: %d/%d shards, %d/%d groups", label,
+					loaded.NumShards(), live.NumShards(), loaded.Groups(), live.Groups())
+			}
+			if loaded.IndexBytes() != live.IndexBytes() || loaded.MappingBytes() != live.MappingBytes() {
+				t.Fatalf("%s: memory accounting differs after reload", label)
+			}
+			got, err := loaded.Search(ctx, queries)
+			if err != nil {
+				t.Fatalf("%s: search on loaded session: %v", label, err)
+			}
+			requireIdenticalPSMs(t, label, got.PSMs, want.PSMs)
+			if got.CandidatePSMs() != want.CandidatePSMs() {
+				t.Fatalf("%s: scored %d, live %d", label, got.CandidatePSMs(), want.CandidatePSMs())
+			}
+			loaded.Close()
+			live.Close()
+		}
+	}
+}
+
+// storeFixture builds one session, saves it, and hands the store
+// directory to a corruption scenario.
+func storeFixture(t *testing.T, shards int, withPeptides bool) (dir string, peptides []string) {
+	t.Helper()
+	peptides, _, _ = testDataset(t, 6, 2, 0)
+	cfg := SessionConfig{Config: lightConfig(), Shards: shards}
+	sess, err := NewSession(peptides, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	dir = filepath.Join(t.TempDir(), "store")
+	saved := peptides
+	if !withPeptides {
+		saved = nil
+	}
+	if err := sess.Save(dir, saved); err != nil {
+		t.Fatal(err)
+	}
+	return dir, peptides
+}
+
+func TestStoreWithoutPeptides(t *testing.T) {
+	dir, _ := storeFixture(t, 2, false)
+	sess, peps, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if peps != nil {
+		t.Fatalf("store saved without peptides returned %d peptides", len(peps))
+	}
+	if sess.NumShards() != 2 {
+		t.Fatalf("loaded %d shards, want 2", sess.NumShards())
+	}
+}
+
+// editManifest applies fn to the parsed manifest JSON and writes it back.
+func editManifest(t *testing.T, dir string, fn func(map[string]any)) {
+	t.Helper()
+	path := filepath.Join(dir, "manifest.json")
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(doc, &m); err != nil {
+		t.Fatal(err)
+	}
+	fn(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenRejectsCorruptStores drives the corruption suite: every
+// tampered store must fail cleanly at OpenSession, never at query time.
+func TestOpenRejectsCorruptStores(t *testing.T) {
+	cases := []struct {
+		name    string
+		tamper  func(t *testing.T, dir string)
+		message string
+	}{
+		{"bit-flipped shard", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, "shard-0001.slmx")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x01
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "a flipped bit in a shard file must fail the checksum"},
+		{"truncated shard", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, "shard-0000.slmx")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}, "a truncated shard file must fail"},
+		{"version bump", func(t *testing.T, dir string) {
+			editManifest(t, dir, func(m map[string]any) { m["format_version"] = 2 })
+		}, "a future manifest version must be refused"},
+		{"shard count mismatch", func(t *testing.T, dir string) {
+			editManifest(t, dir, func(m map[string]any) {
+				m["config"].(map[string]any)["Shards"] = 3
+			})
+		}, "a manifest/shard-count mismatch must be refused"},
+		{"missing shard file", func(t *testing.T, dir string) {
+			if err := os.Remove(filepath.Join(dir, "shard-0001.slmx")); err != nil {
+				t.Fatal(err)
+			}
+		}, "a missing shard file must fail"},
+		{"swapped shard files", func(t *testing.T, dir string) {
+			a := filepath.Join(dir, "shard-0000.slmx")
+			b := filepath.Join(dir, "shard-0001.slmx")
+			tmp := filepath.Join(dir, "tmp.slmx")
+			for _, mv := range [][2]string{{a, tmp}, {b, a}, {tmp, b}} {
+				if err := os.Rename(mv[0], mv[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}, "shard files swapped between slots must fail the manifest CRC"},
+		{"tampered manifest params", func(t *testing.T, dir string) {
+			editManifest(t, dir, func(m map[string]any) {
+				m["config"].(map[string]any)["Params"].(map[string]any)["MaxQueryPeaks"] = 7
+			})
+		}, "manifest params disagreeing with the shard-embedded params must be refused"},
+		{"missing manifest", func(t *testing.T, dir string) {
+			if err := os.Remove(filepath.Join(dir, "manifest.json")); err != nil {
+				t.Fatal(err)
+			}
+		}, "a store without a manifest must be refused"},
+		{"traversal file name", func(t *testing.T, dir string) {
+			editManifest(t, dir, func(m map[string]any) {
+				m["mapping"].(map[string]any)["name"] = "../mapping.lbmt"
+			})
+		}, "a manifest name escaping the store directory must be refused"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, _ := storeFixture(t, 2, true)
+			tc.tamper(t, dir)
+			if sess, _, err := OpenSession(dir); err == nil {
+				sess.Close()
+				t.Error(tc.message)
+			}
+		})
+	}
+}
+
+func TestTuneAdjustsRuntimeKnobs(t *testing.T) {
+	dir, _ := storeFixture(t, 2, false)
+	sess, _, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.Tune(3, 128)
+	if cfg := sess.Config(); cfg.ThreadsPerRank != 3 || cfg.BatchSize != 128 {
+		t.Fatalf("Tune did not apply: %+v", cfg)
+	}
+	sess.Tune(0, 0) // zero keeps the current values
+	if cfg := sess.Config(); cfg.ThreadsPerRank != 3 || cfg.BatchSize != 128 {
+		t.Fatalf("Tune(0,0) changed values: %+v", cfg)
+	}
+}

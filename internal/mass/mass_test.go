@@ -1,6 +1,7 @@
 package mass
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"strings"
@@ -242,5 +243,26 @@ func TestBucketerMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestToleranceJSONRoundTrip(t *testing.T) {
+	cases := []Tolerance{Da(0.05), Ppm(20), Open(), Da(0), Da(0.1234567890123)}
+	for _, tol := range cases {
+		b, err := json.Marshal(tol)
+		if err != nil {
+			t.Fatalf("%v: %v", tol, err)
+		}
+		var got Tolerance
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("%v: %v", tol, err)
+		}
+		if got != tol {
+			t.Errorf("round trip changed %v to %v (wire %s)", tol, got, b)
+		}
+	}
+	var bad Tolerance
+	if err := json.Unmarshal([]byte(`"12parsecs"`), &bad); err == nil {
+		t.Error("bad tolerance unit must fail to parse")
 	}
 }

@@ -1,8 +1,11 @@
 package mass
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 )
 
 // Tolerance expresses a symmetric mass tolerance window, either absolute
@@ -70,6 +73,51 @@ func (t Tolerance) String() string {
 	default:
 		return fmt.Sprintf("%gDa", t.Value)
 	}
+}
+
+// ParseTolerance converts a tolerance as printed by String back to a
+// Tolerance: "0.05Da", "20ppm", or "open".
+func ParseTolerance(s string) (Tolerance, error) {
+	if s == "open" {
+		return Open(), nil
+	}
+	if v, ok := strings.CutSuffix(s, "ppm"); ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return Tolerance{}, fmt.Errorf("mass: bad tolerance %q: %w", s, err)
+		}
+		return Ppm(f), nil
+	}
+	if v, ok := strings.CutSuffix(s, "Da"); ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return Tolerance{}, fmt.Errorf("mass: bad tolerance %q: %w", s, err)
+		}
+		return Da(f), nil
+	}
+	return Tolerance{}, fmt.Errorf("mass: bad tolerance %q (want e.g. \"0.05Da\", \"20ppm\" or \"open\")", s)
+}
+
+// MarshalJSON encodes the tolerance as its String form. JSON has no
+// representation for the +Inf open-search window, and %g prints the
+// shortest digit string that round-trips, so the encoding is both exact
+// and human-readable in persisted session manifests.
+func (t Tolerance) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON decodes a tolerance written by MarshalJSON.
+func (t *Tolerance) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	v, err := ParseTolerance(s)
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
 }
 
 // Bucketer maps fragment masses to integer bucket indices at a fixed

@@ -62,10 +62,13 @@ func (s *Server) submit(r *request) error {
 }
 
 // coalesceLoop is the server's single collector goroutine: it gathers
-// admitted requests into merged batches of up to BatchSize queries,
-// flushing a partial batch after FlushInterval, and hands each batch to a
+// admitted requests until their query total reaches BatchSize or a
+// partial collection ages past FlushInterval, then hands the collection
+// to dispatch, which packs it into merged batches of at most BatchSize
+// queries each (a single request bigger than BatchSize is the one
+// documented exception — see packRequests) and runs every batch on a
 // bounded pool of search workers. Acquiring an in-flight slot happens
-// here, synchronously — when every worker is busy the collector stalls,
+// there, synchronously — when every worker is busy the collector stalls,
 // the admission queue fills, and new requests get 429s. That is the
 // backpressure path.
 func (s *Server) coalesceLoop() {
@@ -122,9 +125,10 @@ func (s *Server) drainRemaining() {
 	}
 }
 
-// dispatch merges one collected batch and runs it on a search worker.
-// Requests whose context is already done are answered (and discounted)
-// without searching. Called only from the coalescer goroutine.
+// dispatch answers already-dead requests without searching, packs the
+// live ones into merged batches of at most BatchSize queries, and runs
+// each batch on a search worker. Called only from the coalescer
+// goroutine.
 func (s *Server) dispatch(reqs []*request) {
 	live := reqs[:0]
 	for _, r := range reqs {
@@ -135,6 +139,36 @@ func (s *Server) dispatch(reqs []*request) {
 		}
 		live = append(live, r)
 	}
+	for _, group := range packRequests(live, s.cfg.BatchSize) {
+		s.dispatchBatch(group)
+	}
+}
+
+// packRequests splits requests, in arrival order, into dispatch groups
+// whose query totals stay within max. A request is atomic — its PSMs
+// come back as one contiguous slice of one engine batch — so a single
+// request carrying more than max queries forms its own oversized group;
+// MaxQueriesPerRequest is the admission-time cap on that case.
+func packRequests(reqs []*request, max int) [][]*request {
+	var groups [][]*request
+	var cur []*request
+	total := 0
+	for _, r := range reqs {
+		if len(cur) > 0 && total+len(r.queries) > max {
+			groups = append(groups, cur)
+			cur, total = nil, 0
+		}
+		cur = append(cur, r)
+		total += len(r.queries)
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// dispatchBatch merges one packed group and runs it on a search worker.
+func (s *Server) dispatchBatch(live []*request) {
 	if len(live) == 0 {
 		return
 	}

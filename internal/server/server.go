@@ -34,6 +34,9 @@ import (
 // to its DefaultConfig value.
 type Config struct {
 	// BatchSize caps the queries merged into one coalesced engine batch.
+	// The one exception is a single request that alone carries more than
+	// BatchSize queries (bounded by MaxQueriesPerRequest): requests are
+	// atomic, so it dispatches as one oversized batch of its own.
 	BatchSize int
 	// FlushInterval bounds how long a partial batch waits for company
 	// before it is searched anyway; it is the latency the slowest request

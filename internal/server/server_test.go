@@ -235,6 +235,85 @@ func TestCoalesceMergesConcurrentRequests(t *testing.T) {
 	}
 }
 
+// TestDispatchedBatchesRespectCap is the regression test for the
+// coalescer overshoot bug: requests used to be appended whole after a
+// "total < BatchSize" check, so one request near MaxQueriesPerRequest
+// blew far past the cap. Every dispatched batch must now hold at most
+// BatchSize queries — except a single request that alone exceeds the
+// cap, which must dispatch as exactly one batch of its own.
+func TestDispatchedBatchesRespectCap(t *testing.T) {
+	c := testCorpus(t)
+	sess := testSession(t, c, 1)
+	const maxBatch = 8
+	srv := New(sess, c.peptides, Config{
+		BatchSize:     maxBatch,
+		FlushInterval: 200 * time.Millisecond,
+		MaxInFlight:   2,
+	})
+	defer srv.Close()
+
+	var mu sync.Mutex
+	var sizes []int
+	inner := sess.Search
+	srv.searchFn = func(ctx context.Context, qs []spectrum.Experimental) (*engine.Result, error) {
+		mu.Lock()
+		sizes = append(sizes, len(qs))
+		mu.Unlock()
+		return inner(ctx, qs)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	wire := func(n int) []SpectrumJSON {
+		out := make([]SpectrumJSON, n)
+		for i := range out {
+			out[i] = toWire(c.queries[i%len(c.queries)])
+		}
+		return out
+	}
+
+	// Concurrent small requests: 3+3+3+5+2+7+1 = 24 queries. However they
+	// interleave within the flush window, no dispatched batch may exceed
+	// the cap.
+	var wg sync.WaitGroup
+	for _, n := range []int{3, 3, 3, 5, 2, 7, 1} {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			resp, body := postSearch(t, ts.Client(), ts.URL, wire(n)...)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("%d-query request: status %d: %s", n, resp.StatusCode, body)
+			}
+		}(n)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	small := append([]int(nil), sizes...)
+	sizes = sizes[:0]
+	mu.Unlock()
+	if len(small) == 0 {
+		t.Fatal("no batches dispatched")
+	}
+	for _, n := range small {
+		if n > maxBatch {
+			t.Errorf("dispatched a %d-query batch; cap is %d (all: %v)", n, maxBatch, small)
+		}
+	}
+
+	// One oversized request must dispatch alone as a single batch.
+	resp, body := postSearch(t, ts.Client(), ts.URL, wire(maxBatch+13)...)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("oversized request: status %d: %s", resp.StatusCode, body)
+	}
+	mu.Lock()
+	over := append([]int(nil), sizes...)
+	mu.Unlock()
+	if len(over) != 1 || over[0] != maxBatch+13 {
+		t.Errorf("oversized request dispatched as %v, want one batch of %d", over, maxBatch+13)
+	}
+}
+
 // blockingSearch substitutes the engine search with one that parks until
 // released (or its context ends), so tests can hold batches in flight.
 type blockingSearch struct {

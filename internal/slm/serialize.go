@@ -24,11 +24,47 @@ import (
 //	magic "SLMX" | version u32 | params block | rows | offsets | ids | crc32
 //
 // The CRC covers everything between the magic and the checksum itself.
+//
+// Every variable-length section is preceded by a u32 count. Counts come
+// from the (not yet checksum-verified) input, so the reader treats them as
+// hostile: each is bounded by an absolute cap AND, when the input's size
+// is knowable (regular files, in-memory readers), by the bytes actually
+// present; array payloads are then read in fixed-size chunks so the
+// decoder never allocates more than a small multiple of the bytes it has
+// actually consumed, even on a pure stream.
 
 const (
 	indexMagic   = "SLMX"
 	indexVersion = 1
+
+	// Wire sizes of the variable-length record types.
+	rowWireBytes     = 4 + 8 + 2 + 1 // Peptide u32, Precursor f64, NumIons u16, Modified u8
+	postingWireBytes = 4
+
+	// Absolute sanity caps on count fields, enforced before any
+	// allocation. They bound a single shard file at sizes far beyond the
+	// paper's full 49.45M-spectra run while keeping the worst-case
+	// allocation from a corrupt count on an unsized stream in check.
+	maxStringLen    = 1 << 20
+	maxModCount     = 1 << 16
+	maxSeriesCount  = 16
+	maxRowCount     = 1 << 28
+	maxBucketCount  = 1 << 30
+	maxPostingCount = 1 << 30
 )
+
+// countWriter counts the bytes the underlying writer actually accepted,
+// so WriteTo can report a faithful running total on mid-stream errors.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
 
 type crcWriter struct {
 	w   io.Writer
@@ -46,106 +82,331 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 type crcReader struct {
 	r   io.Reader
 	crc uint32
+	n   int64
 }
 
 func (cr *crcReader) Read(p []byte) (int, error) {
 	n, err := cr.r.Read(p)
 	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	cr.n += int64(n)
 	return n, err
 }
 
-// WriteTo serializes the index. It implements io.WriterTo.
-func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(indexMagic); err != nil {
-		return 0, err
+// indexEncoder writes the fixed-layout wire fields with a sticky error,
+// avoiding reflection-based binary.Write in the hot per-row loop. The
+// byte layout is identical to encoding each field with binary.Write.
+type indexEncoder struct {
+	cw  *crcWriter
+	err error
+}
+
+func (e *indexEncoder) write(b []byte) {
+	if e.err != nil {
+		return
 	}
-	cw := &crcWriter{w: bw}
+	_, e.err = e.cw.Write(b)
+}
+
+func (e *indexEncoder) u8(v uint8) { e.write([]byte{v}) }
+
+func (e *indexEncoder) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.write(b[:])
+}
+
+func (e *indexEncoder) f64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	e.write(b[:])
+}
+
+func (e *indexEncoder) str(s string) {
+	e.u32(uint32(len(s)))
+	if e.err == nil {
+		_, e.err = io.WriteString(e.cw, s)
+	}
+}
+
+// rows encodes the row records through a reusable fixed-layout buffer.
+func (e *indexEncoder) rows(rows []Row) {
+	var b [rowWireBytes]byte
 	le := binary.LittleEndian
-
-	put := func(vs ...any) error {
-		for _, v := range vs {
-			if err := binary.Write(cw, le, v); err != nil {
-				return err
-			}
+	for i := range rows {
+		if e.err != nil {
+			return
 		}
-		return nil
-	}
-	putString := func(s string) error {
-		if err := put(uint32(len(s))); err != nil {
-			return err
+		r := &rows[i]
+		le.PutUint32(b[0:4], r.Peptide)
+		le.PutUint64(b[4:12], math.Float64bits(r.Precursor))
+		le.PutUint16(b[12:14], r.NumIons)
+		b[14] = 0
+		if r.Modified {
+			b[14] = 1
 		}
-		_, err := io.WriteString(cw, s)
-		return err
+		e.write(b[:])
 	}
+}
 
+// u32s encodes a uint32 slice in fixed-size chunks.
+func (e *indexEncoder) u32s(vs []uint32) {
+	var b [4 << 10]byte
+	le := binary.LittleEndian
+	for len(vs) > 0 && e.err == nil {
+		n := min(len(vs), len(b)/4)
+		for i := 0; i < n; i++ {
+			le.PutUint32(b[4*i:], vs[i])
+		}
+		e.write(b[:4*n])
+		vs = vs[n:]
+	}
+}
+
+// checkEncodable rejects an index whose counts exceed the decoder caps,
+// so WriteTo can never persist a stream ReadIndex refuses (or, past
+// uint32, silently truncates).
+func (ix *Index) checkEncodable() error {
+	if len(ix.rows) > maxRowCount {
+		return fmt.Errorf("slm: %d rows exceed the serializable cap %d", len(ix.rows), maxRowCount)
+	}
+	if ix.numBuckets > maxBucketCount || len(ix.offsets) > maxBucketCount+1 {
+		return fmt.Errorf("slm: %d buckets exceed the serializable cap %d", ix.numBuckets, maxBucketCount)
+	}
+	if len(ix.ids) > maxPostingCount {
+		return fmt.Errorf("slm: %d postings exceed the serializable cap %d", len(ix.ids), maxPostingCount)
+	}
 	p := ix.params
-	if err := put(uint32(indexVersion),
-		p.Resolution,
-		p.FragmentTol.Value, uint8(p.FragmentTol.Unit),
-		p.PrecursorTol.Value, uint8(p.PrecursorTol.Unit),
-		uint32(p.MinSharedPeaks), uint32(p.MaxQueryPeaks), p.MaxFragmentMZ,
-		uint32(p.Mods.MaxPerPep), uint32(p.Mods.MaxVariant), uint32(len(p.Mods.Mods)),
-	); err != nil {
-		return 0, err
+	if len(p.Mods.Mods) > maxModCount {
+		return fmt.Errorf("slm: %d mods exceed the serializable cap %d", len(p.Mods.Mods), maxModCount)
 	}
-	if err := put(uint32(len(p.IonSeries))); err != nil {
-		return 0, err
-	}
-	for _, k := range p.IonSeries {
-		if err := put(uint8(k)); err != nil {
-			return 0, err
-		}
+	if len(p.IonSeries) > maxSeriesCount {
+		return fmt.Errorf("slm: %d ion series exceed the serializable cap %d", len(p.IonSeries), maxSeriesCount)
 	}
 	for _, m := range p.Mods.Mods {
-		if err := putString(m.Name); err != nil {
-			return 0, err
+		if len(m.Name) > maxStringLen || len(m.Residues) > maxStringLen {
+			return fmt.Errorf("slm: mod %q has a string over the serializable cap %d", m.Name, maxStringLen)
 		}
-		if err := putString(m.Residues); err != nil {
-			return 0, err
-		}
-		if err := put(m.Delta); err != nil {
-			return 0, err
-		}
+	}
+	return nil
+}
+
+// WriteTo serializes the index. It implements io.WriterTo: on error it
+// returns the number of bytes the underlying writer actually accepted
+// before the failure, not zero.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	if err := ix.checkEncodable(); err != nil {
+		return 0, err
+	}
+	bot := &countWriter{w: w}
+	bw := bufio.NewWriter(bot)
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return bot.n, err
+	}
+	cw := &crcWriter{w: bw}
+	e := &indexEncoder{cw: cw}
+
+	p := ix.params
+	e.u32(indexVersion)
+	e.f64(p.Resolution)
+	e.f64(p.FragmentTol.Value)
+	e.u8(uint8(p.FragmentTol.Unit))
+	e.f64(p.PrecursorTol.Value)
+	e.u8(uint8(p.PrecursorTol.Unit))
+	e.u32(uint32(p.MinSharedPeaks))
+	e.u32(uint32(p.MaxQueryPeaks))
+	e.f64(p.MaxFragmentMZ)
+	e.u32(uint32(p.Mods.MaxPerPep))
+	e.u32(uint32(p.Mods.MaxVariant))
+	e.u32(uint32(len(p.Mods.Mods)))
+	e.u32(uint32(len(p.IonSeries)))
+	for _, k := range p.IonSeries {
+		e.u8(uint8(k))
+	}
+	for _, m := range p.Mods.Mods {
+		e.str(m.Name)
+		e.str(m.Residues)
+		e.f64(m.Delta)
 	}
 
-	if err := put(uint32(len(ix.rows))); err != nil {
-		return 0, err
+	e.u32(uint32(len(ix.rows)))
+	e.rows(ix.rows)
+	e.u32(uint32(ix.numBuckets))
+	e.u32(uint32(len(ix.offsets)))
+	e.u32s(ix.offsets)
+	e.u32(uint32(len(ix.ids)))
+	e.u32s(ix.ids)
+	if e.err != nil {
+		return bot.n, e.err
 	}
-	for _, r := range ix.rows {
-		mod := uint8(0)
-		if r.Modified {
-			mod = 1
-		}
-		if err := put(r.Peptide, r.Precursor, r.NumIons, mod); err != nil {
-			return 0, err
-		}
-	}
-	if err := put(uint32(ix.numBuckets), uint32(len(ix.offsets))); err != nil {
-		return 0, err
-	}
-	if err := binary.Write(cw, le, ix.offsets); err != nil {
-		return 0, err
-	}
-	if err := put(uint32(len(ix.ids))); err != nil {
-		return 0, err
-	}
-	if err := binary.Write(cw, le, ix.ids); err != nil {
-		return 0, err
-	}
-	crc := cw.crc
-	if err := binary.Write(bw, le, crc); err != nil {
-		return 0, err
+
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.crc)
+	if _, err := bw.Write(tail[:]); err != nil {
+		return bot.n, err
 	}
 	if err := bw.Flush(); err != nil {
-		return 0, err
+		return bot.n, err
 	}
-	return int64(len(indexMagic)) + cw.n + 4, nil
+	return bot.n, nil
+}
+
+// inputSize reports how many unread bytes r holds when that is knowable —
+// regular files and in-memory readers (bytes.Reader, bytes.Buffer,
+// strings.Reader) — or -1 for opaque streams.
+func inputSize(r io.Reader) int64 {
+	switch v := r.(type) {
+	case *os.File:
+		fi, err := v.Stat()
+		if err != nil || !fi.Mode().IsRegular() {
+			return -1
+		}
+		cur, err := v.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return -1
+		}
+		if rem := fi.Size() - cur; rem >= 0 {
+			return rem
+		}
+		return 0
+	case interface{ Len() int }:
+		return int64(v.Len())
+	}
+	return -1
+}
+
+// indexDecoder reads the wire fields, treating every length prefix as
+// untrusted until the trailing CRC verifies.
+type indexDecoder struct {
+	cr *crcReader
+	// payload is the decoder's byte budget — the input size minus the
+	// magic and the trailing checksum — or -1 when the size is unknown.
+	payload int64
+}
+
+// remaining returns the unread payload budget, or -1 when unknown.
+func (d *indexDecoder) remaining() int64 {
+	if d.payload < 0 {
+		return -1
+	}
+	if rem := d.payload - d.cr.n; rem > 0 {
+		return rem
+	}
+	return 0
+}
+
+// checkCount validates a decoded length field before anything is
+// allocated for it: n elements of elem wire bytes each must fit under the
+// absolute cap and, when the input size is known, in the bytes present.
+func (d *indexDecoder) checkCount(n uint64, elem int64, limit uint64, what string) error {
+	if n > limit {
+		return fmt.Errorf("slm: %s count %d implausible (cap %d)", what, n, limit)
+	}
+	if rem := d.remaining(); rem >= 0 && int64(n) > rem/elem {
+		return fmt.Errorf("slm: %s count %d needs %d bytes but only %d remain (truncated or corrupt)",
+			what, n, int64(n)*elem, rem)
+	}
+	return nil
+}
+
+func (d *indexDecoder) full(b []byte) error {
+	_, err := io.ReadFull(d.cr, b)
+	return err
+}
+
+func (d *indexDecoder) u8() (uint8, error) {
+	var b [1]byte
+	err := d.full(b[:])
+	return b[0], err
+}
+
+func (d *indexDecoder) u32() (uint32, error) {
+	var b [4]byte
+	err := d.full(b[:])
+	return binary.LittleEndian.Uint32(b[:]), err
+}
+
+func (d *indexDecoder) f64() (float64, error) {
+	var b [8]byte
+	err := d.full(b[:])
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), err
+}
+
+func (d *indexDecoder) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if err := d.checkCount(uint64(n), 1, maxStringLen, "string byte"); err != nil {
+		return "", err
+	}
+	// Same chunked discipline as u32s: on an unsized stream, a forged
+	// length only grows the buffer as bytes actually arrive.
+	const chunk = 4096
+	var tmp [chunk]byte
+	b := make([]byte, 0, min(int(n), chunk))
+	for len(b) < int(n) {
+		take := min(int(n)-len(b), chunk)
+		if err := d.full(tmp[:take]); err != nil {
+			return "", err
+		}
+		b = append(b, tmp[:take]...)
+	}
+	return string(b), nil
+}
+
+// u32s reads n little-endian uint32s in fixed-size chunks, growing the
+// output as bytes actually arrive: a corrupt count on an unsized stream
+// stalls at the first short read instead of provoking one huge upfront
+// allocation.
+func (d *indexDecoder) u32s(n int) ([]uint32, error) {
+	const chunkElems = (16 << 10) / 4
+	var b [16 << 10]byte
+	le := binary.LittleEndian
+	out := make([]uint32, 0, min(n, chunkElems))
+	for len(out) < n {
+		take := min(n-len(out), chunkElems)
+		if err := d.full(b[:4*take]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < take; i++ {
+			out = append(out, le.Uint32(b[4*i:]))
+		}
+	}
+	return out, nil
+}
+
+// rowRecords reads n fixed-layout row records with the same chunked
+// allocation discipline as u32s.
+func (d *indexDecoder) rowRecords(n int) ([]Row, error) {
+	const chunkRows = 1024
+	var b [chunkRows * rowWireBytes]byte
+	le := binary.LittleEndian
+	out := make([]Row, 0, min(n, chunkRows))
+	for len(out) < n {
+		take := min(n-len(out), chunkRows)
+		if err := d.full(b[:take*rowWireBytes]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < take; i++ {
+			rec := b[i*rowWireBytes:]
+			out = append(out, Row{
+				Peptide:   le.Uint32(rec[0:4]),
+				Precursor: math.Float64frombits(le.Uint64(rec[4:12])),
+				NumIons:   le.Uint16(rec[12:14]),
+				Modified:  rec[14] != 0,
+			})
+		}
+	}
+	return out, nil
 }
 
 // ReadIndex deserializes an index written by WriteTo, verifying the
-// checksum and format version.
+// checksum and format version. Length fields are bounded against both
+// absolute caps and (when r's size is knowable) the input size, so a
+// truncated or corrupted file can never force an allocation larger than
+// a small multiple of the bytes actually present.
 func ReadIndex(r io.Reader) (*Index, error) {
+	size := inputSize(r) // before bufio wraps r and reads ahead
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(indexMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -154,34 +415,18 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if string(magic) != indexMagic {
 		return nil, fmt.Errorf("slm: bad magic %q", magic)
 	}
-	cr := &crcReader{r: br}
-	le := binary.LittleEndian
-
-	get := func(vs ...any) error {
-		for _, v := range vs {
-			if err := binary.Read(cr, le, v); err != nil {
-				return err
-			}
+	d := &indexDecoder{cr: &crcReader{r: br}, payload: -1}
+	if size >= 0 {
+		// Budget for the CRC-covered payload: total minus magic and the
+		// trailing checksum.
+		if size < int64(len(indexMagic))+4 {
+			return nil, fmt.Errorf("slm: input of %d bytes is too short for an index", size)
 		}
-		return nil
-	}
-	getString := func() (string, error) {
-		var n uint32
-		if err := get(&n); err != nil {
-			return "", err
-		}
-		if n > 1<<20 {
-			return "", fmt.Errorf("slm: string length %d implausible", n)
-		}
-		b := make([]byte, n)
-		if _, err := io.ReadFull(cr, b); err != nil {
-			return "", err
-		}
-		return string(b), nil
+		d.payload = size - int64(len(indexMagic)) - 4
 	}
 
-	var version uint32
-	if err := get(&version); err != nil {
+	version, err := d.u32()
+	if err != nil {
 		return nil, err
 	}
 	if version != indexVersion {
@@ -189,36 +434,52 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	}
 
 	ix := &Index{}
-	var fragUnit, precUnit uint8
-	var minShared, maxQP, maxPer, maxVar, nmods uint32
 	p := &ix.params
-	if err := get(&p.Resolution,
-		&p.FragmentTol.Value, &fragUnit,
-		&p.PrecursorTol.Value, &precUnit,
-		&minShared, &maxQP, &p.MaxFragmentMZ,
-		&maxPer, &maxVar, &nmods,
-	); err != nil {
+	var fail error
+	get := func(dst *float64) {
+		if fail == nil {
+			*dst, fail = d.f64()
+		}
+	}
+	getU32 := func() uint32 {
+		var v uint32
+		if fail == nil {
+			v, fail = d.u32()
+		}
+		return v
+	}
+	getU8 := func() uint8 {
+		var v uint8
+		if fail == nil {
+			v, fail = d.u8()
+		}
+		return v
+	}
+
+	get(&p.Resolution)
+	get(&p.FragmentTol.Value)
+	p.FragmentTol.Unit = mass.ToleranceUnit(getU8())
+	get(&p.PrecursorTol.Value)
+	p.PrecursorTol.Unit = mass.ToleranceUnit(getU8())
+	p.MinSharedPeaks = int(getU32())
+	p.MaxQueryPeaks = int(getU32())
+	get(&p.MaxFragmentMZ)
+	p.Mods.MaxPerPep = int(getU32())
+	p.Mods.MaxVariant = int(getU32())
+	nmods := getU32()
+	nseries := getU32()
+	if fail != nil {
+		return nil, fail
+	}
+	if err := d.checkCount(uint64(nmods), 16, maxModCount, "mod"); err != nil {
 		return nil, err
 	}
-	p.FragmentTol.Unit = mass.ToleranceUnit(fragUnit)
-	p.PrecursorTol.Unit = mass.ToleranceUnit(precUnit)
-	p.MinSharedPeaks = int(minShared)
-	p.MaxQueryPeaks = int(maxQP)
-	p.Mods.MaxPerPep = int(maxPer)
-	p.Mods.MaxVariant = int(maxVar)
-	if nmods > 1<<16 {
-		return nil, fmt.Errorf("slm: mod count %d implausible", nmods)
-	}
-	var nseries uint32
-	if err := get(&nseries); err != nil {
+	if err := d.checkCount(uint64(nseries), 1, maxSeriesCount, "ion series"); err != nil {
 		return nil, err
-	}
-	if nseries > 16 {
-		return nil, fmt.Errorf("slm: ion series count %d implausible", nseries)
 	}
 	for i := uint32(0); i < nseries; i++ {
-		var k uint8
-		if err := get(&k); err != nil {
+		k, err := d.u8()
+		if err != nil {
 			return nil, err
 		}
 		p.IonSeries = append(p.IonSeries, spectrum.IonKind(k))
@@ -226,61 +487,64 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	for i := uint32(0); i < nmods; i++ {
 		var m mods.Mod
 		var err error
-		if m.Name, err = getString(); err != nil {
+		if m.Name, err = d.str(); err != nil {
 			return nil, err
 		}
-		if m.Residues, err = getString(); err != nil {
+		if m.Residues, err = d.str(); err != nil {
 			return nil, err
 		}
-		if err = get(&m.Delta); err != nil {
+		if m.Delta, err = d.f64(); err != nil {
 			return nil, err
 		}
 		p.Mods.Mods = append(p.Mods.Mods, m)
 	}
 
-	var nrows uint32
-	if err := get(&nrows); err != nil {
+	nrows, err := d.u32()
+	if err != nil {
 		return nil, err
 	}
-	if nrows > 1<<30 {
-		return nil, fmt.Errorf("slm: row count %d implausible", nrows)
+	if err := d.checkCount(uint64(nrows), rowWireBytes, maxRowCount, "row"); err != nil {
+		return nil, err
 	}
-	ix.rows = make([]Row, nrows)
-	for i := range ix.rows {
-		var mod uint8
-		if err := get(&ix.rows[i].Peptide, &ix.rows[i].Precursor, &ix.rows[i].NumIons, &mod); err != nil {
-			return nil, err
-		}
-		ix.rows[i].Modified = mod != 0
+	if ix.rows, err = d.rowRecords(int(nrows)); err != nil {
+		return nil, err
 	}
 
-	var numBuckets, noffsets uint32
-	if err := get(&numBuckets, &noffsets); err != nil {
+	numBuckets := getU32()
+	noffsets := getU32()
+	if fail != nil {
+		return nil, fail
+	}
+	if err := d.checkCount(uint64(numBuckets), 4, maxBucketCount, "bucket"); err != nil {
 		return nil, err
 	}
 	if noffsets != numBuckets+1 && !(numBuckets == 0 && noffsets <= 1) {
 		return nil, fmt.Errorf("slm: offsets length %d does not match %d buckets", noffsets, numBuckets)
 	}
+	if err := d.checkCount(uint64(noffsets), 4, maxBucketCount+1, "offset"); err != nil {
+		return nil, err
+	}
 	ix.numBuckets = int(numBuckets)
-	ix.offsets = make([]uint32, noffsets)
-	if err := binary.Read(cr, le, ix.offsets); err != nil {
+	if ix.offsets, err = d.u32s(int(noffsets)); err != nil {
 		return nil, err
 	}
-	var nids uint32
-	if err := get(&nids); err != nil {
+	nids, err := d.u32()
+	if err != nil {
 		return nil, err
 	}
-	ix.ids = make([]uint32, nids)
-	if err := binary.Read(cr, le, ix.ids); err != nil {
+	if err := d.checkCount(uint64(nids), postingWireBytes, maxPostingCount, "posting"); err != nil {
+		return nil, err
+	}
+	if ix.ids, err = d.u32s(int(nids)); err != nil {
 		return nil, err
 	}
 
-	want := cr.crc
-	var got uint32
-	if err := binary.Read(br, le, &got); err != nil {
+	want := d.cr.crc
+	var gotb [4]byte
+	if _, err := io.ReadFull(br, gotb[:]); err != nil {
 		return nil, fmt.Errorf("slm: reading checksum: %w", err)
 	}
-	if got != want {
+	if got := binary.LittleEndian.Uint32(gotb[:]); got != want {
 		return nil, fmt.Errorf("slm: checksum mismatch: file %08x, computed %08x", got, want)
 	}
 	// Sanity: offsets must be monotone and end at len(ids).

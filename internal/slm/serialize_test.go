@@ -2,10 +2,15 @@ package slm
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"lbe/internal/mass"
+	"lbe/internal/mods"
 )
 
 func buildTestIndex(t *testing.T) *Index {
@@ -131,6 +136,184 @@ func TestSerializeTruncated(t *testing.T) {
 	for _, cut := range []int{3, 10, len(data) / 2, len(data) - 1} {
 		if _, err := ReadIndex(bytes.NewReader(data[:cut])); err == nil {
 			t.Errorf("truncation at %d must fail", cut)
+		}
+	}
+}
+
+// buildPlainIndex builds an index with no mods and no explicit ion
+// series, giving the serialized stream a fixed header layout:
+//
+//	magic 4 | version 4 | params 54 | nseries 4 | nrows 4 | rows ... |
+//	numBuckets 4 | noffsets 4 | offsets ... | nids 4 | ids ... | crc 4
+func buildPlainIndex(t *testing.T) *Index {
+	t.Helper()
+	params := DefaultParams()
+	params.Mods = mods.Config{}
+	ix, err := Build([]string{"PEPTIDEK", "NQKCMAAR", "AAAAGGGGK"}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// opaqueReader hides Len/Seek so ReadIndex cannot learn the input size
+// and must rely on chunked allocation alone.
+type opaqueReader struct{ r io.Reader }
+
+func (o opaqueReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+// TestSerializeCorruptLengthFields patches individual untrusted count
+// fields in a valid stream and asserts ReadIndex fails cleanly — both
+// when the input size is knowable and when it is an opaque stream.
+func TestSerializeCorruptLengthFields(t *testing.T) {
+	ix := buildPlainIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Fixed offsets of the count fields in the mods-free layout.
+	const nrowsOff = 66
+	rowsStart := nrowsOff + 4
+	numBucketsOff := rowsStart + rowWireBytes*len(ix.rows)
+	noffsetsOff := numBucketsOff + 4
+	offsetsStart := noffsetsOff + 4
+	nidsOff := offsetsStart + 4*len(ix.offsets)
+
+	// Sanity-check the computed layout against the real stream before
+	// mutating it: the u32s at those offsets must hold the known counts.
+	le := binary.LittleEndian
+	if got := le.Uint32(valid[nrowsOff:]); got != uint32(len(ix.rows)) {
+		t.Fatalf("layout drift: nrows field holds %d, want %d", got, len(ix.rows))
+	}
+	if got := le.Uint32(valid[nidsOff:]); got != uint32(len(ix.ids)) {
+		t.Fatalf("layout drift: nids field holds %d, want %d", got, len(ix.ids))
+	}
+
+	patch := func(off int, v uint32) func([]byte) []byte {
+		return func(data []byte) []byte {
+			le.PutUint32(data[off:], v)
+			return data
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"nrows max u32", patch(nrowsOff, 0xFFFFFFFF)},
+		{"nrows over input size", patch(nrowsOff, uint32(len(ix.rows)+10_000))},
+		{"nrows truncated after count", func(d []byte) []byte {
+			le.PutUint32(d[nrowsOff:], 1<<27)
+			return d[:nrowsOff+4]
+		}},
+		{"row payload truncated", func(d []byte) []byte { return d[:rowsStart+rowWireBytes/2] }},
+		{"bucket count max u32", patch(numBucketsOff, 0xFFFFFFFF)},
+		{"offsets length mismatch", patch(noffsetsOff, uint32(len(ix.offsets)+1))},
+		{"nids max u32", patch(nidsOff, 0xFFFFFFFF)},
+		{"nids huge then truncated", func(d []byte) []byte {
+			le.PutUint32(d[nidsOff:], 0xFFFFFFF0)
+			return d[:nidsOff+4]
+		}},
+		{"nids undercount", patch(nidsOff, uint32(len(ix.ids)-1))},
+	}
+	for _, tc := range cases {
+		data := tc.mutate(append([]byte(nil), valid...))
+		if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s (sized reader): ReadIndex accepted corrupt input", tc.name)
+		}
+		if _, err := ReadIndex(opaqueReader{bytes.NewReader(data)}); err == nil {
+			t.Errorf("%s (opaque stream): ReadIndex accepted corrupt input", tc.name)
+		}
+	}
+}
+
+// TestSerializeCorruptStringLength targets the mod-name string length in
+// an index that carries modifications.
+func TestSerializeCorruptStringLength(t *testing.T) {
+	ix := buildTestIndex(t) // default params: three mods, no explicit series
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// With nseries == 0 the first mod's name length sits right after the
+	// params block: magic 4 + version 4 + params 54 + nseries 4.
+	const nameLenOff = 66
+	binary.LittleEndian.PutUint32(data[nameLenOff:], 0xFFFFFF)
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Error("huge string length must fail")
+	}
+}
+
+// TestReadIndexAllocationBounded asserts the core promise of the
+// hardened reader: a tiny input claiming a gigantic array provokes only
+// a small allocation, not one proportional to the forged count.
+func TestReadIndexAllocationBounded(t *testing.T) {
+	ix := buildPlainIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const nrowsOff = 66
+	data := append([]byte(nil), buf.Bytes()[:nrowsOff+4]...)
+	binary.LittleEndian.PutUint32(data[nrowsOff:], 1<<27) // claims ~3 GiB of rows
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < 8; i++ {
+		if _, err := ReadIndex(opaqueReader{bytes.NewReader(data)}); err == nil {
+			t.Fatal("truncated huge-count input must fail")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
+		t.Errorf("8 corrupt reads allocated %d bytes; the forged count leaked into allocation", grew)
+	}
+}
+
+// failAfterWriter accepts exactly budget bytes, then fails.
+type failAfterWriter struct {
+	budget int
+	n      int
+}
+
+var errWriterFull = errors.New("writer full")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n >= w.budget {
+		return 0, errWriterFull
+	}
+	take := min(len(p), w.budget-w.n)
+	w.n += take
+	if take < len(p) {
+		return take, errWriterFull
+	}
+	return take, nil
+}
+
+// TestWriteToReportsPartialCount pins the io.WriterTo contract: on a
+// mid-stream write error, WriteTo must return the number of bytes the
+// destination actually accepted, not zero.
+func TestWriteToReportsPartialCount(t *testing.T) {
+	ix := buildTestIndex(t)
+	var buf bytes.Buffer
+	total, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, 1, 3, 7, 64, 100, 4096, int(total) - 1} {
+		w := &failAfterWriter{budget: budget}
+		n, err := ix.WriteTo(w)
+		if !errors.Is(err, errWriterFull) {
+			t.Fatalf("budget %d: want errWriterFull, got %v", budget, err)
+		}
+		if n != int64(w.n) {
+			t.Errorf("budget %d: WriteTo reported %d bytes, destination accepted %d", budget, n, w.n)
+		}
+		if n >= total {
+			t.Errorf("budget %d: partial write reported %d >= full size %d", budget, n, total)
 		}
 	}
 }

@@ -184,6 +184,10 @@ const (
 	Random = core.Random
 )
 
+// ParsePolicy converts a policy name ("chunk", "cyclic", "random",
+// "random-within-groups") back to a Policy.
+func ParsePolicy(s string) (Policy, error) { return core.ParsePolicy(s) }
+
 // DefaultGroupConfig returns the paper's grouping defaults (criterion 2,
 // d'=0.86, group size 20).
 func DefaultGroupConfig() GroupConfig { return core.DefaultGroupConfig() }
@@ -235,6 +239,16 @@ func DefaultSessionConfig() SessionConfig { return engine.DefaultSessionConfig()
 // count, thread count and batch size.
 func NewSession(peptides []string, cfg SessionConfig) (*Session, error) {
 	return engine.NewSession(peptides, cfg)
+}
+
+// OpenSession warm-starts a Session from a persistent store directory
+// written by Session.Save (or lbe-index -out): the manifest, mapping
+// table and per-shard SLMX indexes are reloaded — shards in parallel —
+// with every checksum verified. The returned peptide list is the one
+// saved alongside the session (nil when the store omitted it). The
+// loaded session serves queries exactly as the session that saved it.
+func OpenSession(dir string) (*Session, []string, error) {
+	return engine.OpenSession(dir)
 }
 
 // --- distributed engine ---
