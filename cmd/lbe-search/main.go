@@ -53,8 +53,10 @@ func main() {
 		maxMods = flag.Int("max-mods", 2, "max modified residues per peptide")
 		serial  = flag.Bool("serial", false, "run the shared-memory baseline instead")
 		tcp     = flag.Bool("tcp", false, "connect ranks over loopback TCP instead of a Session")
-		threads = flag.Int("threads", 1, "intra-shard search threads (hybrid mode)")
+		threads = flag.Int("threads", 0, "scheduler workers per query batch (0 = one per core; with -tcp, per-rank hybrid threads where 0 = serial)")
 		batch   = flag.Int("batch", 256, "pipeline batch size in queries (0 = one batch)")
+		chunk   = flag.Int("chunk", 0, "scheduler chunk size in queries (0 = auto-tune from observed work)")
+		steal   = flag.Bool("steal", true, "work-stealing scheduler (false = static per-shard chunks)")
 		weights = flag.String("weights", "", "comma-separated machine speeds for heterogeneous clusters")
 		withFDR = flag.Bool("fdr", false, "append reversed decoys and report q-values per PSM")
 		fdrCut  = flag.Float64("fdr-threshold", 0.01, "FDR acceptance threshold reported with -fdr")
@@ -98,6 +100,8 @@ func main() {
 		cfg.Policy = pol
 		cfg.ThreadsPerRank = *threads
 		cfg.BatchSize = *batch
+		cfg.ChunkSize = *chunk
+		cfg.Stealing = *steal
 		if *weights != "" {
 			for _, tok := range strings.Split(*weights, ",") {
 				w, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
@@ -119,6 +123,7 @@ func main() {
 			log.Fatal("store was saved without its peptide list; rebuild it with lbe-index -out")
 		}
 		sess.Tune(*threads, *batch)
+		sess.TuneScheduler(*chunk, *steal)
 		cfg = sess.Config()
 		log.Printf("session restored from %s: %d shards, %d groups, index %.2f MB, loaded in %v",
 			*index, sess.NumShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),

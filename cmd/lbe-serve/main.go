@@ -35,7 +35,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
 	"syscall"
 	"time"
 
@@ -59,8 +58,10 @@ func main() {
 		policy   = flag.String("policy", "cyclic", "distribution policy: chunk|cyclic|random")
 		seed     = flag.Int64("seed", 0, "seed for the random policy")
 		topK     = flag.Int("topk", 5, "PSMs reported per query")
-		threads  = flag.Int("threads", 0, "intra-shard search threads (0 = one per core)")
+		threads  = flag.Int("threads", 0, "scheduler workers per query batch (0 = one per core)")
 		batch    = flag.Int("batch", 256, "session pipeline batch size in queries")
+		chunk    = flag.Int("chunk", 0, "scheduler chunk size in queries (0 = auto-tune from observed work)")
+		steal    = flag.Bool("steal", true, "work-stealing scheduler (false = static per-shard chunks)")
 		coalesce = flag.Int("coalesce", 64, "max queries merged into one coalesced batch")
 		flush    = flag.Duration("flush", 2*time.Millisecond, "max wait before a partial batch is searched")
 		queue    = flag.Int("queue", 256, "admission queue depth in requests (full = 429)")
@@ -84,11 +85,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		threadBudget := *threads
-		if threadBudget <= 0 {
-			threadBudget = runtime.GOMAXPROCS(0)
-		}
-		sess.Tune(threadBudget, *batch)
+		sess.Tune(*threads, *batch)
+		sess.TuneScheduler(*chunk, *steal)
 		log.Printf("session restored from %s: %d peptides, %d shards, %d groups, index %.2f MB, loaded in %v",
 			*index, len(peptides), sess.NumShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),
 			time.Since(loadStart).Round(time.Millisecond))
@@ -129,6 +127,8 @@ func main() {
 			scfg.ThreadsPerRank = *threads
 		}
 		scfg.BatchSize = *batch
+		scfg.ChunkSize = *chunk
+		scfg.Stealing = *steal
 		scfg.Shards = *ranks
 
 		buildStart := time.Now()

@@ -187,6 +187,7 @@ func All(o Options) ([]Figure, error) {
 		{"session", SessionThroughput},
 		{"serve", ServeThroughput},
 		{"coldstart", ColdStart},
+		{"steal", Steal},
 	}
 	var figs []Figure
 	for _, r := range runners {

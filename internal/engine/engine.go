@@ -38,8 +38,22 @@ type Config struct {
 	RawOrder bool
 	// ThreadsPerRank enables the hybrid "OpenMP within MPI" parallelism
 	// of the paper's future work (§VIII): each rank searches its query
-	// batch with this many worker goroutines. 0 or 1 means serial.
+	// batch with a pool of this many scheduler workers (internal/sched).
+	// In the distributed runners 0 or 1 means serial (the per-machine
+	// parallelism is the ranks). In a Session the budget is shared across
+	// every in-process shard and 0 defaults to one worker per core.
+	// Results are invariant to the count.
 	ThreadsPerRank int
+	// ChunkSize is the scheduler's task granularity: queries per chunk on
+	// the per-shard work deques. 0 auto-tunes from the observed work per
+	// query (sched.Tuner). Results are invariant to the chunk size.
+	ChunkSize int
+	// Stealing selects the work-stealing scheduler: idle workers steal
+	// half of the fullest shard deque instead of idling beside a skewed
+	// partition. False keeps the chunks statically pre-dealt (the legacy
+	// strided/per-shard baseline measured by bench.Steal). Results are
+	// invariant to the schedule.
+	Stealing bool
 	// Weights gives relative machine speeds for heterogeneous clusters
 	// (§VIII's load-predicting model); peptide shares are proportional.
 	// Nil or empty means a symmetric cluster. When set, its length must
@@ -65,10 +79,11 @@ type Config struct {
 // policy and top-10 PSMs per query.
 func DefaultConfig() Config {
 	return Config{
-		Params: slm.DefaultParams(),
-		Group:  core.DefaultGroupConfig(),
-		Policy: core.Cyclic,
-		TopK:   10,
+		Params:   slm.DefaultParams(),
+		Group:    core.DefaultGroupConfig(),
+		Policy:   core.Cyclic,
+		TopK:     10,
+		Stealing: true,
 	}
 }
 

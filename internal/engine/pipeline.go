@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"lbe/internal/sched"
 	"lbe/internal/slm"
 	"lbe/internal/spectrum"
 )
@@ -153,10 +154,20 @@ func preprocessStage(ctx context.Context, in <-chan batch, topN int) <-chan batc
 	return out
 }
 
-// searchStage searches each preprocessed batch against the local index
-// with the configured intra-rank parallelism, accounting work and wall
-// time per batch.
-func searchStage(ctx context.Context, ix *slm.Index, in <-chan batch, threads int) <-chan searched {
+// newPool builds the scheduler pool the config describes: ThreadsPerRank
+// workers over per-shard chunk deques, stealing or static per
+// cfg.Stealing, cfg.ChunkSize granularity (0 = auto-tuned).
+func (cfg Config) newPool() *sched.Pool {
+	return sched.NewPool(sched.Options{
+		Workers:   cfg.ThreadsPerRank,
+		ChunkSize: cfg.ChunkSize,
+		Stealing:  cfg.Stealing,
+	})
+}
+
+// searchStage searches each preprocessed batch against the local index on
+// the rank's scheduler pool, accounting work and wall time per batch.
+func searchStage(ctx context.Context, ix *slm.Index, in <-chan batch, pool *sched.Pool) <-chan searched {
 	out := make(chan searched, pipeDepth)
 	go func() {
 		defer close(out)
@@ -166,11 +177,14 @@ func searchStage(ctx context.Context, ix *slm.Index, in <-chan batch, threads in
 				return
 			}
 			start := time.Now()
-			matches, work := searchAll(ix, b.qs, threads)
+			res, err := pool.Run(ctx, []*slm.Index{ix}, b.qs)
+			if err != nil {
+				return // cancelled; the stage's consumers watch ctx too
+			}
 			s := searched{
 				batch:   b,
-				matches: matches,
-				work:    work,
+				matches: res.Matches[0],
+				work:    res.Work(),
 				nanos:   time.Since(start).Nanoseconds(),
 			}
 			if !send(ctx, out, s) {

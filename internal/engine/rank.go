@@ -144,7 +144,7 @@ func RunRankCtx(ctx context.Context, c mpi.Comm, peptides []string, queries []sp
 	nb := numBatches(len(queries), bsize)
 	src := batchSource(ctx, queries, bsize)
 	pp := preprocessStage(ctx, src, cfg.Params.MaxQueryPeaks)
-	sr := searchStage(ctx, ix, pp, cfg.ThreadsPerRank)
+	sr := searchStage(ctx, ix, pp, cfg.newPool())
 
 	var work slm.Work
 	var queryNanos int64

@@ -1,0 +1,305 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"lbe/internal/core"
+	"lbe/internal/spectrum"
+)
+
+// TestSchedulerMatchesSerial is the execution layer's equivalence
+// guarantee: for every policy × shard count × worker count × chunk size ×
+// scheduling mode, the session's PSMs are identical to the RunSerial
+// reference in every field (and the deterministic work accounting agrees),
+// no matter how the chunks were scheduled or stolen.
+func TestSchedulerMatchesSerial(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 10, 2, 60)
+	base := lightConfig()
+
+	serial, err := RunSerial(peptides, queries, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPSMs := 0
+	for _, qs := range serial.PSMs {
+		nPSMs += len(qs)
+	}
+	if nPSMs == 0 {
+		t.Fatal("serial reference found no PSMs; dataset too small")
+	}
+
+	for _, policy := range []core.Policy{core.Chunk, core.Cyclic} {
+		for _, shards := range []int{1, 3} {
+			cfg := SessionConfig{Config: base, Shards: shards}
+			cfg.Policy = policy
+			cfg.Seed = 5
+			cfg.BatchSize = 17
+			sess, err := NewSession(peptides, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 5} {
+				for _, chunk := range []int{0, 1, 4, 1000} {
+					for _, stealing := range []bool{false, true} {
+						label := fmt.Sprintf("%v/shards=%d/workers=%d/chunk=%d/steal=%v",
+							policy, shards, workers, chunk, stealing)
+						sess.Tune(workers, 0)
+						sess.TuneScheduler(chunk, stealing)
+						res, err := sess.Search(context.Background(), queries)
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						requireSamePSMs(t, label, res.PSMs, serial.PSMs)
+						if res.CandidatePSMs() != serial.CandidatePSMs() {
+							t.Fatalf("%s: scored %d, serial %d",
+								label, res.CandidatePSMs(), serial.CandidatePSMs())
+						}
+					}
+				}
+			}
+			sess.Close()
+		}
+	}
+}
+
+// TestSchedulerTelemetry: the session's lifetime scheduler stats must
+// account every batch, agree with the per-shard work ledger, and report
+// steals only in stealing mode.
+func TestSchedulerTelemetry(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 8, 2, 30)
+	cfg := SessionConfig{Config: lightConfig(), Shards: 3}
+	cfg.ThreadsPerRank = 4
+	cfg.ChunkSize = 2
+	cfg.Stealing = true
+	cfg.BatchSize = 10
+	sess, err := NewSession(peptides, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	if _, err := sess.Search(context.Background(), queries); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.SchedulerStats()
+	if st.Batches == 0 || st.Chunks == 0 {
+		t.Fatalf("scheduler stats did not accumulate: %+v", st)
+	}
+	if !st.Stealing || st.ChunkSize != 2 {
+		t.Fatalf("scheduler config not reflected: %+v", st)
+	}
+	if len(st.Workers) != 4 {
+		t.Fatalf("%d lifetime workers, want 4", len(st.Workers))
+	}
+	var byWorker int64
+	var workSum int64
+	for _, w := range st.Workers {
+		byWorker += int64(w.Chunks)
+		workSum += w.Work.Scored
+	}
+	if byWorker != st.Chunks {
+		t.Fatalf("chunk totals disagree: workers %d vs %d", byWorker, st.Chunks)
+	}
+	var shardScored int64
+	for _, rs := range sess.Stats() {
+		shardScored += rs.Work.Scored
+	}
+	if workSum != shardScored {
+		t.Fatalf("worker work %d != shard work %d", workSum, shardScored)
+	}
+
+	// Static mode must stay steal-free.
+	sess.TuneScheduler(2, false)
+	before := sess.SchedulerStats().Steals
+	if _, err := sess.Search(context.Background(), queries); err != nil {
+		t.Fatal(err)
+	}
+	after := sess.SchedulerStats()
+	if after.Steals != before {
+		t.Fatalf("static run stole: %d -> %d", before, after.Steals)
+	}
+	if after.Stealing {
+		t.Fatal("SchedulerStats.Stealing must track the tuned mode")
+	}
+}
+
+// TestSchedulerCancelledRunsLeakNothing: repeated cancelled searches under
+// both scheduling modes must leave the goroutine count where it started.
+func TestSchedulerCancelledRunsLeakNothing(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 8, 2, 60)
+	cfg := SessionConfig{Config: lightConfig(), Shards: 3}
+	cfg.ThreadsPerRank = 4
+	cfg.BatchSize = 2
+	sess, err := NewSession(peptides, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	base := runtime.NumGoroutine()
+	for _, stealing := range []bool{true, false} {
+		sess.TuneScheduler(1, stealing)
+		for i := 0; i < 3; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(time.Duration(i) * time.Millisecond)
+				cancel()
+			}()
+			if _, err := sess.Search(ctx, queries); err == nil {
+				t.Logf("steal=%v run %d finished before cancellation", stealing, i)
+			}
+			cancel()
+		}
+	}
+	waitForGoroutines(t, base)
+}
+
+// TestStreamSentinelErrors: double Close and Push-after-Close must return
+// ErrStreamClosed instead of panicking on the input channel.
+func TestStreamSentinelErrors(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 4, 1, 5)
+	sess, err := NewSession(peptides, SessionConfig{Config: lightConfig(), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	st, err := sess.Stream(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Push(queries); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := st.Close(); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("second Close = %v, want ErrStreamClosed", err)
+	}
+	if err := st.Push(queries); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("Push after Close = %v, want ErrStreamClosed", err)
+	}
+	for range st.Results() {
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamConcurrentPushCancelClose hammers one stream with racing
+// producers, closers and cancellers (run under -race in CI): whatever the
+// interleaving, nothing may panic, and every error must be a sentinel or
+// the context error.
+func TestStreamConcurrentPushCancelClose(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 6, 2, 20)
+	cfg := SessionConfig{Config: lightConfig(), Shards: 2}
+	cfg.ThreadsPerRank = 2
+	cfg.BatchSize = 4
+	sess, err := NewSession(peptides, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	for trial := 0; trial < 8; trial++ {
+		st, err := sess.Stream(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errCh := make(chan error, 64)
+		for p := 0; p < 3; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 5; i++ {
+					if err := st.Push(queries); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if err := st.Close(); err != nil && !errors.Is(err, ErrStreamClosed) {
+				errCh <- fmt.Errorf("close: %w", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			st.Cancel()
+		}()
+		for range st.Results() {
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			if !errors.Is(err, ErrStreamClosed) && !errors.Is(err, context.Canceled) {
+				t.Fatalf("trial %d: unexpected error %v", trial, err)
+			}
+		}
+	}
+}
+
+// skewedDataset builds a corpus whose clustered order concentrates the
+// expensive peptides: sorted by ascending length, the Chunk policy hands
+// the last shard the longest peptides (the most variants and ion
+// postings), reproducing the skew LBE's figures show for chunk
+// partitioning.
+func skewedDataset(tb testing.TB, families, homologs, nspectra int) ([]string, []spectrum.Experimental) {
+	peptides, queries, _ := testDataset(tb, families, homologs, nspectra)
+	sort.Slice(peptides, func(i, j int) bool {
+		if len(peptides[i]) != len(peptides[j]) {
+			return len(peptides[i]) < len(peptides[j])
+		}
+		return peptides[i] < peptides[j]
+	})
+	return peptides, queries
+}
+
+// BenchmarkStealVsStatic measures the same skewed multi-shard search under
+// the static baseline and the stealing scheduler. CI runs it once
+// (-benchtime=1x) for the artifact; locally, -benchtime=5x+ gives stable
+// ratios on multi-core machines.
+func BenchmarkStealVsStatic(b *testing.B) {
+	peptides, queries := skewedDataset(b, 12, 2, 200)
+	for _, stealing := range []bool{false, true} {
+		name := "static"
+		if stealing {
+			name = "stealing"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := SessionConfig{Config: lightConfig(), Shards: 4}
+			cfg.Policy = core.Chunk
+			cfg.RawOrder = true
+			cfg.ThreadsPerRank = runtime.GOMAXPROCS(0)
+			cfg.Stealing = stealing
+			cfg.TopK = 5
+			sess, err := NewSession(peptides, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Search(context.Background(), queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := sess.SchedulerStats()
+			b.ReportMetric(float64(st.Steals)/float64(b.N), "steals/op")
+			b.ReportMetric(float64(len(queries)), "queries/op")
+		})
+	}
+}

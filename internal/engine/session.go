@@ -2,15 +2,22 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"lbe/internal/core"
+	"lbe/internal/sched"
 	"lbe/internal/slm"
 	"lbe/internal/spectrum"
 )
+
+// ErrStreamClosed is returned by Push after Close and by a redundant
+// Close: the stream's input side is already sealed. It replaces the
+// channel panics a misused stream used to risk.
+var ErrStreamClosed = errors.New("engine: stream is closed")
 
 // SessionConfig configures a Session: the engine knobs plus the number of
 // in-process shards the database is partitioned into.
@@ -32,6 +39,21 @@ func DefaultSessionConfig() SessionConfig {
 	return SessionConfig{Config: cfg, Shards: 1}
 }
 
+// SchedulerStats is the session-lifetime view of the work-stealing
+// execution layer: per-worker aggregates plus steal and chunk counters.
+// The spread of Work across Workers is the intra-node balance figure the
+// scheduler exists to flatten; Steals/Stolen say how much rebalancing it
+// took to get there.
+type SchedulerStats struct {
+	Workers   []sched.WorkerStats // lifetime per-worker aggregates
+	Batches   int64               // scheduled pipeline batches
+	Chunks    int64               // chunks executed
+	Steals    int64               // steal-half operations
+	Stolen    int64               // chunks acquired by stealing
+	ChunkSize int                 // last effective granularity (auto-tuned when cfg.ChunkSize is 0)
+	Stealing  bool                // current scheduling mode
+}
+
 // Session owns a built search engine: the LBE grouping, the policy
 // partition, one SLM index per shard, and the master mapping table. It is
 // constructed once with NewSession and then serves any number of query
@@ -51,10 +73,12 @@ type Session struct {
 	build         []RankStats // per-shard construction stats (zero query load)
 
 	mu       sync.Mutex
+	pool     *sched.Pool // query-time execution layer; swapped by Tune*
 	closed   bool
-	searched int64       // lifetime queries served
-	batches  int64       // lifetime merged batches emitted
-	load     []RankStats // lifetime per-shard load (build + accumulated query work)
+	searched int64          // lifetime queries served
+	batches  int64          // lifetime merged batches emitted
+	load     []RankStats    // lifetime per-shard load (build + accumulated query work)
+	sched    SchedulerStats // lifetime scheduler telemetry
 }
 
 // NewSession groups and partitions the peptide database under cfg and
@@ -111,7 +135,22 @@ func NewSession(peptides []string, cfg SessionConfig) (*Session, error) {
 	}
 	s.table = core.BuildMappingTable(prep.grouping, prep.partition)
 	s.load = append([]RankStats(nil), s.build...)
+	s.pool = s.cfg.newSessionPool()
 	return s, nil
+}
+
+// newSessionPool builds a Session's scheduler pool. Unlike the
+// distributed rank pipeline — where 0 threads means serial because the
+// per-machine parallelism comes from the ranks themselves — a Session is
+// the whole process's engine, so an unset ThreadsPerRank defaults to one
+// worker per core (the pre-scheduler Session ran one goroutine per shard
+// unconditionally; defaulting preserves that parallelism for library
+// callers that never touch the knob).
+func (cfg Config) newSessionPool() *sched.Pool {
+	if cfg.ThreadsPerRank <= 0 {
+		cfg.ThreadsPerRank = runtime.GOMAXPROCS(0)
+	}
+	return cfg.newPool()
 }
 
 // NumShards returns the number of in-process partitions.
@@ -161,6 +200,18 @@ func (s *Session) Stats() []RankStats {
 	return append([]RankStats(nil), s.load...)
 }
 
+// SchedulerStats returns the lifetime scheduler telemetry: per-worker
+// work/wall-time aggregates plus steal and chunk counters across every
+// Search and Stream the session served.
+func (s *Session) SchedulerStats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.sched
+	out.Workers = append([]sched.WorkerStats(nil), s.sched.Workers...)
+	out.Stealing = s.cfg.Stealing
+	return out
+}
+
 // Close releases the shard indexes. Streams opened later fail; streams
 // already open keep their index references and drain normally.
 func (s *Session) Close() {
@@ -170,15 +221,27 @@ func (s *Session) Close() {
 	s.shards = nil
 }
 
-// record accumulates one merged batch into the lifetime load accounting.
-func (s *Session) record(nq int, works []slm.Work, nanos []int64) {
+// record accumulates one merged batch into the lifetime load accounting:
+// per-shard work/time plus the scheduler's per-worker telemetry.
+func (s *Session) record(nq int, sr *sched.Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.searched += int64(nq)
 	s.batches++
-	for m := range works {
-		s.load[m].Work.Add(works[m])
-		s.load[m].QueryNanos += nanos[m]
+	for m := range sr.Shards {
+		s.load[m].Work.Add(sr.Shards[m].Work)
+		s.load[m].QueryNanos += sr.Shards[m].Nanos
+	}
+	s.sched.Batches++
+	s.sched.ChunkSize = sr.ChunkSize
+	for len(s.sched.Workers) < len(sr.Workers) {
+		s.sched.Workers = append(s.sched.Workers, sched.WorkerStats{Worker: len(s.sched.Workers)})
+	}
+	for t, w := range sr.Workers {
+		s.sched.Workers[t].Add(w)
+		s.sched.Chunks += int64(w.Chunks)
+		s.sched.Steals += int64(w.Steals)
+		s.sched.Stolen += int64(w.Stolen)
 	}
 }
 
@@ -206,9 +269,7 @@ func (br BatchResult) Work() slm.Work {
 // shardSearched is one batch searched on every shard, pre-merge.
 type shardSearched struct {
 	batch
-	matches [][][]slm.Match // [shard][query in batch]
-	works   []slm.Work
-	nanos   []int64
+	sched *sched.Result // [shard][query in batch] matches + telemetry
 }
 
 // Stream is a continuous query pipeline over a Session: batches pushed
@@ -218,6 +279,7 @@ type shardSearched struct {
 type Stream struct {
 	session *Session
 	shards  []*slm.Index // snapshot, so Session.Close cannot race a live stream
+	pool    *sched.Pool  // snapshot, so Session.Tune* cannot race a live stream
 	ctx     context.Context
 	cancel  context.CancelFunc
 	in      chan batch
@@ -225,6 +287,11 @@ type Stream struct {
 
 	seq    int
 	pushed int
+
+	// inMu serializes the input side (Push, Close) so a concurrent
+	// Push/Close cannot panic on the closed channel; closed is read and
+	// written only under it.
+	inMu   sync.Mutex
 	closed bool
 
 	mu  sync.Mutex
@@ -237,6 +304,7 @@ func (s *Session) Stream(ctx context.Context) (*Stream, error) {
 	s.mu.Lock()
 	closed := s.closed
 	shards := s.shards
+	pool := s.pool
 	s.mu.Unlock()
 	if closed {
 		return nil, fmt.Errorf("engine: session is closed")
@@ -245,6 +313,7 @@ func (s *Session) Stream(ctx context.Context) (*Stream, error) {
 	st := &Stream{
 		session: s,
 		shards:  shards,
+		pool:    pool,
 		ctx:     ctx,
 		cancel:  cancel,
 		in:      make(chan batch, pipeDepth),
@@ -256,17 +325,12 @@ func (s *Session) Stream(ctx context.Context) (*Stream, error) {
 	return st, nil
 }
 
-// searchShardsStage fans each batch out over every shard index and emits
-// the collected per-shard matches. The ThreadsPerRank budget is divided
-// across the concurrently-searching shards so a batch never runs more
-// than ~ThreadsPerRank scoring goroutines (results are invariant to the
-// thread count).
+// searchShardsStage runs each batch through the session's scheduler pool:
+// every (shard, query-chunk) task lands on one shared set of
+// ThreadsPerRank workers, which drain their home shard's deque and steal
+// from the fullest one when it runs dry. Results are invariant to the
+// schedule; only the telemetry records who did what.
 func (st *Stream) searchShardsStage(in <-chan batch) <-chan shardSearched {
-	s := st.session
-	threads := s.cfg.ThreadsPerRank
-	if n := len(st.shards); n > 1 && threads > 1 {
-		threads = (threads + n - 1) / n
-	}
 	out := make(chan shardSearched, pipeDepth)
 	go func() {
 		defer close(out)
@@ -275,24 +339,11 @@ func (st *Stream) searchShardsStage(in <-chan batch) <-chan shardSearched {
 			if !ok {
 				return
 			}
-			ss := shardSearched{
-				batch:   b,
-				matches: make([][][]slm.Match, len(st.shards)),
-				works:   make([]slm.Work, len(st.shards)),
-				nanos:   make([]int64, len(st.shards)),
+			res, err := st.pool.Run(st.ctx, st.shards, b.qs)
+			if err != nil {
+				return // cancelled; mergeLoop reports ctx.Err()
 			}
-			var wg sync.WaitGroup
-			for m, ix := range st.shards {
-				wg.Add(1)
-				go func(m int, ix *slm.Index) {
-					defer wg.Done()
-					start := time.Now()
-					ss.matches[m], ss.works[m] = searchAll(ix, b.qs, threads)
-					ss.nanos[m] = time.Since(start).Nanoseconds()
-				}(m, ix)
-			}
-			wg.Wait()
-			if !send(st.ctx, out, ss) {
+			if !send(st.ctx, out, shardSearched{batch: b, sched: res}) {
 				return
 			}
 		}
@@ -320,8 +371,8 @@ func (st *Stream) mergeLoop(in <-chan shardSearched) {
 		psms := make([][]PSM, len(ss.qs))
 		for q := range ss.qs {
 			var merged []PSM
-			for m := range ss.matches {
-				for _, match := range ss.matches[m][q] {
+			for m := range ss.sched.Matches {
+				for _, match := range ss.sched.Matches[m][q] {
 					gidx, err := s.table.Lookup(m, match.Peptide)
 					if err != nil {
 						st.fail(fmt.Errorf("engine: mapping shard %d: %w", m, err))
@@ -342,13 +393,19 @@ func (st *Stream) mergeLoop(in <-chan shardSearched) {
 			}
 			psms[q] = merged
 		}
-		s.record(len(ss.qs), ss.works, ss.nanos)
+		s.record(len(ss.qs), ss.sched)
+		works := make([]slm.Work, len(ss.sched.Shards))
+		nanos := make([]int64, len(ss.sched.Shards))
+		for m, sh := range ss.sched.Shards {
+			works[m] = sh.Work
+			nanos[m] = sh.Nanos
+		}
 		br := BatchResult{
 			Seq:        ss.seq,
 			Offset:     ss.offset,
 			PSMs:       psms,
-			ShardWork:  ss.works,
-			ShardNanos: ss.nanos,
+			ShardWork:  works,
+			ShardNanos: nanos,
 		}
 		if !send(st.ctx, st.out, br) {
 			if err := st.ctx.Err(); err != nil {
@@ -370,11 +427,16 @@ func (st *Stream) fail(err error) {
 }
 
 // Push submits one batch of query spectra to the pipeline. It blocks only
-// when the pipeline is full, and returns an error if the stream was closed
-// or its context cancelled. Push is not safe for concurrent use.
+// when the pipeline is full, and returns ErrStreamClosed after Close or
+// the stream's error after cancellation. Pushes may race Close and Cancel
+// safely; concurrent Pushes are serialized but their batch order is then
+// unspecified, so a producer that needs deterministic offsets should keep
+// pushing from one goroutine.
 func (st *Stream) Push(qs []spectrum.Experimental) error {
+	st.inMu.Lock()
+	defer st.inMu.Unlock()
 	if st.closed {
-		return fmt.Errorf("engine: push on closed stream")
+		return ErrStreamClosed
 	}
 	// Fail fast on an already-dead pipeline. This narrows — but cannot
 	// close — the window where a cancellation lands mid-send and a batch
@@ -412,13 +474,20 @@ func (st *Stream) PushAll(qs []spectrum.Experimental, size int) error {
 	return err
 }
 
-// Close marks the input end of the stream: in-flight batches drain and the
-// Results channel closes after the last one.
-func (st *Stream) Close() {
-	if !st.closed {
-		st.closed = true
-		close(st.in)
+// Close seals the input end of the stream: in-flight batches drain and
+// the Results channel closes after the last one. A second Close returns
+// ErrStreamClosed and does nothing. Close may race Push and Cancel; a
+// Push blocked on a full pipeline holds the input lock, so Close then
+// waits for it (cancel the stream to unblock both).
+func (st *Stream) Close() error {
+	st.inMu.Lock()
+	defer st.inMu.Unlock()
+	if st.closed {
+		return ErrStreamClosed
 	}
+	st.closed = true
+	close(st.in)
+	return nil
 }
 
 // Cancel aborts the stream immediately: every pipeline stage shuts down,

@@ -436,18 +436,37 @@ func OpenSession(dir string) (*Session, []string, error) {
 		build:         man.Build,
 	}
 	s.load = append([]RankStats(nil), s.build...)
+	s.pool = s.cfg.newSessionPool()
 	return s, peptides, nil
 }
 
 // Tune adjusts the session's runtime knobs after OpenSession: the
-// intra-shard search thread budget and the pipeline batch size (values
-// <= 0 keep the stored setting). Results are invariant to both. Call it
-// before serving; it must not race open Streams or Searches.
+// scheduler worker budget and the pipeline batch size (values <= 0 keep
+// the stored setting). Results are invariant to both. Streams already
+// open keep the pool they snapshotted; call Tune before serving.
 func (s *Session) Tune(threads, batch int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if threads > 0 {
 		s.cfg.ThreadsPerRank = threads
 	}
 	if batch > 0 {
 		s.cfg.BatchSize = batch
 	}
+	s.pool = s.cfg.newSessionPool()
+}
+
+// TuneScheduler adjusts the execution-layer knobs: the chunk granularity
+// (chunk < 0 keeps the current setting, 0 restores auto-tuning) and the
+// scheduling mode. Results are invariant to both; only the schedule and
+// its telemetry change. Streams already open keep the pool they
+// snapshotted.
+func (s *Session) TuneScheduler(chunk int, stealing bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if chunk >= 0 {
+		s.cfg.ChunkSize = chunk
+	}
+	s.cfg.Stealing = stealing
+	s.pool = s.cfg.newSessionPool()
 }

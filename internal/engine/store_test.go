@@ -237,4 +237,38 @@ func TestTuneAdjustsRuntimeKnobs(t *testing.T) {
 	if cfg := sess.Config(); cfg.ThreadsPerRank != 3 || cfg.BatchSize != 128 {
 		t.Fatalf("Tune(0,0) changed values: %+v", cfg)
 	}
+	sess.TuneScheduler(16, false)
+	if cfg := sess.Config(); cfg.ChunkSize != 16 || cfg.Stealing {
+		t.Fatalf("TuneScheduler did not apply: %+v", cfg)
+	}
+	sess.TuneScheduler(-1, true) // negative chunk keeps the current value
+	if cfg := sess.Config(); cfg.ChunkSize != 16 || !cfg.Stealing {
+		t.Fatalf("TuneScheduler(-1,true): %+v", cfg)
+	}
+}
+
+// TestStoreRoundTripsSchedulerConfig: the manifest must persist the
+// execution-layer knobs alongside the database-shape config.
+func TestStoreRoundTripsSchedulerConfig(t *testing.T) {
+	peptides, _, _ := testDataset(t, 4, 1, 0)
+	cfg := SessionConfig{Config: lightConfig(), Shards: 2}
+	cfg.ChunkSize = 9
+	cfg.Stealing = true
+	sess, err := NewSession(peptides, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := sess.Save(dir, peptides); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if got := loaded.Config(); got.ChunkSize != 9 || !got.Stealing {
+		t.Fatalf("scheduler config did not survive the store: %+v", got)
+	}
 }

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"sync"
+
+	"lbe/internal/slm"
+)
+
+// Tuning targets. A chunk should be big enough that its scheduling
+// overhead (one deque pop, one timestamp pair) vanishes against its
+// search cost, and small enough that (a) every worker gets several chunks
+// to interleave and (b) the last chunks in flight bound the finish-line
+// imbalance. The work target is expressed in slm.Work units (ion hits +
+// scored candidates), the same deterministic currency the engine's
+// load-balance figures use.
+const (
+	// targetChunkWork caps the estimated work of one auto-tuned chunk.
+	targetChunkWork = 1 << 16
+	// minChunksPerWorker is the granularity floor: auto-tuning aims for at
+	// least this many chunks per worker across the whole batch so the
+	// stealing schedule has something to rebalance.
+	minChunksPerWorker = 8
+	// ewmaAlpha weights the newest batch's observed per-query work.
+	ewmaAlpha = 0.25
+)
+
+// Tuner adapts the auto-tuned chunk size from the observed work per query
+// cell (one query searched against one shard). It is internally
+// synchronized; a zero Tuner is ready for use.
+type Tuner struct {
+	mu       sync.Mutex
+	perCell  float64 // EWMA of work units per (query, shard) cell
+	observed bool
+}
+
+// ChunkSize picks the granularity for a batch of nq queries against ns
+// shards executed by the given worker count.
+func (t *Tuner) ChunkSize(nq, ns, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	// Granularity floor: at least minChunksPerWorker chunks per worker
+	// across all shards (but never below one query per chunk).
+	c := nq * ns / (minChunksPerWorker * workers)
+	if c < 1 {
+		c = 1
+	}
+	t.mu.Lock()
+	perCell := t.perCell
+	observed := t.observed
+	t.mu.Unlock()
+	if observed && perCell > 0 {
+		// Work ceiling: don't let one chunk grow past the target cost,
+		// however cheap the granularity floor thinks queries are.
+		if byWork := int(targetChunkWork / perCell); byWork < c {
+			c = byWork
+		}
+		if c < 1 {
+			c = 1
+		}
+	}
+	if c > nq {
+		c = nq
+	}
+	return c
+}
+
+// Observe feeds one finished batch back into the estimate: cells is the
+// number of (query, shard) pairs searched and work their summed cost.
+func (t *Tuner) Observe(cells int64, work slm.Work) {
+	if cells <= 0 {
+		return
+	}
+	per := float64(work.IonHits+work.Scored) / float64(cells)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.observed {
+		t.perCell = per
+		t.observed = true
+		return
+	}
+	t.perCell = ewmaAlpha*per + (1-ewmaAlpha)*t.perCell
+}

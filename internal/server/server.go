@@ -325,5 +325,24 @@ func (s *Server) Stats() StatsResponse {
 			QueryMillis: float64(rs.QueryNanos) / 1e6,
 		})
 	}
+	ss := s.sess.SchedulerStats()
+	st.Scheduler = SchedulerStatsJSON{
+		Stealing:  ss.Stealing,
+		ChunkSize: ss.ChunkSize,
+		Batches:   ss.Batches,
+		Chunks:    ss.Chunks,
+		Steals:    ss.Steals,
+		Stolen:    ss.Stolen,
+	}
+	for _, w := range ss.Workers {
+		st.Scheduler.PerWorker = append(st.Scheduler.PerWorker, WorkerStatsJSON{
+			Worker:     w.Worker,
+			Chunks:     w.Chunks,
+			Stolen:     w.Stolen,
+			Steals:     w.Steals,
+			WorkUnits:  w.Work.IonHits + w.Work.Scored,
+			BusyMillis: float64(w.Nanos) / 1e6,
+		})
+	}
 	return st
 }

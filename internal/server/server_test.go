@@ -583,6 +583,19 @@ func TestHealthAndStatsEndpoints(t *testing.T) {
 	if st.IndexBytes <= 0 || len(st.PerShard) != 2 {
 		t.Fatalf("stats missing session figures: %+v", st)
 	}
+	if st.Scheduler.Batches == 0 || st.Scheduler.Chunks == 0 || len(st.Scheduler.PerWorker) == 0 {
+		t.Fatalf("stats missing scheduler telemetry: %+v", st.Scheduler)
+	}
+	var workerUnits, shardUnits int64
+	for _, w := range st.Scheduler.PerWorker {
+		workerUnits += w.WorkUnits
+	}
+	for _, sh := range st.PerShard {
+		shardUnits += sh.WorkUnits
+	}
+	if workerUnits != shardUnits {
+		t.Fatalf("scheduler worker units %d != shard units %d", workerUnits, shardUnits)
+	}
 
 	if err := srv.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)

@@ -85,27 +85,52 @@ type ShardStatsJSON struct {
 	QueryMillis float64 `json:"query_ms"`
 }
 
+// WorkerStatsJSON is one scheduler worker's lifetime share in /stats.
+// The spread of work_units across workers is the intra-node balance the
+// work-stealing execution layer exists to flatten.
+type WorkerStatsJSON struct {
+	Worker     int     `json:"worker"`
+	Chunks     int     `json:"chunks"`
+	Stolen     int     `json:"chunks_stolen"`
+	Steals     int     `json:"steals"`
+	WorkUnits  int64   `json:"work_units"`
+	BusyMillis float64 `json:"busy_ms"`
+}
+
+// SchedulerStatsJSON summarizes the session's work-stealing execution
+// layer in /stats.
+type SchedulerStatsJSON struct {
+	Stealing  bool              `json:"stealing"`
+	ChunkSize int               `json:"chunk_size"`
+	Batches   int64             `json:"batches"`
+	Chunks    int64             `json:"chunks"`
+	Steals    int64             `json:"steals"`
+	Stolen    int64             `json:"chunks_stolen"`
+	PerWorker []WorkerStatsJSON `json:"per_worker"`
+}
+
 // StatsResponse is the JSON body of /stats: session-lifetime engine
 // figures plus the server's admission and coalescing counters.
 type StatsResponse struct {
-	Status         string           `json:"status"`
-	Shards         int              `json:"shards"`
-	Groups         int              `json:"groups"`
-	IndexBytes     int              `json:"index_bytes"`
-	MappingBytes   int              `json:"mapping_bytes"`
-	Searched       int64            `json:"searched"`
-	SessionBatches int64            `json:"session_batches"`
-	Accepted       int64            `json:"requests_accepted"`
-	RejectedQueue  int64            `json:"requests_rejected_queue_full"`
-	RejectedDrain  int64            `json:"requests_rejected_draining"`
-	Batches        int64            `json:"coalesced_batches"`
-	BatchedQueries int64            `json:"coalesced_queries"`
-	QueueLen       int              `json:"queue_len"`
-	QueueDepth     int              `json:"queue_depth"`
-	BatchSize      int              `json:"batch_size"`
-	FlushMicros    int64            `json:"flush_interval_us"`
-	MaxInFlight    int              `json:"max_in_flight"`
-	PerShard       []ShardStatsJSON `json:"per_shard"`
+	Status         string             `json:"status"`
+	Shards         int                `json:"shards"`
+	Groups         int                `json:"groups"`
+	IndexBytes     int                `json:"index_bytes"`
+	MappingBytes   int                `json:"mapping_bytes"`
+	Searched       int64              `json:"searched"`
+	SessionBatches int64              `json:"session_batches"`
+	Accepted       int64              `json:"requests_accepted"`
+	RejectedQueue  int64              `json:"requests_rejected_queue_full"`
+	RejectedDrain  int64              `json:"requests_rejected_draining"`
+	Batches        int64              `json:"coalesced_batches"`
+	BatchedQueries int64              `json:"coalesced_queries"`
+	QueueLen       int                `json:"queue_len"`
+	QueueDepth     int                `json:"queue_depth"`
+	BatchSize      int                `json:"batch_size"`
+	FlushMicros    int64              `json:"flush_interval_us"`
+	MaxInFlight    int                `json:"max_in_flight"`
+	PerShard       []ShardStatsJSON   `json:"per_shard"`
+	Scheduler      SchedulerStatsJSON `json:"scheduler"`
 }
 
 // errorResponse is the JSON body of every non-200 reply.

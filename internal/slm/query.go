@@ -96,7 +96,7 @@ func (ix *Index) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]
 			Row:       rid,
 			Peptide:   row.Peptide,
 			Shared:    c,
-			Score:     hyperscore(c, scratch.inten[rid], int(row.NumIons), len(q.Peaks)),
+			Score:     hyperscore(c, scratch.inten[rid], int(row.NumIons)),
 			Precursor: row.Precursor,
 		})
 	}

@@ -62,7 +62,7 @@ func BruteForce(peptides []string, params Params, q spectrum.Experimental) ([]Ma
 					Row:       rid,
 					Peptide:   uint32(pi),
 					Shared:    uint16(shared),
-					Score:     hyperscore(uint16(shared), intensity, len(ions), len(q.Peaks)),
+					Score:     hyperscore(uint16(shared), intensity, len(ions)),
 					Precursor: th.Precursor,
 				})
 			}

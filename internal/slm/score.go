@@ -7,7 +7,12 @@ import "math"
 // matched intensity sum, normalized by the theoretical ion count so longer
 // peptides are not unduly favored. Shared-peak count dominates; intensity
 // breaks ties. Deterministic and monotone in both arguments.
-func hyperscore(shared uint16, intensitySum float64, rowIons, queryPeaks int) float64 {
+//
+// The score is intentionally not normalized by the query's peak count:
+// every candidate of one query shares that count, so it cannot reorder
+// matches, and queries are never ranked against each other. (An earlier
+// signature accepted it and silently ignored it.)
+func hyperscore(shared uint16, intensitySum float64, rowIons int) float64 {
 	if shared == 0 {
 		return 0
 	}

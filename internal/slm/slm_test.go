@@ -305,15 +305,15 @@ func TestHyperscoreMonotonicity(t *testing.T) {
 	f := func(sharedRaw uint8, intenRaw uint16) bool {
 		shared := uint16(sharedRaw%60) + 1
 		inten := float64(intenRaw) / 100
-		base := hyperscore(shared, inten, 30, 100)
-		moreShared := hyperscore(shared+1, inten, 30, 100)
-		moreInten := hyperscore(shared, inten+1, 30, 100)
+		base := hyperscore(shared, inten, 30)
+		moreShared := hyperscore(shared+1, inten, 30)
+		moreInten := hyperscore(shared, inten+1, 30)
 		return moreShared > base && moreInten > base
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
-	if hyperscore(0, 0, 10, 10) != 0 {
+	if hyperscore(0, 0, 10) != 0 {
 		t.Error("zero shared must score 0")
 	}
 }

@@ -218,7 +218,18 @@ func BuildMappingTable(g Grouping, p Partition) MappingTable {
 // Session owns a built search engine (grouping, partition, one SLM index
 // per shard, mapping table) and serves repeated streaming query batches
 // without rebuilding — the shape a traffic-serving deployment needs.
+// Query batches execute on a work-stealing worker pool (internal/sched):
+// results are invariant to the schedule, and Session.SchedulerStats
+// reports the per-worker balance and steal telemetry.
 type Session = engine.Session
+
+// SchedulerStats is the session-lifetime telemetry of the work-stealing
+// execution layer (per-worker work/wall-time, steals, chunk counters).
+type SchedulerStats = engine.SchedulerStats
+
+// ErrStreamClosed is returned by Stream.Push after Close and by a
+// redundant Stream.Close.
+var ErrStreamClosed = engine.ErrStreamClosed
 
 // SessionConfig configures a Session: engine knobs plus the shard count.
 type SessionConfig = engine.SessionConfig
