@@ -2,7 +2,7 @@ package lbe_test
 
 import (
 	"bufio"
-	"io"
+	"context"
 	"net/http"
 	"os"
 	"os/exec"
@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"lbe/internal/api"
 )
 
 // TestCLIPipeline builds the command-line tools and drives the full
@@ -161,8 +163,8 @@ func TestCLIPipeline(t *testing.T) {
 
 	const searchBody = `{"spectra":[{"scan":1,"precursor_mz":500.3,"charge":2,` +
 		`"peaks":[[147.11,1.0],[262.14,0.8],[375.22,0.6]]}]}`
-	freshResp := postJSON(t, fresh.base+"/search", searchBody)
-	warmResp := postJSON(t, warm.base+"/search", searchBody)
+	freshResp := postJSON(t, fresh.base, searchBody)
+	warmResp := postJSON(t, warm.base, searchBody)
 	if freshResp != warmResp {
 		t.Fatalf("fresh and warm-started servers answered differently:\nfresh: %s\nwarm:  %s",
 			freshResp, warmResp)
@@ -174,25 +176,44 @@ func TestCLIPipeline(t *testing.T) {
 		t.Fatalf("lbe-client output: %s", out)
 	}
 
-	// Graceful drain on interrupt, for both servers.
+	// 10. Multi-node serving: a second warm replica from the same store
+	// plus an lbe-router over both. The routed response must be
+	// byte-identical to the single replica's, and the load client must
+	// succeed through the router unchanged.
+	warm2 := startServe(t, dir, tool("lbe-serve"),
+		"-index", "store2", "-addr", "127.0.0.1:0")
+	routerProc := startServe(t, dir, tool("lbe-router"),
+		"-addr", "127.0.0.1:0", "-replicas", warm.base+","+warm2.base,
+		"-probe", "250ms")
+	routedResp := postJSON(t, routerProc.base, searchBody)
+	if routedResp != warmResp {
+		t.Fatalf("routed response differs from the replica's:\nrouter: %s\nreplica: %s",
+			routedResp, warmResp)
+	}
+	out = run(tool("lbe-client"), "-addr", routerProc.base, "-ms2", "run.ms2",
+		"-n", "15", "-c", "4", "-require-matches", "-q")
+	if !strings.Contains(out, "0 failed") || !strings.Contains(out, "0 empty") {
+		t.Fatalf("lbe-client via router output: %s", out)
+	}
+
+	// Graceful drain on interrupt: router first, then every replica.
+	routerProc.drain(t)
 	fresh.drain(t)
 	warm.drain(t)
+	warm2.drain(t)
 }
 
-// postJSON posts body to url and returns the response body.
-func postJSON(t *testing.T, url, body string) string {
+// postJSON posts a /search body through the typed api client and returns
+// the raw response body, so byte-level comparisons stay exact.
+func postJSON(t *testing.T, base, body string) string {
 	t.Helper()
-	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	client := api.New(base)
+	status, b, err := client.Do(context.Background(), http.MethodPost, "/search", []byte(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, b)
+	if status != http.StatusOK {
+		t.Fatalf("POST %s/search: status %d: %s", base, status, b)
 	}
 	return string(b)
 }
@@ -205,10 +226,11 @@ type serveProc struct {
 	logText  func() string
 }
 
-// startServe boots an lbe-serve process and waits for its resolved
-// listen address. The log builder is written by the scanner goroutine
-// and read by the test, so it is mutex-guarded; scanDone orders the
-// final read and cmd.Wait after the scanner's last pipe access.
+// startServe boots an lbe-serve or lbe-router process and waits for its
+// resolved listen address (both log the same load-bearing "listening on"
+// line). The log builder is written by the scanner goroutine and read by
+// the test, so it is mutex-guarded; scanDone orders the final read and
+// cmd.Wait after the scanner's last pipe access.
 func startServe(t *testing.T, dir, bin string, args ...string) *serveProc {
 	t.Helper()
 	serve := exec.Command(bin, args...)
@@ -239,7 +261,7 @@ func startServe(t *testing.T, dir, bin string, args ...string) *serveProc {
 			logMu.Lock()
 			serveLog.WriteString(line + "\n")
 			logMu.Unlock()
-			if rest, ok := strings.CutPrefix(line, "lbe-serve: listening on "); ok {
+			if _, rest, ok := strings.Cut(line, ": listening on "); ok {
 				addr <- rest
 			}
 		}
@@ -248,7 +270,7 @@ func startServe(t *testing.T, dir, bin string, args ...string) *serveProc {
 	case a := <-addr:
 		p.base = "http://" + a
 	case <-time.After(2 * time.Minute):
-		t.Fatalf("lbe-serve never reported its address:\n%s", p.logText())
+		t.Fatalf("%s never reported its address:\n%s", filepath.Base(bin), p.logText())
 	}
 	return p
 }
@@ -262,6 +284,6 @@ func (p *serveProc) drain(t *testing.T) {
 	}
 	<-p.scanDone
 	if err := p.cmd.Wait(); err != nil {
-		t.Fatalf("lbe-serve did not exit cleanly: %v\n%s", err, p.logText())
+		t.Fatalf("%s did not exit cleanly: %v\n%s", filepath.Base(p.cmd.Path), err, p.logText())
 	}
 }

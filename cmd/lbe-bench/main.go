@@ -25,7 +25,7 @@ func main() {
 	log.SetPrefix("lbe-bench: ")
 
 	var (
-		fig     = flag.String("fig", "all", "which experiment: all|setup|5|6|7|8|9|10|11|grouping|transport|hetero|filtration|session|serve|coldstart|steal")
+		fig     = flag.String("fig", "all", "which experiment: all|setup|5|6|7|8|9|10|11|grouping|transport|hetero|filtration|session|serve|coldstart|steal|route")
 		scale   = flag.Float64("scale", 1.0/1000, "fraction of the paper's index sizes")
 		ranks   = flag.Int("ranks", 16, "partitions for the LI figures")
 		queries = flag.Int("queries", 800, "query spectra per run")
@@ -57,6 +57,7 @@ func main() {
 		"serve":      bench.ServeThroughput,
 		"coldstart":  bench.ColdStart,
 		"steal":      bench.Steal,
+		"route":      bench.Route,
 	}
 
 	var sb strings.Builder
@@ -73,7 +74,7 @@ func main() {
 	} else {
 		run, ok := runners[*fig]
 		if !ok {
-			log.Fatalf("unknown -fig %q; options: all setup 5 6 7 8 9 10 11 grouping transport hetero filtration session serve coldstart steal", *fig)
+			log.Fatalf("unknown -fig %q; options: all setup 5 6 7 8 9 10 11 grouping transport hetero filtration session serve coldstart steal route", *fig)
 		}
 		f, err := run(o)
 		if err != nil {

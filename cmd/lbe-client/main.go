@@ -1,9 +1,10 @@
-// Command lbe-client drives a running lbe-serve instance: it reads query
+// Command lbe-client drives a running lbe-serve instance (or an
+// lbe-router front-end — the surface is identical): it reads query
 // spectra from an MS2 file, POSTs them to /search from concurrent
-// closed-loop workers, and reports per-query match counts. It exits
-// non-zero if any request fails or (with -require-matches) if any query
-// comes back empty, which makes it the assertion step of the CI serving
-// smoke test.
+// closed-loop workers through the typed internal/api client, and reports
+// per-query match counts. It exits non-zero if any request fails or
+// (with -require-matches) if any query comes back empty, which makes it
+// the assertion step of the CI serving smoke tests.
 //
 // Usage:
 //
@@ -11,53 +12,29 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lbe"
+	"lbe/internal/api"
 )
-
-// Wire types mirror internal/server's JSON contract.
-type spectrumJSON struct {
-	Scan        int          `json:"scan,omitempty"`
-	PrecursorMZ float64      `json:"precursor_mz"`
-	Charge      int          `json:"charge,omitempty"`
-	Peaks       [][2]float64 `json:"peaks"`
-}
-
-type searchRequest struct {
-	Spectra []spectrumJSON `json:"spectra"`
-}
-
-type searchResponse struct {
-	Results []struct {
-		Scan int `json:"scan"`
-		PSMs []struct {
-			Peptide  uint32  `json:"peptide"`
-			Sequence string  `json:"sequence"`
-			Score    float64 `json:"score"`
-		} `json:"psms"`
-	} `json:"results"`
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbe-client: ")
 
 	var (
-		addr    = flag.String("addr", "http://127.0.0.1:8417", "lbe-serve base URL")
+		addr    = flag.String("addr", "http://127.0.0.1:8417", "lbe-serve or lbe-router base URL")
 		ms2In   = flag.String("ms2", "", "MS2 query file (required)")
 		n       = flag.Int("n", 0, "spectra to send (0 = all)")
 		workers = flag.Int("c", 4, "concurrent closed-loop clients")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-attempt request deadline")
+		retries = flag.Int("retries", 2, "retries per request on transport errors and overload statuses")
 		require = flag.Bool("require-matches", false, "exit non-zero if any query returns zero PSMs")
 		quiet   = flag.Bool("q", false, "suppress per-query output")
 	)
@@ -76,7 +53,10 @@ func main() {
 	if len(queries) == 0 {
 		log.Fatal("no spectra to send")
 	}
-	base := strings.TrimRight(*addr, "/")
+
+	client := api.New(*addr)
+	client.Timeout = *timeout
+	client.Retries = *retries
 
 	var (
 		next    atomic.Int64
@@ -85,7 +65,7 @@ func main() {
 		failed  atomic.Int64
 		wg      sync.WaitGroup
 	)
-	client := &http.Client{Timeout: 60 * time.Second}
+	ctx := context.Background()
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
@@ -97,37 +77,14 @@ func main() {
 					return
 				}
 				q := queries[i]
-				sj := spectrumJSON{
-					Scan:        q.Scan,
-					PrecursorMZ: q.PrecursorMZ,
-					Charge:      q.Charge,
-					Peaks:       make([][2]float64, len(q.Peaks)),
-				}
-				for p, pk := range q.Peaks {
-					sj.Peaks[p] = [2]float64{pk.MZ, pk.Intensity}
-				}
-				body, err := json.Marshal(searchRequest{Spectra: []spectrumJSON{sj}})
+				sr, err := client.SearchSpectra(ctx, api.FromExperimental(q))
 				if err != nil {
 					log.Printf("scan %d: %v", q.Scan, err)
 					failed.Add(1)
 					continue
 				}
-				resp, err := client.Post(base+"/search", "application/json", bytes.NewReader(body))
-				if err != nil {
-					log.Printf("scan %d: %v", q.Scan, err)
-					failed.Add(1)
-					continue
-				}
-				raw, err := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if err != nil || resp.StatusCode != http.StatusOK {
-					log.Printf("scan %d: status %d: %s", q.Scan, resp.StatusCode, raw)
-					failed.Add(1)
-					continue
-				}
-				var sr searchResponse
-				if err := json.Unmarshal(raw, &sr); err != nil || len(sr.Results) != 1 {
-					log.Printf("scan %d: bad response: %v (%s)", q.Scan, err, raw)
+				if len(sr.Results) != 1 {
+					log.Printf("scan %d: response carries %d results, want 1", q.Scan, len(sr.Results))
 					failed.Add(1)
 					continue
 				}

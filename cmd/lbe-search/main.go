@@ -123,7 +123,7 @@ func main() {
 			log.Fatal("store was saved without its peptide list; rebuild it with lbe-index -out")
 		}
 		sess.Tune(*threads, *batch)
-		sess.TuneScheduler(*chunk, *steal)
+		cliutil.TuneSchedulerFromFlags(sess, *chunk, *steal)
 		cfg = sess.Config()
 		log.Printf("session restored from %s: %d shards, %d groups, index %.2f MB, loaded in %v",
 			*index, sess.NumShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),

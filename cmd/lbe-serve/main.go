@@ -86,7 +86,7 @@ func main() {
 			log.Fatal(err)
 		}
 		sess.Tune(*threads, *batch)
-		sess.TuneScheduler(*chunk, *steal)
+		cliutil.TuneSchedulerFromFlags(sess, *chunk, *steal)
 		log.Printf("session restored from %s: %d peptides, %d shards, %d groups, index %.2f MB, loaded in %v",
 			*index, len(peptides), sess.NumShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),
 			time.Since(loadStart).Round(time.Millisecond))

@@ -1,0 +1,183 @@
+// Multi-node serving walkthrough: build a session once, persist it as a
+// store, warm-start two serving replicas from that store, and put an
+// lbe-router front-end over them. Clients talk to the router exactly as
+// they would to a single lbe-serve — same wire contract — while the
+// router spreads load by the replicas' live telemetry and the store
+// digest gates mixing. The finale kills one replica mid-traffic and
+// shows the router failing over without a client-visible error.
+//
+//	go run ./examples/router
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"lbe"
+	"lbe/internal/api"
+	"lbe/internal/router"
+	"lbe/internal/server"
+)
+
+// replicaProc is one in-process "node": a warm-started session behind
+// the HTTP serving layer.
+type replicaProc struct {
+	srv     *server.Server
+	httpSrv *http.Server
+	base    string
+}
+
+func startReplica(storeDir string) (*replicaProc, error) {
+	sess, peptides, err := lbe.OpenSession(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(sess, peptides, server.Config{
+		BatchSize:     64,
+		FlushInterval: 5 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	return &replicaProc{srv: srv, httpSrv: httpSrv, base: "http://" + ln.Addr().String()}, nil
+}
+
+func (r *replicaProc) stop(ctx context.Context) {
+	_ = r.srv.Shutdown(ctx)
+	_ = r.httpSrv.Shutdown(ctx)
+}
+
+func main() {
+	// One database, built once and persisted: the store's manifest digest
+	// is the shape contract every replica must share.
+	recs, err := lbe.GenerateProteome(lbe.DefaultProteomeConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	proteins := make([]string, len(recs))
+	for i, r := range recs {
+		proteins[i] = r.Sequence
+	}
+	peps, err := lbe.Digest(lbe.DefaultDigestConfig(), proteins)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peptides := lbe.PeptideSequences(lbe.Dedup(peps))
+
+	scfg := lbe.DefaultSpectraConfig()
+	scfg.NumSpectra = 16
+	queries, _, err := lbe.GenerateSpectra(peptides, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sesscfg := lbe.DefaultSessionConfig()
+	sesscfg.Shards = 2
+	sesscfg.TopK = 3
+	sess, err := lbe.NewSession(peptides, sesscfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	storeDir, err := os.MkdirTemp("", "lbe-router-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(storeDir)
+	if err := sess.Save(storeDir, peptides); err != nil {
+		log.Fatal(err)
+	}
+	sess.Close()
+	fmt.Printf("store written: %d peptides, digest %.12s...\n\n", len(peptides), digestOf(storeDir))
+
+	// Two replicas warm-start from the same store — a two-node cluster.
+	r1, err := startReplica(storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, err := startReplica(storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replica 1 on %s\nreplica 2 on %s\n", r1.base, r2.base)
+
+	// The router probes both, adopts their shared digest, and serves the
+	// same surface they do.
+	rt, err := router.New([]string{r1.base, r2.base}, router.Config{
+		ProbeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := &http.Server{Handler: rt.Handler()}
+	go func() { _ = front.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("router   on %s\n\n", base)
+
+	// Clients speak to the router through the same typed client they
+	// would point at a single replica.
+	client := api.New(base)
+	ctx := context.Background()
+	search := func(from, to int) {
+		for i := from; i < to; i++ {
+			sr, err := client.SearchSpectra(ctx, api.FromExperimental(queries[i]))
+			if err != nil {
+				log.Fatalf("query %d: %v", i, err)
+			}
+			if psms := sr.Results[0].PSMs; len(psms) > 0 {
+				fmt.Printf("query %2d: best %s (score %.3f, shard %d)\n",
+					i, psms[0].Sequence, psms[0].Score, psms[0].Shard)
+			} else {
+				fmt.Printf("query %2d: no match\n", i)
+			}
+		}
+	}
+	search(0, len(queries)/2)
+
+	st := rt.Stats()
+	fmt.Printf("\nafter %d requests: replica1 served %d, replica2 served %d (least-loaded dispatch)\n\n",
+		st.Routed, st.Replicas[0].Routed, st.Replicas[1].Routed)
+
+	// Kill replica 1 abruptly; the router fails the next attempts over to
+	// replica 2, and a probe marks the dead node down.
+	fmt.Println("killing replica 1 mid-traffic...")
+	killCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	r1.stop(killCtx)
+	cancel()
+	search(len(queries)/2, len(queries))
+
+	st = rt.Stats()
+	fmt.Printf("\nall %d requests answered; %d failovers, replica1 healthy=%v\n",
+		st.Routed, st.Failovers, st.Replicas[0].Healthy)
+
+	// Drain everything.
+	shutCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(shutCtx); err != nil {
+		log.Fatal(err)
+	}
+	_ = front.Shutdown(shutCtx)
+	r2.stop(shutCtx)
+	fmt.Println("drained cleanly")
+}
+
+// digestOf reads the cluster digest back off a freshly opened session.
+func digestOf(storeDir string) string {
+	s, _, err := lbe.OpenSession(storeDir)
+	if err != nil {
+		return "?"
+	}
+	defer s.Close()
+	return s.Digest()
+}

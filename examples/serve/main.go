@@ -8,11 +8,8 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
@@ -20,6 +17,7 @@ import (
 	"time"
 
 	"lbe"
+	"lbe/internal/api"
 	"lbe/internal/server"
 )
 
@@ -72,6 +70,7 @@ func main() {
 	go func() { _ = httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("serving on %s\n\n", base)
+	client := api.New(base)
 
 	// A burst of concurrent single-spectrum clients.
 	var wg sync.WaitGroup
@@ -79,26 +78,13 @@ func main() {
 		wg.Add(1)
 		go func(i int, q lbe.Spectrum) {
 			defer wg.Done()
-			sj := server.SpectrumJSON{
-				Scan:        q.Scan,
-				PrecursorMZ: q.PrecursorMZ,
-				Charge:      q.Charge,
-				Peaks:       make([][2]float64, len(q.Peaks)),
-			}
-			for p, pk := range q.Peaks {
-				sj.Peaks[p] = [2]float64{pk.MZ, pk.Intensity}
-			}
-			body, _ := json.Marshal(server.SearchRequest{Spectra: []server.SpectrumJSON{sj}})
-			resp, err := http.Post(base+"/search", "application/json", bytes.NewReader(body))
+			sr, err := client.SearchSpectra(context.Background(), api.FromExperimental(q))
 			if err != nil {
 				log.Printf("client %d: %v", i, err)
 				return
 			}
-			defer resp.Body.Close()
-			raw, _ := io.ReadAll(resp.Body)
-			var sr server.SearchResponse
-			if err := json.Unmarshal(raw, &sr); err != nil || len(sr.Results) != 1 {
-				log.Printf("client %d: bad response %s", i, raw)
+			if len(sr.Results) != 1 {
+				log.Printf("client %d: response carries %d results", i, len(sr.Results))
 				return
 			}
 			if psms := sr.Results[0].PSMs; len(psms) > 0 {

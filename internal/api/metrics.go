@@ -1,0 +1,141 @@
+package api
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Prometheus text exposition (version 0.0.4), hand-rolled so the serving
+// tier's telemetry — the ROADMAP's "Prometheus-format /metrics from the
+// existing SchedulerStats + shard stats" item — costs no dependency. The
+// gauges and counters below are a direct rendering of StatsResponse:
+// lbe-serve exposes its own, and lbe-router exposes the aggregate it
+// already keeps for /stats plus its routing counters.
+
+// metricsWriter accumulates one exposition document, emitting each
+// metric's HELP/TYPE header once.
+type metricsWriter struct {
+	buf bytes.Buffer
+}
+
+func (m *metricsWriter) header(name, help, typ string) {
+	fmt.Fprintf(&m.buf, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (m *metricsWriter) value(name, labels string, v float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(&m.buf, "%s%s %g\n", name, labels, v)
+}
+
+func (m *metricsWriter) simple(name, help, typ string, v float64) {
+	m.header(name, help, typ)
+	m.value(name, "", v)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// appendStats renders one StatsResponse under the lbe_ metric names.
+func (m *metricsWriter) appendStats(st *StatsResponse) {
+	m.simple("lbe_draining", "Whether the service is draining (1) or serving (0).", "gauge", b2f(st.Status != "ok"))
+	m.simple("lbe_shards", "Index shards held by the session(s).", "gauge", float64(st.Shards))
+	m.simple("lbe_groups", "LBE peptide groups formed over the database.", "gauge", float64(st.Groups))
+	m.simple("lbe_index_bytes", "Resident shard-index bytes.", "gauge", float64(st.IndexBytes))
+	m.simple("lbe_mapping_bytes", "Master mapping table bytes.", "gauge", float64(st.MappingBytes))
+	m.simple("lbe_queries_searched_total", "Queries served over the session lifetime.", "counter", float64(st.Searched))
+	m.simple("lbe_session_batches_total", "Merged pipeline batches the engine executed.", "counter", float64(st.SessionBatches))
+	m.simple("lbe_requests_accepted_total", "Requests admitted through the bounded queue.", "counter", float64(st.Accepted))
+
+	m.header("lbe_requests_rejected_total", "Requests rejected, by reason.", "counter")
+	m.value("lbe_requests_rejected_total", `reason="queue_full"`, float64(st.RejectedQueue))
+	m.value("lbe_requests_rejected_total", `reason="draining"`, float64(st.RejectedDrain))
+
+	m.simple("lbe_coalesced_batches_total", "Merged batches dispatched by the coalescer.", "counter", float64(st.Batches))
+	m.simple("lbe_coalesced_queries_total", "Queries carried by coalesced batches.", "counter", float64(st.BatchedQueries))
+	m.simple("lbe_queue_len", "Requests waiting on the admission queue.", "gauge", float64(st.QueueLen))
+	m.simple("lbe_queue_depth", "Admission queue capacity.", "gauge", float64(st.QueueDepth))
+	m.simple("lbe_inflight_batches", "Coalesced batches currently searching.", "gauge", float64(st.InFlight))
+	m.simple("lbe_max_inflight_batches", "In-flight batch slot capacity.", "gauge", float64(st.MaxInFlight))
+
+	if len(st.PerShard) > 0 {
+		m.header("lbe_shard_work_units_total", "Deterministic work units per shard.", "counter")
+		for _, sh := range st.PerShard {
+			m.value("lbe_shard_work_units_total", fmt.Sprintf(`shard="%d"`, sh.Rank), float64(sh.WorkUnits))
+		}
+		m.header("lbe_shard_query_seconds_total", "Query wall time per shard.", "counter")
+		for _, sh := range st.PerShard {
+			m.value("lbe_shard_query_seconds_total", fmt.Sprintf(`shard="%d"`, sh.Rank), sh.QueryMillis/1e3)
+		}
+	}
+
+	sc := st.Scheduler
+	m.simple("lbe_sched_stealing", "Whether work stealing is enabled.", "gauge", b2f(sc.Stealing))
+	m.simple("lbe_sched_chunk_size", "Effective scheduler chunk granularity (queries).", "gauge", float64(sc.ChunkSize))
+	m.simple("lbe_sched_chunks_total", "Scheduler chunks executed.", "counter", float64(sc.Chunks))
+	m.simple("lbe_sched_steals_total", "Steal-half operations performed.", "counter", float64(sc.Steals))
+	m.simple("lbe_sched_chunks_stolen_total", "Chunks acquired by stealing.", "counter", float64(sc.Stolen))
+	if len(sc.PerWorker) > 0 {
+		m.header("lbe_worker_work_units_total", "Deterministic work units per scheduler worker.", "counter")
+		for _, w := range sc.PerWorker {
+			m.value("lbe_worker_work_units_total", fmt.Sprintf(`worker="%d"`, w.Worker), float64(w.WorkUnits))
+		}
+		m.header("lbe_worker_busy_seconds_total", "Busy wall time per scheduler worker.", "counter")
+		for _, w := range sc.PerWorker {
+			m.value("lbe_worker_busy_seconds_total", fmt.Sprintf(`worker="%d"`, w.Worker), w.BusyMillis/1e3)
+		}
+		m.header("lbe_worker_steals_total", "Steal operations per scheduler worker.", "counter")
+		for _, w := range sc.PerWorker {
+			m.value("lbe_worker_steals_total", fmt.Sprintf(`worker="%d"`, w.Worker), float64(w.Steals))
+		}
+	}
+}
+
+// FormatMetrics renders one replica's StatsResponse as a Prometheus text
+// exposition document.
+func FormatMetrics(st *StatsResponse) []byte {
+	var m metricsWriter
+	m.appendStats(st)
+	return m.buf.Bytes()
+}
+
+// FormatRouterMetrics renders the router's /stats as an exposition
+// document: the aggregate StatsResponse (scalar sums over replicas with
+// stats snapshots) under the lbe_ names, plus lbe_router_ metrics for
+// routing and the per-replica registry.
+func FormatRouterMetrics(st *RouterStatsResponse) []byte {
+	var m metricsWriter
+	m.appendStats(&st.Aggregate)
+
+	m.simple("lbe_router_draining", "Whether the router is draining (1) or serving (0).", "gauge", b2f(st.Status != "ok"))
+	m.simple("lbe_router_requests_routed_total", "Requests routed to a replica successfully.", "counter", float64(st.Routed))
+	m.simple("lbe_router_failovers_total", "Attempts retried on another replica after a failure.", "counter", float64(st.Failovers))
+	m.header("lbe_router_requests_rejected_total", "Requests the router rejected, by reason.", "counter")
+	m.value("lbe_router_requests_rejected_total", `reason="draining"`, float64(st.RejectedDrain))
+	m.value("lbe_router_requests_rejected_total", `reason="no_replica"`, float64(st.RejectedNoReplica))
+
+	if len(st.Replicas) > 0 {
+		m.header("lbe_router_replica_up", "Replica health from the last probe (1 healthy, 0 down).", "gauge")
+		for _, r := range st.Replicas {
+			m.value("lbe_router_replica_up", fmt.Sprintf(`replica=%q`, r.URL), b2f(r.Healthy))
+		}
+		m.header("lbe_router_replica_consistent", "Whether the replica's digest matches the cluster digest.", "gauge")
+		for _, r := range st.Replicas {
+			m.value("lbe_router_replica_consistent", fmt.Sprintf(`replica=%q`, r.URL), b2f(!r.DigestMismatch))
+		}
+		m.header("lbe_router_replica_routed_total", "Requests answered by the replica.", "counter")
+		for _, r := range st.Replicas {
+			m.value("lbe_router_replica_routed_total", fmt.Sprintf(`replica=%q`, r.URL), float64(r.Routed))
+		}
+		m.header("lbe_router_replica_failed_total", "Attempts that failed on the replica.", "counter")
+		for _, r := range st.Replicas {
+			m.value("lbe_router_replica_failed_total", fmt.Sprintf(`replica=%q`, r.URL), float64(r.Failed))
+		}
+	}
+	return m.buf.Bytes()
+}

@@ -188,6 +188,7 @@ func All(o Options) ([]Figure, error) {
 		{"serve", ServeThroughput},
 		{"coldstart", ColdStart},
 		{"steal", Steal},
+		{"route", Route},
 	}
 	var figs []Figure
 	for _, r := range runners {

@@ -420,3 +420,28 @@ func TestColdStartShape(t *testing.T) {
 			warm.Y[last], rebuild.Y[last])
 	}
 }
+
+func TestRouteTiny(t *testing.T) {
+	o := tinyOptions()
+	o.Ranks = 2
+	fig, err := Route(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("route figure should have p50/p95/p99 series: %+v", fig.Series)
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) != 3 {
+			t.Fatalf("series %s has %d points (replica levels), want 3", s.Label, len(s.Y))
+		}
+		for _, v := range s.Y {
+			if v <= 0 {
+				t.Errorf("non-positive latency in %s: %v", s.Label, s.Y)
+			}
+		}
+	}
+	if len(fig.Notes) < 3 {
+		t.Fatalf("route figure missing rate/overhead/failover notes: %v", fig.Notes)
+	}
+}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"lbe/internal/engine"
+	"lbe/internal/router"
+	"lbe/internal/server"
+)
+
+// Route measures the multi-node serving tier: a fixed closed-loop client
+// population drives /search through an lbe-router front-end over a
+// growing set of in-process replicas, and the figure reports latency
+// percentiles per replica count — the single-replica level is the
+// baseline the 2- and 4-replica levels are compared against. Every
+// replica serves the same database (fresh builds of one corpus share a
+// canonical digest, so the router's consistency gate admits them all),
+// and the notes record achieved request rates, the router-overhead
+// comparison against driving one replica directly, and the routing
+// counters.
+func Route(o Options) (Figure, error) {
+	fig := Figure{
+		ID:     "route",
+		Title:  "Routed latency vs replica count (closed loop, 16 clients)",
+		XLabel: "replicas",
+		YLabel: "latency ms",
+	}
+	c, err := o.corpusAt(paperSizesM[0])
+	if err != nil {
+		return fig, err
+	}
+	cfg := engineConfig()
+
+	const maxReplicas = 4
+	const concurrency = 16
+
+	// Build every replica up front: one session each over the same
+	// peptides, so levels reuse them instead of rebuilding per level.
+	type replicaProc struct {
+		sess *engine.Session
+		srv  *server.Server
+		ts   *httptest.Server
+	}
+	replicas := make([]replicaProc, 0, maxReplicas)
+	defer func() {
+		for _, r := range replicas {
+			r.srv.Close()
+			r.ts.Close()
+			r.sess.Close()
+		}
+	}()
+	shards := o.Ranks
+	if shards > 4 {
+		// Per-replica shard counts stay modest: the figure scales
+		// replicas, not intra-replica partitions.
+		shards = 4
+	}
+	for i := 0; i < maxReplicas; i++ {
+		sess, err := engine.NewSession(c.Peptides, engine.SessionConfig{Config: cfg, Shards: shards})
+		if err != nil {
+			return fig, err
+		}
+		srv := server.New(sess, c.Peptides, server.Config{
+			BatchSize:     64,
+			FlushInterval: time.Millisecond,
+			QueueDepth:    1024,
+			MaxInFlight:   4,
+		})
+		replicas = append(replicas, replicaProc{sess: sess, srv: srv, ts: httptest.NewServer(srv.Handler())})
+	}
+
+	bodies := make([][]byte, len(c.Queries))
+	for i, q := range c.Queries {
+		b, err := marshalQuery(q)
+		if err != nil {
+			return fig, err
+		}
+		bodies[i] = b
+	}
+
+	// Direct baseline: the same load on one replica without the router,
+	// quantifying the front-end's own overhead.
+	directLat, directWall, err := closedLoop(replicas[0].ts.Client(), replicas[0].ts.URL, bodies, concurrency)
+	if err != nil {
+		return fig, err
+	}
+	sort.Float64s(directLat)
+
+	p50 := Series{Label: "p50"}
+	p95 := Series{Label: "p95"}
+	p99 := Series{Label: "p99"}
+	var rates []float64
+	var failovers int64
+	for _, n := range []int{1, 2, 4} {
+		urls := make([]string, n)
+		for i := range urls {
+			urls[i] = replicas[i].ts.URL
+		}
+		rt, err := router.New(urls, router.Config{
+			ProbeInterval:   50 * time.Millisecond,
+			StatsStaleAfter: time.Hour,
+		})
+		if err != nil {
+			return fig, err
+		}
+		rts := httptest.NewServer(rt.Handler())
+		lat, wall, err := closedLoop(rts.Client(), rts.URL, bodies, concurrency)
+		st := rt.Stats()
+		rt.Close()
+		rts.Close()
+		if err != nil {
+			return fig, err
+		}
+		if st.Digest == "" || st.Routed != int64(len(bodies)) {
+			return fig, fmt.Errorf("bench: route: level %d routed %d of %d requests (digest %q)",
+				n, st.Routed, len(bodies), st.Digest)
+		}
+		failovers += st.Failovers
+		sort.Float64s(lat)
+		x := float64(n)
+		p50.X, p50.Y = append(p50.X, x), append(p50.Y, percentile(lat, 0.50))
+		p95.X, p95.Y = append(p95.X, x), append(p95.Y, percentile(lat, 0.95))
+		p99.X, p99.Y = append(p99.X, x), append(p99.Y, percentile(lat, 0.99))
+		rates = append(rates, float64(len(bodies))/wall.Seconds())
+	}
+	fig.Series = []Series{p50, p95, p99}
+
+	speedup := 0.0
+	if rates[0] > 0 {
+		speedup = rates[len(rates)-1] / rates[0]
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("achieved request rates per level: %s rps (%.2fx at 4 replicas over 1)",
+			trimFloats(rates), speedup),
+		fmt.Sprintf("direct single-replica baseline (no router): %.0f rps, p50 %.2f ms — router overhead p50 %+.2f ms",
+			float64(len(bodies))/directWall.Seconds(), percentile(directLat, 0.50),
+			p50.Y[0]-percentile(directLat, 0.50)),
+		fmt.Sprintf("%d failovers across all levels; every replica shares one store digest (consistency gate satisfied); %d shards per replica",
+			failovers, shards))
+	return fig, nil
+}

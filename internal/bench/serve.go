@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lbe/internal/api"
 	"lbe/internal/engine"
 	"lbe/internal/server"
 	"lbe/internal/spectrum"
@@ -141,16 +142,7 @@ func closedLoop(client *http.Client, baseURL string, bodies [][]byte, concurrenc
 
 // marshalQuery renders one spectrum as a single-query /search body.
 func marshalQuery(q spectrum.Experimental) ([]byte, error) {
-	sj := server.SpectrumJSON{
-		Scan:        q.Scan,
-		PrecursorMZ: q.PrecursorMZ,
-		Charge:      q.Charge,
-		Peaks:       make([][2]float64, len(q.Peaks)),
-	}
-	for i, p := range q.Peaks {
-		sj.Peaks[i] = [2]float64{p.MZ, p.Intensity}
-	}
-	return json.Marshal(server.SearchRequest{Spectra: []server.SpectrumJSON{sj}})
+	return json.Marshal(api.SearchRequest{Spectra: []api.SpectrumJSON{api.FromExperimental(q)}})
 }
 
 // percentile reads the nearest-rank p-quantile from ascending-sorted

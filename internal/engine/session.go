@@ -2,8 +2,12 @@ package engine
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -74,6 +78,7 @@ type Session struct {
 
 	mu       sync.Mutex
 	pool     *sched.Pool // query-time execution layer; swapped by Tune*
+	digest   string      // store-consistency digest; see Digest
 	closed   bool
 	searched int64          // lifetime queries served
 	batches  int64          // lifetime merged batches emitted
@@ -136,7 +141,63 @@ func NewSession(peptides []string, cfg SessionConfig) (*Session, error) {
 	s.table = core.BuildMappingTable(prep.grouping, prep.partition)
 	s.load = append([]RankStats(nil), s.build...)
 	s.pool = s.cfg.newSessionPool()
+	if s.digest, err = canonicalDigest(peptides, cfg.Config, p); err != nil {
+		return nil, fmt.Errorf("engine: session: %w", err)
+	}
 	return s, nil
+}
+
+// canonicalDigest fingerprints a freshly built session: a hash over the
+// result-shaping configuration (search params, grouping, policy, seed,
+// TopK, shard count — the runtime knobs that only change the schedule
+// are deliberately excluded) and the full peptide list. Two replicas
+// that build from the same database with the same shape flags agree;
+// replicas warm-started from a store agree through the manifest hash
+// instead (see OpenSession). The router's consistency gate compares
+// these digests before mixing replicas.
+func canonicalDigest(peptides []string, cfg Config, shards int) (string, error) {
+	shape := struct {
+		Params   slm.Params       `json:"params"`
+		Group    core.GroupConfig `json:"group"`
+		Policy   core.Policy      `json:"policy"`
+		Seed     int64            `json:"seed"`
+		TopK     int              `json:"topk"`
+		RawOrder bool             `json:"raw_order"`
+		Shards   int              `json:"shards"`
+	}{cfg.Params, cfg.Group, cfg.Policy, cfg.Seed, cfg.TopK, cfg.RawOrder, shards}
+	doc, err := json.Marshal(shape)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(doc)
+	h.Write([]byte{0})
+	for _, p := range peptides {
+		io.WriteString(h, p)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Digest returns the session's store-consistency digest: a stable
+// fingerprint of the searched database and its result-shaping
+// configuration. Sessions opened from the same store (or saved to one)
+// share the store manifest's hash; freshly built sessions share a
+// canonical hash of their shape config and peptide list. lbe-serve
+// exposes it on /healthz and /stats, and lbe-router refuses to route
+// across replicas whose digests differ.
+func (s *Session) Digest() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.digest
+}
+
+// setDigest replaces the digest after Save re-anchors the session's
+// identity to the store manifest it just wrote.
+func (s *Session) setDigest(d string) {
+	s.mu.Lock()
+	s.digest = d
+	s.mu.Unlock()
 }
 
 // newSessionPool builds a Session's scheduler pool. Unlike the

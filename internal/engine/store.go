@@ -2,6 +2,8 @@ package engine
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -208,10 +210,23 @@ func (s *Session) Save(dir string, peptides []string) error {
 	if err != nil {
 		return fmt.Errorf("engine: save: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, manifestFile), append(doc, '\n'), 0o644); err != nil {
+	doc = append(doc, '\n')
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), doc, 0o644); err != nil {
 		return fmt.Errorf("engine: save: %w", err)
 	}
+	// The session's identity is now the store: adopt the manifest hash so
+	// this process agrees with every replica that warm-starts from dir.
+	s.setDigest(manifestDigest(doc))
 	return nil
+}
+
+// manifestDigest fingerprints a store by its manifest bytes. Every
+// replica that opens the same store computes the same value, and any
+// difference in shape, content checksums or format version changes it —
+// the manifest as the cluster's shape contract.
+func manifestDigest(doc []byte) string {
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:])
 }
 
 // measuredReader feeds a shard file to slm.ReadIndex while accumulating
@@ -437,6 +452,7 @@ func OpenSession(dir string) (*Session, []string, error) {
 	}
 	s.load = append([]RankStats(nil), s.build...)
 	s.pool = s.cfg.newSessionPool()
+	s.digest = manifestDigest(doc)
 	return s, peptides, nil
 }
 

@@ -272,3 +272,92 @@ func TestStoreRoundTripsSchedulerConfig(t *testing.T) {
 		t.Fatalf("scheduler config did not survive the store: %+v", got)
 	}
 }
+
+// TestSessionDigestConsistency pins the digest contract the router's
+// consistency gate is built on: replicas built from the same database
+// with the same shape agree, replicas opened from the same store agree
+// (with each other and with the saver), and changing the shape or the
+// store changes the digest.
+func TestSessionDigestConsistency(t *testing.T) {
+	peptides, _, _ := testDataset(t, 6, 2, 0)
+	cfg := SessionConfig{Config: lightConfig(), Shards: 2}
+
+	a, err := NewSession(peptides, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Digest() == "" {
+		t.Fatal("fresh session has no digest")
+	}
+	b, err := NewSession(peptides, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.Digest() != b.Digest() {
+		t.Fatalf("same database, same shape, different digests:\n%s\n%s", a.Digest(), b.Digest())
+	}
+
+	// Runtime knobs must not move the digest; shape knobs must.
+	rcfg := cfg
+	rcfg.ThreadsPerRank = 3
+	rcfg.BatchSize = 17
+	r, err := NewSession(peptides, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Digest() != a.Digest() {
+		t.Fatal("runtime knobs changed the digest")
+	}
+	scfg := cfg
+	scfg.Shards = 3
+	s3, err := NewSession(peptides, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Digest() == a.Digest() {
+		t.Fatal("different shard count, same digest")
+	}
+
+	// Saving re-anchors the saver to the store manifest, and every open
+	// of that store agrees with it.
+	fresh := a.Digest()
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := a.Save(dir, peptides); err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == fresh {
+		t.Fatal("Save did not re-anchor the digest to the manifest")
+	}
+	o1, _, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o1.Close()
+	o2, _, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Close()
+	if o1.Digest() != a.Digest() || o1.Digest() != o2.Digest() {
+		t.Fatalf("store digests disagree: saver %s, opens %s / %s", a.Digest(), o1.Digest(), o2.Digest())
+	}
+
+	// A second store of the same content is still a different manifest
+	// (build timings differ), hence a different cluster contract.
+	dir2 := filepath.Join(t.TempDir(), "store")
+	if err := b.Save(dir2, peptides); err != nil {
+		t.Fatal(err)
+	}
+	o3, _, err := OpenSession(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o3.Close()
+	if o3.Digest() == o1.Digest() {
+		t.Fatal("distinct stores produced the same manifest digest")
+	}
+}

@@ -33,6 +33,15 @@ const AnySource = -1
 // ErrClosed is returned by operations on a closed communicator.
 var ErrClosed = errors.New("mpi: communicator closed")
 
+// ErrPeerClosed is returned by Recv when the named source's connection
+// has gone away and no matching message remains: the transport can prove
+// nothing more will arrive from that rank, so blocking forever would
+// turn a peer failure into a hang. Messages delivered before the close
+// are still received first — the error only surfaces once the inbox has
+// nothing left from that peer. A failover layer distinguishes it from
+// ErrClosed (the local endpoint is gone) to decide who failed.
+var ErrPeerClosed = errors.New("mpi: peer connection closed")
+
 // Comm is one rank's endpoint into a communicator of Size() ranks.
 // A Comm is intended to be driven by a single goroutine (like an MPI
 // process); Send is safe to call concurrently with Recv, but two
@@ -63,11 +72,15 @@ type message struct {
 
 // inbox holds undelivered messages for one rank, with (source, tag)
 // matching under a condition variable. Both transports deliver into it.
+// down marks sources whose links are gone: their queued messages stay
+// receivable, but a receive that would otherwise block on one fails with
+// ErrPeerClosed.
 type inbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending []message
 	closed  bool
+	down    map[int]bool
 }
 
 func newInbox() *inbox {
@@ -104,8 +117,26 @@ func (ib *inbox) get(from int, tag Tag) (message, error) {
 		if ib.closed {
 			return message{}, ErrClosed
 		}
+		// Nothing pending from the named source and its link is gone:
+		// nothing can arrive anymore, so fail instead of blocking forever.
+		// AnySource receives keep waiting — other links may still deliver.
+		if from != AnySource && ib.down[from] {
+			return message{}, fmt.Errorf("mpi: recv from rank %d: %w", from, ErrPeerClosed)
+		}
 		ib.cond.Wait()
 	}
+}
+
+// markDown records that a source's link is gone and wakes blocked
+// receivers so receives naming it can fail fast (see get).
+func (ib *inbox) markDown(from int) {
+	ib.mu.Lock()
+	if ib.down == nil {
+		ib.down = make(map[int]bool)
+	}
+	ib.down[from] = true
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
 }
 
 func (ib *inbox) close() {

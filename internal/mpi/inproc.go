@@ -79,5 +79,13 @@ func (c *memComm) Recv(from int, tag Tag) (int, []byte, error) {
 
 func (c *memComm) Close() error {
 	c.inbox.close()
+	// Mirror the TCP transport's peer-down contract: once this rank is
+	// gone, a sibling's Recv naming it must drain what was delivered and
+	// then fail with ErrPeerClosed instead of blocking forever.
+	for _, peer := range c.world.comms {
+		if peer != c {
+			peer.inbox.markDown(c.rank)
+		}
+	}
 	return nil
 }

@@ -100,9 +100,13 @@ func (c *tcpComm) Close() error {
 }
 
 // readLoop pumps frames from one peer connection into the inbox until the
-// connection or inbox closes.
+// connection or inbox closes. On exit the peer is marked down so a Recv
+// naming it — blocked or future — fails with ErrPeerClosed instead of
+// hanging once the already-delivered messages are drained; this is the
+// transport-level footing a failover layer stands on.
 func (c *tcpComm) readLoop(from int, conn net.Conn) {
 	defer c.wg.Done()
+	defer c.inbox.markDown(from)
 	hdr := make([]byte, 6)
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {

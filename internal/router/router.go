@@ -1,0 +1,604 @@
+// Package router is the multi-node serving tier: an HTTP front-end that
+// fans /search requests over a set of lbe-serve replicas, extending the
+// least-loaded dispatch of internal/sched from workers within one node to
+// replicas across nodes — the cluster-level analogue of HiCOPS-style
+// overlapped scheduling the ROADMAP points at.
+//
+// The router keeps a replica registry that it probes periodically:
+// /healthz for liveness and the store-consistency digest, /stats for the
+// live load figures (admission queue length and in-flight batches).
+// Dispatch picks the least-loaded healthy replica when its load snapshot
+// is fresh, and falls back to round-robin when every snapshot has gone
+// stale. A replica that fails an attempt is marked down until the next
+// probe revives it, and the failed request fails over to a different
+// replica within a bounded retry budget — searches are pure reads, so
+// re-sending is safe.
+//
+// Consistency gate: replicas are only mixed when their digests
+// (engine.Session.Digest, surfaced on /healthz) agree. The cluster's
+// contract is the digest of the lowest-indexed healthy replica; healthy
+// replicas answering with a different digest are excluded from routing
+// and flagged in /stats — serving a blend of two databases would return
+// answers no single Session could produce.
+//
+// The router serves the same /search, /healthz, /stats and /metrics
+// surface as a replica, so lbe-client (and anything else speaking
+// internal/api) works unchanged through it. /search bodies and replica
+// responses are passed through byte for byte.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lbe/internal/api"
+)
+
+// Config tunes the routing tier. The zero value of any field falls back
+// to its DefaultConfig value.
+type Config struct {
+	// ProbeInterval is how often every replica's /healthz and /stats are
+	// refreshed.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe exchange.
+	ProbeTimeout time.Duration
+	// RequestTimeout is the per-attempt deadline for a proxied /search.
+	RequestTimeout time.Duration
+	// FailoverRetries is how many additional replicas a failed /search
+	// attempt may try (each attempt goes to a replica not yet tried).
+	// Negative means no failover.
+	FailoverRetries int
+	// StatsStaleAfter bounds how old a replica's load snapshot may be and
+	// still drive least-loaded dispatch; with no fresh snapshot among the
+	// candidates, dispatch falls back to round-robin.
+	StatsStaleAfter time.Duration
+	// MaxBodyBytes caps the /search request body.
+	MaxBodyBytes int64
+}
+
+// DefaultConfig returns routing defaults: 2s probes with a 1s timeout,
+// 30s per-attempt deadline, one failover retry, snapshots stale after
+// three probe intervals.
+func DefaultConfig() Config {
+	return Config{
+		ProbeInterval:   2 * time.Second,
+		ProbeTimeout:    time.Second,
+		RequestTimeout:  30 * time.Second,
+		FailoverRetries: 1,
+		StatsStaleAfter: 6 * time.Second,
+		MaxBodyBytes:    32 << 20,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = d.ProbeInterval
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = d.ProbeTimeout
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.FailoverRetries < 0 {
+		c.FailoverRetries = 0
+	}
+	if c.StatsStaleAfter <= 0 {
+		c.StatsStaleAfter = 3 * c.ProbeInterval
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	return c
+}
+
+// replica is one registry entry: a typed client plus the probed state.
+type replica struct {
+	url    string
+	client *api.Client // Retries: 0 — failover picks a different replica instead
+
+	mu       sync.Mutex
+	healthy  bool
+	mismatch bool   // digest differs from the cluster digest
+	digest   string // last probed digest
+	shards   int
+	groups   int
+	probedAt time.Time // last successful health probe
+	statsAt  time.Time // last successful stats snapshot
+	queueLen int       // replica's admission queue length at statsAt
+	busy     int       // replica's in-flight batch count at statsAt
+	stats    api.StatsResponse
+
+	inflight atomic.Int64 // requests this router currently has on the replica
+	routed   atomic.Int64 // requests the replica answered (any pass-through status)
+	failed   atomic.Int64 // attempts that errored or answered retryably
+}
+
+// markDown records a failed probe or proxied attempt; the next
+// successful probe revives the replica.
+func (r *replica) markDown() {
+	r.mu.Lock()
+	r.healthy = false
+	r.mu.Unlock()
+}
+
+// Router fans /search requests over the replica registry. Create with
+// New, mount Handler, call Shutdown to drain.
+type Router struct {
+	cfg      Config
+	replicas []*replica
+
+	rr atomic.Uint64 // round-robin cursor and least-loaded tie-breaker
+
+	routed            atomic.Int64
+	failovers         atomic.Int64
+	rejectedDrain     atomic.Int64
+	rejectedNoReplica atomic.Int64
+
+	quit      chan struct{}
+	probeDone chan struct{}
+	reqWG     sync.WaitGroup
+
+	mu            sync.RWMutex
+	draining      bool
+	clusterDigest string
+}
+
+// New builds a router over the replica base URLs and starts its probe
+// loop. The first probe round runs synchronously so a freshly
+// constructed router can route immediately when its replicas are up.
+func New(replicaURLs []string, cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(replicaURLs) == 0 {
+		return nil, fmt.Errorf("router: no replicas configured")
+	}
+	seen := make(map[string]bool, len(replicaURLs))
+	rt := &Router{
+		cfg:       cfg,
+		quit:      make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for _, raw := range replicaURLs {
+		u, err := url.Parse(strings.TrimRight(strings.TrimSpace(raw), "/"))
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("router: replica %q is not an absolute URL", raw)
+		}
+		base := u.String()
+		if seen[base] {
+			return nil, fmt.Errorf("router: replica %s listed twice", base)
+		}
+		seen[base] = true
+		client := api.New(base)
+		client.Retries = 0 // the router fails over across replicas instead
+		client.Timeout = cfg.RequestTimeout
+		rt.replicas = append(rt.replicas, &replica{url: base, client: client})
+	}
+	rt.probeAll()
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// probeLoop refreshes the registry until Shutdown.
+func (rt *Router) probeLoop() {
+	defer close(rt.probeDone)
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			rt.probeAll()
+		case <-rt.quit:
+			return
+		}
+	}
+}
+
+// probeAll refreshes every replica concurrently, then re-derives the
+// cluster digest and each replica's consistency flag.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, r := range rt.replicas {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			rt.probeOne(r)
+		}(r)
+	}
+	wg.Wait()
+
+	// The cluster digest is the lowest-indexed healthy replica's: a
+	// deterministic choice that follows a coordinated store upgrade by
+	// itself. Replicas disagreeing with it are gated out of routing.
+	digest := ""
+	for _, r := range rt.replicas {
+		r.mu.Lock()
+		if r.healthy && digest == "" {
+			digest = r.digest
+		}
+		r.mu.Unlock()
+	}
+	rt.mu.Lock()
+	rt.clusterDigest = digest
+	rt.mu.Unlock()
+	for _, r := range rt.replicas {
+		r.mu.Lock()
+		r.mismatch = r.healthy && r.digest != digest
+		r.mu.Unlock()
+	}
+}
+
+// probeOne refreshes one replica's health and load snapshot.
+func (rt *Router) probeOne(r *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	h, err := r.client.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		r.markDown()
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	r.healthy = true
+	r.digest = h.Digest
+	r.shards = h.Shards
+	r.groups = h.Groups
+	r.probedAt = now
+	r.mu.Unlock()
+
+	st, err := r.client.Stats(ctx)
+	if err != nil {
+		return // health stands; dispatch just loses the load signal
+	}
+	r.mu.Lock()
+	r.statsAt = time.Now()
+	r.queueLen = st.QueueLen
+	r.busy = st.InFlight
+	r.stats = *st
+	r.mu.Unlock()
+}
+
+// routable reports whether the replica may receive traffic.
+func (r *replica) routable() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.healthy && !r.mismatch
+}
+
+// load returns the replica's dispatch score and whether its snapshot is
+// fresh enough to trust. The score blends the replica's own admission
+// queue and busy batches (probed) with the router's live count of
+// requests it has outstanding there.
+func (r *replica) load(staleAfter time.Duration) (score int64, fresh bool) {
+	r.mu.Lock()
+	queue, busy, at := r.queueLen, r.busy, r.statsAt
+	r.mu.Unlock()
+	score = int64(queue+busy) + r.inflight.Load()
+	return score, !at.IsZero() && time.Since(at) <= staleAfter
+}
+
+// pick selects the dispatch target among routable replicas not in
+// tried: the least-loaded replica with a fresh load snapshot, or plain
+// round-robin when no candidate's snapshot is fresh.
+func (rt *Router) pick(tried map[*replica]bool) *replica {
+	var candidates []*replica
+	for _, r := range rt.replicas {
+		if !tried[r] && r.routable() {
+			candidates = append(candidates, r)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	cursor := int(rt.rr.Add(1)-1) % len(candidates)
+
+	// Scan from the round-robin cursor so equal scores rotate instead of
+	// pinning an idle cluster's whole trickle onto the first replica.
+	best, bestScore := -1, int64(0)
+	for i := range candidates {
+		j := (cursor + i) % len(candidates)
+		score, fresh := candidates[j].load(rt.cfg.StatsStaleAfter)
+		if !fresh {
+			continue
+		}
+		if best == -1 || score < bestScore {
+			best, bestScore = j, score
+		}
+	}
+	if best >= 0 {
+		return candidates[best]
+	}
+	return candidates[cursor]
+}
+
+// Handler returns the router's HTTP routes — the same surface a replica
+// serves.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", rt.handleSearch)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/stats", rt.handleStats)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	return mux
+}
+
+// isDraining reports whether Shutdown has begun.
+func (rt *Router) isDraining() bool {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.draining
+}
+
+// admit registers one proxied request with the drain accounting; it
+// fails when the router is draining.
+func (rt *Router) admit() bool {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.draining {
+		return false
+	}
+	rt.reqWG.Add(1)
+	return true
+}
+
+// handleSearch proxies one /search request: the raw body is forwarded to
+// the picked replica and the replica's response is returned byte for
+// byte. On a transport error, timeout or overload status the replica is
+// marked down (transport errors only) and the request fails over to a
+// replica not yet tried, within the FailoverRetries budget.
+func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		api.WriteError(w, http.StatusMethodNotAllowed, "POST a SearchRequest JSON body")
+		return
+	}
+	if !rt.admit() {
+		rt.rejectedDrain.Add(1)
+		api.WriteError(w, http.StatusServiceUnavailable, "router is draining")
+		return
+	}
+	defer rt.reqWG.Done()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		api.WriteError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+
+	tried := make(map[*replica]bool)
+	attempts := 1 + rt.cfg.FailoverRetries
+	var lastErr error
+	lastStatus, lastData := 0, []byte(nil) // last failed attempt's HTTP reply, if it had one
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := r.Context().Err(); err != nil {
+			api.WriteError(w, http.StatusGatewayTimeout, "request cancelled: %v", err)
+			return
+		}
+		rep := rt.pick(tried)
+		if rep == nil {
+			break
+		}
+		tried[rep] = true
+		if attempt > 0 {
+			rt.failovers.Add(1)
+		}
+
+		rep.inflight.Add(1)
+		status, data, err := rep.client.Do(r.Context(), http.MethodPost, "/search", body)
+		rep.inflight.Add(-1)
+
+		if err != nil {
+			if r.Context().Err() != nil {
+				// The caller hung up or timed out mid-proxy; that is not
+				// the replica's failure, so its health stands.
+				api.WriteError(w, http.StatusGatewayTimeout, "request cancelled: %v", r.Context().Err())
+				return
+			}
+			// Transport failure: the replica is likely gone; stop routing
+			// to it until a probe says otherwise.
+			rep.failed.Add(1)
+			rep.markDown()
+			lastErr = err
+			lastStatus, lastData = 0, nil
+			continue
+		}
+		if status >= http.StatusInternalServerError || status == http.StatusTooManyRequests {
+			// The replica answered but cannot serve this request (drain,
+			// overload, engine failure). It is alive — leave its health to
+			// the prober — but give the request to someone else.
+			rep.failed.Add(1)
+			lastErr = &api.StatusError{Code: status, Message: fmt.Sprintf("replica %s", rep.url)}
+			lastStatus, lastData = status, data
+			continue
+		}
+		rep.routed.Add(1)
+		rt.routed.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_, _ = w.Write(data)
+		return
+	}
+
+	switch {
+	case lastErr == nil:
+		rt.rejectedNoReplica.Add(1)
+		api.WriteError(w, http.StatusServiceUnavailable, "no consistent healthy replica available")
+	case lastStatus != 0:
+		// Every failover attempt was spent and the final one got a real
+		// reply (429 backpressure, 503 drain, engine 5xx): relay it
+		// verbatim, preserving the replica's error body and the
+		// Retry-After semantics a backoff-aware client depends on,
+		// instead of masking it behind a synthesized 502.
+		if lastStatus == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(lastStatus)
+		_, _ = w.Write(lastData)
+	case errors.Is(lastErr, context.Canceled) || errors.Is(lastErr, context.DeadlineExceeded):
+		api.WriteError(w, http.StatusGatewayTimeout, "request cancelled or deadline exceeded: %v", lastErr)
+	default:
+		api.WriteError(w, http.StatusBadGateway, "every attempted replica failed: %v", lastErr)
+	}
+}
+
+// handleHealthz answers with the cluster view: ok while at least one
+// consistent healthy replica is routable.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.mu.RLock()
+	digest := rt.clusterDigest
+	rt.mu.RUnlock()
+	h := api.HealthResponse{Status: "ok", Digest: digest}
+	routable := 0
+	for _, rep := range rt.replicas {
+		if rep.routable() {
+			routable++
+			rep.mu.Lock()
+			h.Shards, h.Groups = rep.shards, rep.groups
+			rep.mu.Unlock()
+		}
+	}
+	switch {
+	case rt.isDraining():
+		h.Status = "draining"
+	case routable == 0:
+		h.Status = "unavailable"
+	}
+	if h.Status != "ok" {
+		api.WriteJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, h)
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	api.WriteJSON(w, http.StatusOK, rt.Stats())
+}
+
+// handleMetrics renders the aggregate and routing figures in Prometheus
+// text form.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := rt.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(api.FormatRouterMetrics(&st))
+}
+
+// ageMillis renders a probe timestamp as an age, -1 before the first
+// success.
+func ageMillis(at time.Time, now time.Time) int64 {
+	if at.IsZero() {
+		return -1
+	}
+	return now.Sub(at).Milliseconds()
+}
+
+// Stats snapshots the routing counters, the replica registry, and the
+// aggregate of the replicas' own stats (scalar sums over replicas with a
+// snapshot; per-shard and per-worker detail stays on the replicas).
+func (rt *Router) Stats() api.RouterStatsResponse {
+	rt.mu.RLock()
+	digest := rt.clusterDigest
+	draining := rt.draining
+	rt.mu.RUnlock()
+	out := api.RouterStatsResponse{
+		Status:            "ok",
+		Digest:            digest,
+		Routed:            rt.routed.Load(),
+		Failovers:         rt.failovers.Load(),
+		RejectedDrain:     rt.rejectedDrain.Load(),
+		RejectedNoReplica: rt.rejectedNoReplica.Load(),
+	}
+	if draining {
+		out.Status = "draining"
+	}
+	now := time.Now()
+	agg := &out.Aggregate
+	agg.Status = out.Status
+	agg.Digest = digest
+	for _, rep := range rt.replicas {
+		rep.mu.Lock()
+		rj := api.RouterReplicaJSON{
+			URL:            rep.url,
+			Healthy:        rep.healthy,
+			DigestMismatch: rep.mismatch,
+			Digest:         rep.digest,
+			QueueLen:       rep.queueLen,
+			InFlight:       rep.busy,
+			RouterInFlight: rep.inflight.Load(),
+			Routed:         rep.routed.Load(),
+			Failed:         rep.failed.Load(),
+			ProbeAgeMillis: ageMillis(rep.probedAt, now),
+			StatsAgeMillis: ageMillis(rep.statsAt, now),
+		}
+		st, hasStats := rep.stats, !rep.statsAt.IsZero()
+		rep.mu.Unlock()
+		if hasStats {
+			agg.Shards = st.Shards // same store everywhere; not summed
+			agg.Groups = st.Groups
+			agg.IndexBytes += st.IndexBytes
+			agg.MappingBytes += st.MappingBytes
+			agg.Searched += st.Searched
+			agg.SessionBatches += st.SessionBatches
+			agg.Accepted += st.Accepted
+			agg.RejectedQueue += st.RejectedQueue
+			agg.RejectedDrain += st.RejectedDrain
+			agg.Batches += st.Batches
+			agg.BatchedQueries += st.BatchedQueries
+			agg.QueueLen += st.QueueLen
+			agg.QueueDepth += st.QueueDepth
+			agg.InFlight += st.InFlight
+			agg.MaxInFlight += st.MaxInFlight
+			agg.Scheduler.Stealing = st.Scheduler.Stealing
+			agg.Scheduler.ChunkSize = st.Scheduler.ChunkSize
+			agg.Scheduler.Batches += st.Scheduler.Batches
+			agg.Scheduler.Chunks += st.Scheduler.Chunks
+			agg.Scheduler.Steals += st.Scheduler.Steals
+			agg.Scheduler.Stolen += st.Scheduler.Stolen
+		}
+		out.Replicas = append(out.Replicas, rj)
+	}
+	return out
+}
+
+// Shutdown drains the router: admission stops (503), the probe loop
+// exits, and Shutdown returns once every proxied request in flight has
+// been answered, or ctx expires.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.mu.Lock()
+	already := rt.draining
+	rt.draining = true
+	rt.mu.Unlock()
+	if !already {
+		close(rt.quit)
+	}
+	<-rt.probeDone
+
+	done := make(chan struct{})
+	go func() {
+		rt.reqWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close force-drains the router, for tests and defer-style cleanup.
+// In-flight proxied requests are abandoned to their own deadlines.
+func (rt *Router) Close() {
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = rt.Shutdown(expired)
+}

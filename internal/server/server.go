@@ -11,10 +11,15 @@
 // engine's output is invariant to batch composition.
 //
 // Operational endpoints: /healthz (liveness, flips to 503 while
-// draining) and /stats (session-lifetime engine figures plus admission
-// and coalescing counters). Shutdown stops admission, flushes the queue,
+// draining, and carries the session's store digest for the router's
+// consistency gate), /stats (session-lifetime engine figures plus
+// admission and coalescing counters) and /metrics (the same figures in
+// Prometheus text form). Shutdown stops admission, flushes the queue,
 // finishes in-flight batches, and answers every accepted request before
 // returning.
+//
+// The JSON wire contract is defined once in internal/api and shared with
+// lbe-router, cmd/lbe-client and the bench load generators.
 package server
 
 import (
@@ -26,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lbe/internal/api"
 	"lbe/internal/engine"
 	"lbe/internal/spectrum"
 )
@@ -152,12 +158,13 @@ func New(sess *engine.Session, peptides []string, cfg Config) *Server {
 }
 
 // Handler returns the service's HTTP routes: POST /search, GET /healthz,
-// GET /stats.
+// GET /stats, GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -213,29 +220,29 @@ func (s *Server) isDraining() bool {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "POST a SearchRequest JSON body")
+		api.WriteError(w, http.StatusMethodNotAllowed, "POST a SearchRequest JSON body")
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	var req SearchRequest
+	var req api.SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		api.WriteError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	if len(req.Spectra) == 0 {
-		writeError(w, http.StatusBadRequest, "request has no spectra")
+		api.WriteError(w, http.StatusBadRequest, "request has no spectra")
 		return
 	}
 	if len(req.Spectra) > s.cfg.MaxQueriesPerRequest {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		api.WriteError(w, http.StatusRequestEntityTooLarge,
 			"%d spectra exceeds the per-request limit of %d", len(req.Spectra), s.cfg.MaxQueriesPerRequest)
 		return
 	}
 	qs := make([]spectrum.Experimental, len(req.Spectra))
 	for i, sj := range req.Spectra {
-		e, err := sj.experimental()
+		e, err := sj.Experimental()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "spectrum %d: %v", i, err)
+			api.WriteError(w, http.StatusBadRequest, "spectrum %d: %v", i, err)
 			return
 		}
 		qs[i] = e
@@ -250,11 +257,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	rq := &request{ctx: ctx, queries: qs, resp: make(chan response, 1)}
 	switch err := s.submit(rq); {
 	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		api.WriteError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+		api.WriteError(w, http.StatusTooManyRequests, "admission queue full, retry later")
 		return
 	}
 
@@ -262,39 +269,53 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case resp := <-rq.resp:
 		if resp.err != nil {
 			if errors.Is(resp.err, context.Canceled) || errors.Is(resp.err, context.DeadlineExceeded) {
-				writeError(w, http.StatusGatewayTimeout, "request cancelled or deadline exceeded")
+				api.WriteError(w, http.StatusGatewayTimeout, "request cancelled or deadline exceeded")
 			} else {
-				writeError(w, http.StatusInternalServerError, "search failed: %v", resp.err)
+				api.WriteError(w, http.StatusInternalServerError, "search failed: %v", resp.err)
 			}
 			return
 		}
-		writeJSON(w, http.StatusOK, buildResponse(qs, resp.psms, s.peptides))
+		api.WriteJSON(w, http.StatusOK, api.BuildSearchResponse(qs, resp.psms, s.peptides))
 	case <-ctx.Done():
 		// Client gone or per-request deadline hit while queued/searching.
 		// The dispatcher still answers rq.resp (buffered) and settles the
 		// accounting; nobody blocks on this abandonment.
-		writeError(w, http.StatusGatewayTimeout, "request cancelled or deadline exceeded")
+		api.WriteError(w, http.StatusGatewayTimeout, "request cancelled or deadline exceeded")
 	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	h := HealthResponse{Status: "ok", Shards: s.sess.NumShards(), Groups: s.sess.Groups()}
+	h := api.HealthResponse{
+		Status: "ok",
+		Shards: s.sess.NumShards(),
+		Groups: s.sess.Groups(),
+		Digest: s.sess.Digest(),
+	}
 	if s.isDraining() {
 		h.Status = "draining"
-		writeJSON(w, http.StatusServiceUnavailable, h)
+		api.WriteJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
-	writeJSON(w, http.StatusOK, h)
+	api.WriteJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	api.WriteJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics renders the /stats figures in the Prometheus text
+// exposition format — same numbers, scrapable surface.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(api.FormatMetrics(&st))
 }
 
 // Stats snapshots the serving counters and session-lifetime load.
-func (s *Server) Stats() StatsResponse {
-	st := StatsResponse{
+func (s *Server) Stats() api.StatsResponse {
+	st := api.StatsResponse{
 		Status:         "ok",
+		Digest:         s.sess.Digest(),
 		Shards:         s.sess.NumShards(),
 		Groups:         s.sess.Groups(),
 		IndexBytes:     s.sess.IndexBytes(),
@@ -308,6 +329,7 @@ func (s *Server) Stats() StatsResponse {
 		BatchedQueries: s.batchedQueries.Load(),
 		QueueLen:       len(s.queue),
 		QueueDepth:     s.cfg.QueueDepth,
+		InFlight:       len(s.sem),
 		BatchSize:      s.cfg.BatchSize,
 		FlushMicros:    s.cfg.FlushInterval.Microseconds(),
 		MaxInFlight:    s.cfg.MaxInFlight,
@@ -316,7 +338,7 @@ func (s *Server) Stats() StatsResponse {
 		st.Status = "draining"
 	}
 	for _, rs := range s.sess.Stats() {
-		st.PerShard = append(st.PerShard, ShardStatsJSON{
+		st.PerShard = append(st.PerShard, api.ShardStatsJSON{
 			Rank:        rs.Rank,
 			Peptides:    rs.Peptides,
 			Rows:        rs.Rows,
@@ -326,7 +348,7 @@ func (s *Server) Stats() StatsResponse {
 		})
 	}
 	ss := s.sess.SchedulerStats()
-	st.Scheduler = SchedulerStatsJSON{
+	st.Scheduler = api.SchedulerStatsJSON{
 		Stealing:  ss.Stealing,
 		ChunkSize: ss.ChunkSize,
 		Batches:   ss.Batches,
@@ -335,7 +357,7 @@ func (s *Server) Stats() StatsResponse {
 		Stolen:    ss.Stolen,
 	}
 	for _, w := range ss.Workers {
-		st.Scheduler.PerWorker = append(st.Scheduler.PerWorker, WorkerStatsJSON{
+		st.Scheduler.PerWorker = append(st.Scheduler.PerWorker, api.WorkerStatsJSON{
 			Worker:     w.Worker,
 			Chunks:     w.Chunks,
 			Stolen:     w.Stolen,

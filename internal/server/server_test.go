@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"lbe/internal/api"
 	"lbe/internal/digest"
 	"lbe/internal/engine"
 	"lbe/internal/gen"
@@ -86,22 +87,13 @@ func testSession(t *testing.T, c corpus, shards int) *engine.Session {
 }
 
 // toWire converts an engine query to its JSON request form.
-func toWire(e spectrum.Experimental) SpectrumJSON {
-	sj := SpectrumJSON{
-		Scan:        e.Scan,
-		PrecursorMZ: e.PrecursorMZ,
-		Charge:      e.Charge,
-		Peaks:       make([][2]float64, len(e.Peaks)),
-	}
-	for i, p := range e.Peaks {
-		sj.Peaks[i] = [2]float64{p.MZ, p.Intensity}
-	}
-	return sj
+func toWire(e spectrum.Experimental) api.SpectrumJSON {
+	return api.FromExperimental(e)
 }
 
-func postSearch(t *testing.T, client *http.Client, url string, spectra ...SpectrumJSON) (*http.Response, []byte) {
+func postSearch(t *testing.T, client *http.Client, url string, spectra ...api.SpectrumJSON) (*http.Response, []byte) {
 	t.Helper()
-	body, err := json.Marshal(SearchRequest{Spectra: spectra})
+	body, err := json.Marshal(api.SearchRequest{Spectra: spectra})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +133,7 @@ func TestConcurrentServeMatchesSessionSearch(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			body, err := json.Marshal(SearchRequest{Spectra: []SpectrumJSON{toWire(c.queries[i])}})
+			body, err := json.Marshal(api.SearchRequest{Spectra: []api.SpectrumJSON{toWire(c.queries[i])}})
 			if err != nil {
 				errs[i] = err
 				return
@@ -173,7 +165,7 @@ func TestConcurrentServeMatchesSessionSearch(t *testing.T) {
 
 	found := 0
 	for i := range c.queries {
-		want, err := json.Marshal(buildResponse(
+		want, err := json.Marshal(api.BuildSearchResponse(
 			c.queries[i:i+1], ref.PSMs[i:i+1], c.peptides))
 		if err != nil {
 			t.Fatal(err)
@@ -264,8 +256,8 @@ func TestDispatchedBatchesRespectCap(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	wire := func(n int) []SpectrumJSON {
-		out := make([]SpectrumJSON, n)
+	wire := func(n int) []api.SpectrumJSON {
+		out := make([]api.SpectrumJSON, n)
 		for i := range out {
 			out[i] = toWire(c.queries[i%len(c.queries)])
 		}
@@ -362,7 +354,7 @@ func TestQueueFullReturns429(t *testing.T) {
 	q := toWire(c.queries[0])
 	send := func() {
 		go func() {
-			body, _ := json.Marshal(SearchRequest{Spectra: []SpectrumJSON{q}})
+			body, _ := json.Marshal(api.SearchRequest{Spectra: []api.SpectrumJSON{q}})
 			resp, err := ts.Client().Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
 			if err == nil {
 				resp.Body.Close()
@@ -420,12 +412,16 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 			codes <- resp.StatusCode
 		}(i)
 	}
-	// Wait until at least one batch is parked in the worker.
+	// Wait until at least one batch is parked in the worker and every
+	// request has been admitted — a request still in its HTTP handler
+	// when drain starts is correctly refused with 503, which is not what
+	// this test is about.
 	select {
 	case <-bs.started:
 	case <-time.After(5 * time.Second):
 		t.Fatal("no batch reached the search worker")
 	}
+	waitFor(t, func() bool { return srv.Stats().Accepted == k }, "requests never all admitted")
 
 	shutdownErr := make(chan error, 1)
 	go func() {
@@ -470,7 +466,7 @@ func TestClientDisconnectCancelsBatch(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	body, _ := json.Marshal(SearchRequest{Spectra: []SpectrumJSON{toWire(c.queries[0])}})
+	body, _ := json.Marshal(api.SearchRequest{Spectra: []api.SpectrumJSON{toWire(c.queries[0])}})
 	ctx, cancel := context.WithCancel(context.Background())
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/search", bytes.NewReader(body))
 	if err != nil {
@@ -534,7 +530,7 @@ func TestRequestValidation(t *testing.T) {
 		t.Errorf("oversized request: status %d, want 413; body %s", resp.StatusCode, body)
 	}
 
-	bad := SpectrumJSON{PrecursorMZ: -5, Peaks: [][2]float64{{100, 1}}}
+	bad := api.SpectrumJSON{PrecursorMZ: -5, Peaks: [][2]float64{{100, 1}}}
 	resp, body = postSearch(t, ts.Client(), ts.URL, bad)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("invalid spectrum: status %d, want 400; body %s", resp.StatusCode, body)
@@ -554,13 +550,16 @@ func TestHealthAndStatsEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var h HealthResponse
+	var h api.HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Shards != 2 {
 		t.Fatalf("healthz: status %d body %+v", resp.StatusCode, h)
+	}
+	if h.Digest == "" || h.Digest != sess.Digest() {
+		t.Fatalf("healthz digest %q does not expose the session digest %q", h.Digest, sess.Digest())
 	}
 
 	q := toWire(c.queries[0])
@@ -572,7 +571,7 @@ func TestHealthAndStatsEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var st StatsResponse
+	var st api.StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
@@ -595,6 +594,22 @@ func TestHealthAndStatsEndpoints(t *testing.T) {
 	}
 	if workerUnits != shardUnits {
 		t.Fatalf("scheduler worker units %d != shard units %d", workerUnits, shardUnits)
+	}
+	if st.Digest != sess.Digest() || st.InFlight != 0 {
+		t.Fatalf("stats digest/inflight: %q / %d", st.Digest, st.InFlight)
+	}
+
+	// /metrics renders the same figures in Prometheus text form.
+	resp, err = ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK ||
+		!strings.Contains(string(metrics), "lbe_queries_searched_total 1") ||
+		!strings.Contains(string(metrics), `lbe_shard_work_units_total{shard="1"}`) {
+		t.Fatalf("metrics endpoint: status %d\n%s", resp.StatusCode, metrics)
 	}
 
 	if err := srv.Shutdown(context.Background()); err != nil {
