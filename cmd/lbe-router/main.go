@@ -75,6 +75,8 @@ func main() {
 		retries  = flag.Int("retries", 1, "failover retries: extra replicas a failed request may try")
 		stale    = flag.Duration("stale", 0, "load snapshot age beyond which dispatch falls back to round-robin (0 = 3x probe interval)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
+		cacheB   = flag.Int64("cache-bytes", 64<<20, "merged-response cache byte budget (0 disables caching)")
+		cacheTTL = flag.Duration("cache-ttl", 0, "cache entry TTL (0 = until evicted or digest change)")
 	)
 	flag.Parse()
 
@@ -92,6 +94,8 @@ func main() {
 		RequestTimeout:  *timeout,
 		FailoverRetries: *retries,
 		StatsStaleAfter: *stale,
+		CacheBytes:      *cacheB,
+		CacheTTL:        *cacheTTL,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -75,6 +75,10 @@ func (m *metricsWriter) appendStats(st *StatsResponse) {
 	}
 
 	sc := st.Scheduler
+	if st.Cache != nil {
+		m.appendCache("lbe_cache", st.Cache)
+	}
+
 	m.simple("lbe_sched_stealing", "Whether work stealing is enabled.", "gauge", b2f(sc.Stealing))
 	m.simple("lbe_sched_chunk_size", "Effective scheduler chunk granularity (queries).", "gauge", float64(sc.ChunkSize))
 	m.simple("lbe_sched_chunks_total", "Scheduler chunks executed.", "counter", float64(sc.Chunks))
@@ -94,6 +98,20 @@ func (m *metricsWriter) appendStats(st *StatsResponse) {
 			m.value("lbe_worker_steals_total", fmt.Sprintf(`worker="%d"`, w.Worker), float64(w.Steals))
 		}
 	}
+}
+
+// appendCache renders one CacheStatsJSON block under the given metric
+// name prefix ("lbe_cache" on replicas, "lbe_router_cache" on the
+// router, where the aggregate already claims the plain lbe_cache names).
+func (m *metricsWriter) appendCache(prefix string, cs *CacheStatsJSON) {
+	m.simple(prefix+"_hits_total", "Answer cache hits.", "counter", float64(cs.Hits))
+	m.simple(prefix+"_misses_total", "Answer cache misses (caller computed the value).", "counter", float64(cs.Misses))
+	m.simple(prefix+"_evictions_total", "Entries evicted by the byte budget or TTL.", "counter", float64(cs.Evictions))
+	m.simple(prefix+"_singleflight_collapsed_total", "Duplicate in-flight queries collapsed onto one computation.", "counter", float64(cs.Collapsed))
+	m.simple(prefix+"_invalidated_total", "Entries dropped by digest-driven invalidation.", "counter", float64(cs.Invalidated))
+	m.simple(prefix+"_entries", "Resident answer cache entries.", "gauge", float64(cs.Entries))
+	m.simple(prefix+"_resident_bytes", "Resident answer cache bytes (keys + values + overhead).", "gauge", float64(cs.ResidentBytes))
+	m.simple(prefix+"_capacity_bytes", "Configured answer cache byte budget.", "gauge", float64(cs.CapacityBytes))
 }
 
 // FormatMetrics renders one replica's StatsResponse as a Prometheus text
@@ -118,6 +136,9 @@ func FormatRouterMetrics(st *RouterStatsResponse) []byte {
 	m.header("lbe_router_requests_rejected_total", "Requests the router rejected, by reason.", "counter")
 	m.value("lbe_router_requests_rejected_total", `reason="draining"`, float64(st.RejectedDrain))
 	m.value("lbe_router_requests_rejected_total", `reason="no_replica"`, float64(st.RejectedNoReplica))
+	if st.Cache != nil {
+		m.appendCache("lbe_router_cache", st.Cache)
+	}
 
 	if len(st.Replicas) > 0 {
 		m.header("lbe_router_replica_up", "Replica health from the last probe (1 healthy, 0 down).", "gauge")

@@ -164,6 +164,33 @@ type SchedulerStatsJSON struct {
 	PerWorker []WorkerStatsJSON `json:"per_worker"`
 }
 
+// CacheStatsJSON is the answer cache's counter block in /stats, present
+// on both tiers when caching is enabled. ResidentBytes/CapacityBytes are
+// gauges; the rest are lifetime counters.
+type CacheStatsJSON struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Collapsed     int64 `json:"singleflight_collapsed"`
+	Invalidated   int64 `json:"invalidated"`
+	Entries       int   `json:"entries"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	CapacityBytes int64 `json:"capacity_bytes"`
+}
+
+// Add accumulates o into c, for aggregating replica caches at the router.
+// Gauges sum too: the aggregate reports cluster-wide residency/capacity.
+func (c *CacheStatsJSON) Add(o CacheStatsJSON) {
+	c.Hits += o.Hits
+	c.Misses += o.Misses
+	c.Evictions += o.Evictions
+	c.Collapsed += o.Collapsed
+	c.Invalidated += o.Invalidated
+	c.Entries += o.Entries
+	c.ResidentBytes += o.ResidentBytes
+	c.CapacityBytes += o.CapacityBytes
+}
+
 // StatsResponse is the JSON body of /stats on lbe-serve: session-lifetime
 // engine figures plus the server's admission and coalescing counters.
 // QueueLen and InFlight are the live load figures a router's least-loaded
@@ -190,6 +217,7 @@ type StatsResponse struct {
 	MaxInFlight    int                `json:"max_in_flight"`
 	PerShard       []ShardStatsJSON   `json:"per_shard"`
 	Scheduler      SchedulerStatsJSON `json:"scheduler"`
+	Cache          *CacheStatsJSON    `json:"cache,omitempty"`
 }
 
 // RouterReplicaJSON is one replica's view in the router's /stats.
@@ -220,6 +248,7 @@ type RouterStatsResponse struct {
 	RejectedDrain     int64               `json:"requests_rejected_draining"`
 	RejectedNoReplica int64               `json:"requests_rejected_no_replica"`
 	Replicas          []RouterReplicaJSON `json:"replicas"`
+	Cache             *CacheStatsJSON     `json:"cache,omitempty"`
 	Aggregate         StatsResponse       `json:"aggregate"`
 }
 

@@ -189,6 +189,7 @@ func All(o Options) ([]Figure, error) {
 		{"coldstart", ColdStart},
 		{"steal", Steal},
 		{"route", Route},
+		{"cache", CacheHit},
 	}
 	var figs []Figure
 	for _, r := range runners {

@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lbe/internal/engine"
+	"lbe/internal/server"
+)
+
+// CacheHit measures the content-addressed answer cache under closed-loop
+// zipf-skewed replay: C concurrent clients draw single-spectrum requests
+// from a fixed query pool with zipf exponent s ∈ {0, 0.9, 1.2} (0 =
+// uniform) and drive a cached and an uncached server with the identical
+// request order. It reports throughput per skew for both configurations,
+// with P50/P95 latency, the hit-rate trajectory, and a byte-identity
+// check of cached vs uncached responses in the notes.
+func CacheHit(o Options) (Figure, error) {
+	fig := Figure{
+		ID:     "cache",
+		Title:  "Answer cache under zipf-skewed closed-loop replay",
+		XLabel: "zipf exponent s",
+		YLabel: "throughput req/s",
+	}
+	c, err := o.corpusAt(paperSizesM[0])
+	if err != nil {
+		return fig, err
+	}
+	cfg := engineConfig()
+	sess, err := engine.NewSession(c.Peptides, engine.SessionConfig{Config: cfg, Shards: o.Ranks})
+	if err != nil {
+		return fig, err
+	}
+	defer sess.Close()
+
+	pool := len(c.Queries)
+	if pool > 400 {
+		pool = 400
+	}
+	bodies := make([][]byte, pool)
+	for i := 0; i < pool; i++ {
+		b, err := marshalQuery(c.Queries[i])
+		if err != nil {
+			return fig, err
+		}
+		bodies[i] = b
+	}
+	requests := 4 * pool
+	const concurrency = 8
+	serveCfg := server.Config{
+		BatchSize:     64,
+		FlushInterval: time.Millisecond,
+		QueueDepth:    1024,
+		MaxInFlight:   4,
+	}
+
+	// The uncached server is stateless across levels and shared; the
+	// cached server is rebuilt per skew so one level's warm cache cannot
+	// flatter the next.
+	cold := server.New(sess, c.Peptides, serveCfg)
+	defer cold.Close()
+	coldTS := httptest.NewServer(cold.Handler())
+	defer coldTS.Close()
+
+	skews := []float64{0, 0.9, 1.2}
+	cached := Series{Label: "cached (64 MiB)"}
+	uncached := Series{Label: "cache disabled"}
+	rng := rand.New(rand.NewSource(int64(o.Seed)))
+	var lastSpeedup float64
+	for _, s := range skews {
+		order := zipfOrder(rng, pool, requests, s)
+
+		warmCfg := serveCfg
+		warmCfg.CacheBytes = 64 << 20
+		warm := server.New(sess, c.Peptides, warmCfg)
+		warmTS := httptest.NewServer(warm.Handler())
+
+		// Uncached first so the cached run's numbers cannot be helped by
+		// OS/page warmup the uncached run paid for.
+		coldLat, coldWall, err := replayOrder(coldTS.Client(), coldTS.URL, bodies, order, concurrency, nil)
+		if err == nil {
+			var marks []hitMark
+			marks, err = trajectoryMarks(warm, requests)
+			var warmLat []float64
+			var warmWall time.Duration
+			if err == nil {
+				warmLat, warmWall, err = replayOrder(warmTS.Client(), warmTS.URL, bodies, order, concurrency, marks)
+			}
+			if err == nil {
+				sort.Float64s(coldLat)
+				sort.Float64s(warmLat)
+				coldQPS := float64(requests) / coldWall.Seconds()
+				warmQPS := float64(requests) / warmWall.Seconds()
+				uncached.X, uncached.Y = append(uncached.X, s), append(uncached.Y, coldQPS)
+				cached.X, cached.Y = append(cached.X, s), append(cached.Y, warmQPS)
+				lastSpeedup = warmQPS / coldQPS
+				st := warm.Stats().Cache
+				fig.Notes = append(fig.Notes, fmt.Sprintf(
+					"s=%.1f: %.0f vs %.0f req/s (%.1fx); p50 %.2f vs %.2f ms, p95 %.2f vs %.2f ms; %d hits / %d misses / %d collapsed",
+					s, warmQPS, coldQPS, warmQPS/coldQPS,
+					percentile(warmLat, 0.50), percentile(coldLat, 0.50),
+					percentile(warmLat, 0.95), percentile(coldLat, 0.95),
+					st.Hits, st.Misses, st.Collapsed))
+				fig.Notes = append(fig.Notes, trajectoryNote(s, marks, requests))
+			}
+		}
+		if err == nil && s == skews[len(skews)-1] {
+			err = verifyByteIdentity(warmTS, coldTS, bodies)
+			if err == nil {
+				fig.Notes = append(fig.Notes, fmt.Sprintf(
+					"byte-identity verified: all %d pool responses identical cached vs uncached", pool))
+			}
+		}
+		warmTS.Close()
+		warm.Close()
+		if err != nil {
+			return fig, err
+		}
+	}
+	fig.Series = []Series{cached, uncached}
+	fig.Notes = append(fig.Notes, fmt.Sprintf(
+		"pool %d spectra, %d requests per level, %d closed-loop clients; cached/uncached speedup at s=%.1f: %.1fx",
+		pool, requests, concurrency, skews[len(skews)-1], lastSpeedup))
+	return fig, nil
+}
+
+// zipfOrder draws n pool indexes with weight (rank+1)^-s via an inverted
+// CDF — rand.Zipf requires s > 1, and the workload needs s ∈ {0, 0.9}
+// too. s = 0 is the uniform baseline.
+func zipfOrder(rng *rand.Rand, pool, n int, s float64) []int {
+	cdf := make([]float64, pool)
+	sum := 0.0
+	for i := 0; i < pool; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	order := make([]int, n)
+	for j := range order {
+		u := rng.Float64() * sum
+		k := sort.SearchFloat64s(cdf, u)
+		if k >= pool {
+			k = pool - 1
+		}
+		order[j] = k
+	}
+	return order
+}
+
+// hitMark snapshots the cache hit counter when the closed loop passes a
+// request milestone, for the hit-rate trajectory.
+type hitMark struct {
+	after int // requests completed
+	fn    func() (hits, total int64)
+	hits  int64
+	total int64
+}
+
+// trajectoryMarks prepares quarter-point snapshots of srv's cache.
+func trajectoryMarks(srv *server.Server, requests int) ([]hitMark, error) {
+	if srv.Stats().Cache == nil {
+		return nil, fmt.Errorf("bench: cache figure needs a cache-enabled server")
+	}
+	snap := func() (int64, int64) {
+		cs := srv.Stats().Cache
+		return cs.Hits, cs.Hits + cs.Misses
+	}
+	marks := make([]hitMark, 4)
+	for q := range marks {
+		marks[q] = hitMark{after: (q + 1) * requests / 4, fn: snap}
+	}
+	return marks, nil
+}
+
+// trajectoryNote renders the quarter-by-quarter hit rate.
+func trajectoryNote(s float64, marks []hitMark, requests int) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "s=%.1f hit-rate trajectory:", s)
+	var prevHits, prevTotal int64
+	for _, m := range marks {
+		dh, dt := m.hits-prevHits, m.total-prevTotal
+		rate := 0.0
+		if dt > 0 {
+			rate = float64(dh) / float64(dt)
+		}
+		fmt.Fprintf(&b, " %d%%@%d", int(rate*100+0.5), m.after)
+		prevHits, prevTotal = m.hits, m.total
+	}
+	b.WriteString(" (cumulative hit%@requests)")
+	return b.String()
+}
+
+// replayOrder is the closed loop: concurrency workers consume the shared
+// request order, each POSTing its draws back to back. marks, when
+// non-nil, are filled with cache snapshots as the loop passes each
+// milestone. Returns per-request latencies in ms and the wall time.
+func replayOrder(client *http.Client, baseURL string, bodies [][]byte, order []int, concurrency int, marks []hitMark) ([]float64, time.Duration, error) {
+	lat := make([]float64, len(order))
+	var next, done atomic.Int64
+	var markMu sync.Mutex
+	nextMark := 0
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(order) {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(baseURL+"/search", "application/json", bytes.NewReader(bodies[order[i]]))
+				if err != nil {
+					fail(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("bench: cache replay request %d: status %d", i, resp.StatusCode))
+					return
+				}
+				lat[i] = float64(time.Since(t0).Nanoseconds()) / 1e6
+				d := int(done.Add(1))
+				if marks != nil {
+					markMu.Lock()
+					for nextMark < len(marks) && d >= marks[nextMark].after {
+						marks[nextMark].hits, marks[nextMark].total = marks[nextMark].fn()
+						nextMark++
+					}
+					markMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return lat, time.Since(start), firstErr
+}
+
+// verifyByteIdentity replays every pool body once against both servers
+// and demands byte-identical responses — the cached server is warm at
+// this point, so each comparison pits a cache read against a fresh
+// engine search.
+func verifyByteIdentity(warm, cold *httptest.Server, bodies [][]byte) error {
+	fetch := func(ts *httptest.Server, body []byte) ([]byte, error) {
+		resp, err := ts.Client().Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, data)
+		}
+		return data, nil
+	}
+	for i, body := range bodies {
+		a, err := fetch(warm, body)
+		if err != nil {
+			return fmt.Errorf("bench: identity check %d (cached): %w", i, err)
+		}
+		b, err := fetch(cold, body)
+		if err != nil {
+			return fmt.Errorf("bench: identity check %d (uncached): %w", i, err)
+		}
+		if !bytes.Equal(a, b) {
+			return fmt.Errorf("bench: cached response %d differs from uncached", i)
+		}
+	}
+	return nil
+}

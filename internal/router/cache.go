@@ -1,0 +1,116 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"lbe/internal/api"
+	"lbe/internal/qcache"
+	"lbe/internal/spectrum"
+)
+
+// The router's answer cache stores whole rendered response bodies under
+// the cluster digest: replicas already guarantee byte-identical answers
+// for a given digest (the consistency gate refuses to mix digests), so a
+// 200 body replayed from the cache is exactly what a replica would send.
+// Keys embed the digest, making entries from a retired store unreachable
+// the moment a probe observes the flip; probeAll additionally purges the
+// cache then, returning the memory and making the invalidation
+// observable in the counters.
+
+// cacheKey canonicalizes one raw /search body into a cache key: the
+// request is decoded and each spectrum normalized exactly as a replica
+// would (sorted peaks, validation), so textually different encodings of
+// the same request share an entry. ok is false when the body does not
+// decode, a spectrum is invalid, or no cluster digest is known — those
+// requests are proxied uncached (the replica owns the error reply).
+func (rt *Router) cacheKey(body []byte) (string, bool) {
+	var req api.SearchRequest
+	if err := json.Unmarshal(body, &req); err != nil || len(req.Spectra) == 0 {
+		return "", false
+	}
+	qs := make([]spectrum.Experimental, len(req.Spectra))
+	for i, sj := range req.Spectra {
+		e, err := sj.Experimental()
+		if err != nil {
+			return "", false
+		}
+		qs[i] = e
+	}
+	rt.mu.RLock()
+	digest := rt.clusterDigest
+	rt.mu.RUnlock()
+	if digest == "" {
+		return "", false
+	}
+	return qcache.NewKeyer(digest).Request(qs), true
+}
+
+// writeCached replays one cached 200 body.
+func writeCached(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// searchCached serves one /search through the cache: hits replay the
+// stored body, duplicates of an in-flight request wait for its reply,
+// and only the singleflight leader proxies to a replica. Only a 200
+// pass-through is cached; any other outcome aborts the flight so waiters
+// retry (or lead their own attempt) — a failed or cancelled proxy can
+// never poison an entry.
+func (rt *Router) searchCached(w http.ResponseWriter, r *http.Request, body []byte) {
+	key, ok := rt.cacheKey(body)
+	if !ok {
+		rt.proxySearch(w, r, body)
+		return
+	}
+	for {
+		v, f, o := rt.cache.Acquire(key)
+		switch o {
+		case qcache.Hit:
+			writeCached(w, v)
+			return
+		case qcache.Lead:
+			status, data := rt.proxySearch(w, r, body)
+			if status == http.StatusOK {
+				f.Complete(data)
+			} else {
+				f.Abort()
+			}
+			return
+		default: // qcache.Wait
+			select {
+			case <-f.Done():
+				if v, ok := f.Result(); ok {
+					writeCached(w, v)
+					return
+				}
+				// Leader aborted (replica error or caller hangup);
+				// re-acquire — this caller may lead the retry.
+			case <-r.Context().Done():
+				api.WriteError(w, http.StatusGatewayTimeout, "request cancelled: %v", r.Context().Err())
+				return
+			}
+		}
+	}
+}
+
+// cacheStats snapshots the router's own cache block, or nil when caching
+// is disabled.
+func (rt *Router) cacheStats() *api.CacheStatsJSON {
+	if rt.cache == nil {
+		return nil
+	}
+	cs := rt.cache.Stats()
+	return &api.CacheStatsJSON{
+		Hits:          cs.Hits,
+		Misses:        cs.Misses,
+		Evictions:     cs.Evictions,
+		Collapsed:     cs.Collapsed,
+		Invalidated:   cs.Invalidated,
+		Entries:       cs.Entries,
+		ResidentBytes: cs.Bytes,
+		CapacityBytes: cs.MaxBytes,
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"lbe/internal/api"
+	"lbe/internal/qcache"
 )
 
 // Config tunes the routing tier. The zero value of any field falls back
@@ -62,6 +63,13 @@ type Config struct {
 	StatsStaleAfter time.Duration
 	// MaxBodyBytes caps the /search request body.
 	MaxBodyBytes int64
+	// CacheBytes sizes the merged-response answer cache (in resident
+	// bytes). 0 disables caching — the zero value opts out, it is not
+	// defaulted.
+	CacheBytes int64
+	// CacheTTL expires cache entries after this duration; 0 means
+	// entries live until evicted or invalidated by a digest change.
+	CacheTTL time.Duration
 }
 
 // DefaultConfig returns routing defaults: 2s probes with a 1s timeout,
@@ -152,6 +160,10 @@ type Router struct {
 	mu            sync.RWMutex
 	draining      bool
 	clusterDigest string
+
+	// cache holds merged 200 response bodies keyed under the cluster
+	// digest; nil when Config.CacheBytes is 0.
+	cache *qcache.Cache[[]byte]
 }
 
 // New builds a router over the replica base URLs and starts its probe
@@ -167,6 +179,11 @@ func New(replicaURLs []string, cfg Config) (*Router, error) {
 		cfg:       cfg,
 		quit:      make(chan struct{}),
 		probeDone: make(chan struct{}),
+	}
+	if cfg.CacheBytes > 0 {
+		rt.cache = qcache.New[[]byte](
+			qcache.Config{MaxBytes: cfg.CacheBytes, TTL: cfg.CacheTTL},
+			func(b []byte) int { return len(b) })
 	}
 	for _, raw := range replicaURLs {
 		u, err := url.Parse(strings.TrimRight(strings.TrimSpace(raw), "/"))
@@ -228,8 +245,18 @@ func (rt *Router) probeAll() {
 		r.mu.Unlock()
 	}
 	rt.mu.Lock()
+	prev := rt.clusterDigest
 	rt.clusterDigest = digest
 	rt.mu.Unlock()
+	// A store change observed by the digest gate eagerly invalidates the
+	// answer cache. Keys embed the digest, so correctness never depends
+	// on this purge — it reclaims the retired entries' memory and makes
+	// the invalidation visible in the counters. A full outage (digest
+	// gone) is not a store change: entries stay for the replicas'
+	// return.
+	if rt.cache != nil && prev != "" && digest != "" && digest != prev {
+		rt.cache.Purge()
+	}
 	for _, r := range rt.replicas {
 		r.mu.Lock()
 		r.mismatch = r.healthy && r.digest != digest
@@ -350,7 +377,8 @@ func (rt *Router) admit() bool {
 	return true
 }
 
-// handleSearch proxies one /search request: the raw body is forwarded to
+// handleSearch answers one /search request: from the answer cache when
+// enabled and hit, otherwise by proxying — the raw body is forwarded to
 // the picked replica and the replica's response is returned byte for
 // byte. On a transport error, timeout or overload status the replica is
 // marked down (transport errors only) and the request fails over to a
@@ -374,6 +402,19 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if rt.cache != nil {
+		rt.searchCached(w, r, body)
+		return
+	}
+	rt.proxySearch(w, r, body)
+}
+
+// proxySearch runs the failover attempt loop for one raw /search body
+// and writes the outcome. It returns the pass-through reply's (status,
+// data) so a caching caller can store a successful body; a synthesized
+// reply (no replica, every attempt failed, caller cancelled) returns
+// (0, nil).
+func (rt *Router) proxySearch(w http.ResponseWriter, r *http.Request, body []byte) (int, []byte) {
 	tried := make(map[*replica]bool)
 	attempts := 1 + rt.cfg.FailoverRetries
 	var lastErr error
@@ -381,7 +422,7 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 	for attempt := 0; attempt < attempts; attempt++ {
 		if err := r.Context().Err(); err != nil {
 			api.WriteError(w, http.StatusGatewayTimeout, "request cancelled: %v", err)
-			return
+			return 0, nil
 		}
 		rep := rt.pick(tried)
 		if rep == nil {
@@ -401,7 +442,7 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 				// The caller hung up or timed out mid-proxy; that is not
 				// the replica's failure, so its health stands.
 				api.WriteError(w, http.StatusGatewayTimeout, "request cancelled: %v", r.Context().Err())
-				return
+				return 0, nil
 			}
 			// Transport failure: the replica is likely gone; stop routing
 			// to it until a probe says otherwise.
@@ -425,7 +466,7 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
 		_, _ = w.Write(data)
-		return
+		return status, data
 	}
 
 	switch {
@@ -449,6 +490,7 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 	default:
 		api.WriteError(w, http.StatusBadGateway, "every attempted replica failed: %v", lastErr)
 	}
+	return 0, nil
 }
 
 // handleHealthz answers with the cluster view: ok while at least one
@@ -516,6 +558,7 @@ func (rt *Router) Stats() api.RouterStatsResponse {
 		Failovers:         rt.failovers.Load(),
 		RejectedDrain:     rt.rejectedDrain.Load(),
 		RejectedNoReplica: rt.rejectedNoReplica.Load(),
+		Cache:             rt.cacheStats(),
 	}
 	if draining {
 		out.Status = "draining"
@@ -563,6 +606,12 @@ func (rt *Router) Stats() api.RouterStatsResponse {
 			agg.Scheduler.Chunks += st.Scheduler.Chunks
 			agg.Scheduler.Steals += st.Scheduler.Steals
 			agg.Scheduler.Stolen += st.Scheduler.Stolen
+			if st.Cache != nil {
+				if agg.Cache == nil {
+					agg.Cache = &api.CacheStatsJSON{}
+				}
+				agg.Cache.Add(*st.Cache)
+			}
 		}
 		out.Replicas = append(out.Replicas, rj)
 	}

@@ -33,6 +33,7 @@ import (
 
 	"lbe/internal/api"
 	"lbe/internal/engine"
+	"lbe/internal/qcache"
 	"lbe/internal/spectrum"
 )
 
@@ -61,6 +62,13 @@ type Config struct {
 	MaxQueriesPerRequest int
 	// MaxBodyBytes caps the /search request body.
 	MaxBodyBytes int64
+	// CacheBytes sizes the content-addressed answer cache (in resident
+	// bytes). 0 disables caching — the zero value opts out, it is not
+	// defaulted.
+	CacheBytes int64
+	// CacheTTL expires cache entries after this duration; 0 means
+	// entries live until evicted. Meaningful only with CacheBytes > 0.
+	CacheTTL time.Duration
 }
 
 // DefaultConfig returns serving defaults: 64-query merges flushed every
@@ -126,6 +134,12 @@ type Server struct {
 	// which substitute a controllable stand-in.
 	searchFn func(context.Context, []spectrum.Experimental) (*engine.Result, error)
 
+	// cache is the content-addressed answer cache consulted before the
+	// coalescer; nil when Config.CacheBytes is 0. keyer binds its keys
+	// to the session's digest and search knobs.
+	cache *qcache.Cache[[]engine.PSM]
+	keyer qcache.Keyer
+
 	accepted       atomic.Int64
 	rejectedQueue  atomic.Int64
 	rejectedDrain  atomic.Int64
@@ -152,6 +166,11 @@ func New(sess *engine.Session, peptides []string, cfg Config) *Server {
 		cancelBase:   cancel,
 		coalesceDone: make(chan struct{}),
 		searchFn:     sess.Search,
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = qcache.New[[]engine.PSM](
+			qcache.Config{MaxBytes: cfg.CacheBytes, TTL: cfg.CacheTTL}, psmsSize)
+		s.keyer = cacheKeyer(sess)
 	}
 	go s.coalesceLoop()
 	return s
@@ -254,33 +273,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
-	rq := &request{ctx: ctx, queries: qs, resp: make(chan response, 1)}
-	switch err := s.submit(rq); {
+	psms, err := s.search(ctx, qs)
+	switch {
+	case err == nil:
+		api.WriteJSON(w, http.StatusOK, api.BuildSearchResponse(qs, psms, s.peptides))
 	case errors.Is(err, ErrDraining):
 		api.WriteError(w, http.StatusServiceUnavailable, "server is draining")
-		return
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		api.WriteError(w, http.StatusTooManyRequests, "admission queue full, retry later")
-		return
-	}
-
-	select {
-	case resp := <-rq.resp:
-		if resp.err != nil {
-			if errors.Is(resp.err, context.Canceled) || errors.Is(resp.err, context.DeadlineExceeded) {
-				api.WriteError(w, http.StatusGatewayTimeout, "request cancelled or deadline exceeded")
-			} else {
-				api.WriteError(w, http.StatusInternalServerError, "search failed: %v", resp.err)
-			}
-			return
-		}
-		api.WriteJSON(w, http.StatusOK, api.BuildSearchResponse(qs, resp.psms, s.peptides))
-	case <-ctx.Done():
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// Client gone or per-request deadline hit while queued/searching.
-		// The dispatcher still answers rq.resp (buffered) and settles the
-		// accounting; nobody blocks on this abandonment.
 		api.WriteError(w, http.StatusGatewayTimeout, "request cancelled or deadline exceeded")
+	default:
+		api.WriteError(w, http.StatusInternalServerError, "search failed: %v", err)
 	}
 }
 
@@ -337,6 +343,7 @@ func (s *Server) Stats() api.StatsResponse {
 	if s.isDraining() {
 		st.Status = "draining"
 	}
+	st.Cache = s.cacheStats()
 	for _, rs := range s.sess.Stats() {
 		st.PerShard = append(st.PerShard, api.ShardStatsJSON{
 			Rank:        rs.Rank,

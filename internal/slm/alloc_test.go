@@ -1,0 +1,147 @@
+package slm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSearchZeroAllocWarmScratch guards the zero-alloc search path: with a
+// warm Scratch the only allocation Search may make is the single copy-out
+// of the result slice (and none at all when nothing matches).
+func TestSearchZeroAllocWarmScratch(t *testing.T) {
+	peps := []string{"PEPTIDEK", "PEPTIDER", "PEPTIDEH", "AAAAGGGGK"}
+	ix, err := Build(peps, noModParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := queryFor(t, "PEPTIDEK")
+	miss := queryFor(t, "WWWWWWWWK")
+
+	var scratch Scratch
+	ix.Search(hit, 5, &scratch) // warm buffers
+
+	if n := testing.AllocsPerRun(100, func() {
+		ix.Search(hit, 5, &scratch)
+	}); n > 1 {
+		t.Errorf("Search with matches allocates %.1f times per run, want <= 1 (result copy only)", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		ix.Search(miss, 5, &scratch)
+	}); n != 0 {
+		t.Errorf("Search without matches allocates %.1f times per run, want 0", n)
+	}
+}
+
+// TestChunkedSearchZeroAllocWarmScratch extends the guard across the
+// chunked index's merge path.
+func TestChunkedSearchZeroAllocWarmScratch(t *testing.T) {
+	peps := []string{"PEPTIDEK", "PEPTIDER", "PEPTIDEH", "AAAAGGGGK", "LLLLSSSSK", "MMMMTTTTK"}
+	ci, err := BuildChunked(peps, noModParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := queryFor(t, "PEPTIDEK")
+
+	var scratch Scratch
+	ci.Search(q, 5, &scratch) // warm buffers
+
+	if n := testing.AllocsPerRun(100, func() {
+		ci.Search(q, 5, &scratch)
+	}); n > 1 {
+		t.Errorf("ChunkedIndex.Search allocates %.1f times per run, want <= 1 (result copy only)", n)
+	}
+}
+
+// TestScratchGrowthAmortized reproduces the work-stealing pool's access
+// pattern: one Scratch alternating between indexes of different row
+// counts. Capacity must be rounded up so the alternation does not
+// reallocate counts/inten on every switch.
+func TestScratchGrowthAmortized(t *testing.T) {
+	small := make([]string, 0, 3)
+	big := make([]string, 0, 9)
+	for i := 0; i < 9; i++ {
+		seq := fmt.Sprintf("PEPT%cDEK", "ACDEFGHIK"[i])
+		if i < 3 {
+			small = append(small, seq)
+		}
+		big = append(big, seq)
+	}
+	ixSmall, err := Build(small, noModParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixBig, err := Build(big, noModParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := queryFor(t, "WWWWWWWWK")
+
+	var scratch Scratch
+	ixBig.Search(miss, 0, &scratch) // warm to the larger size
+
+	if n := testing.AllocsPerRun(50, func() {
+		ixSmall.Search(miss, 0, &scratch)
+		ixBig.Search(miss, 0, &scratch)
+	}); n != 0 {
+		t.Errorf("alternating shard sizes reallocates scratch (%.1f allocs per pair), want 0", n)
+	}
+}
+
+// TestScratchEnsureRoundsCapacityUp pins the growth policy: capacity is
+// rounded to the next power of two so a monotone-increasing run of shard
+// sizes costs O(log n) reallocations, not one per size.
+func TestScratchEnsureRoundsCapacityUp(t *testing.T) {
+	var s Scratch
+	s.ensure(65)
+	if len(s.counts) < 128 || len(s.inten) < 128 {
+		t.Fatalf("ensure(65) sized buffers to %d, want >= 128 (next power of two)", len(s.counts))
+	}
+	before := &s.counts[0]
+	s.ensure(100)
+	if &s.counts[0] != before {
+		t.Fatal("ensure(100) reallocated a buffer that already had capacity for it")
+	}
+	s.ensure(3)
+	if len(s.counts) < 128 {
+		t.Fatal("ensure shrank the buffers")
+	}
+}
+
+// TestSearchResultsSurviveScratchReuse pins the caller-ownership contract:
+// results returned by Search must not be clobbered by a later search with
+// the same Scratch.
+func TestSearchResultsSurviveScratchReuse(t *testing.T) {
+	peps := []string{"PEPTIDEK", "PEPTIDER", "AAAAGGGGK"}
+	ix, err := Build(peps, noModParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch Scratch
+	first, _ := ix.Search(queryFor(t, "PEPTIDEK"), 0, &scratch)
+	snapshot := append([]Match(nil), first...)
+	ix.Search(queryFor(t, "AAAAGGGGK"), 0, &scratch)
+	for i := range first {
+		if first[i] != snapshot[i] {
+			t.Fatalf("match %d mutated by scratch reuse: %+v vs %+v", i, first[i], snapshot[i])
+		}
+	}
+}
+
+// TestSortMatchesDeterminism pins the ordering contract directly:
+// descending score, ties broken by ascending row id.
+func TestSortMatchesDeterminism(t *testing.T) {
+	ms := []Match{
+		{Row: 7, Score: 2.5},
+		{Row: 3, Score: 9.0},
+		{Row: 9, Score: 2.5},
+		{Row: 1, Score: 2.5},
+		{Row: 4, Score: 5.0},
+	}
+	sortMatches(ms)
+	want := []uint32{3, 4, 1, 7, 9}
+	for i, m := range ms {
+		if m.Row != want[i] {
+			t.Fatalf("order %v, want rows %v", ms, want)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package slm
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"lbe/internal/spectrum"
@@ -171,7 +173,10 @@ func (p Params) maxModDelta() float64 {
 // index (with Peptide resolved through the chunk's map); ChunksTouched in
 // the returned Work statistics... chunk accounting is returned separately.
 func (ci *ChunkedIndex) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]Match, Work, int) {
-	var all []Match
+	if scratch == nil {
+		scratch = &Scratch{}
+	}
+	all := scratch.merged[:0]
 	var work Work
 	touched := 0
 	qmass := q.PrecursorMass()
@@ -186,7 +191,7 @@ func (ci *ChunkedIndex) Search(q spectrum.Experimental, topK int, scratch *Scrat
 			}
 		}
 		touched++
-		ms, w := ix.Search(q, 0, scratch)
+		ms, w := ix.searchScratch(q, scratch)
 		for _, m := range ms {
 			m.Peptide = ci.pepMap[c][m.Peptide]
 			m.Row = 0 // rows are chunk-local; not meaningful across chunks
@@ -194,19 +199,25 @@ func (ci *ChunkedIndex) Search(q spectrum.Experimental, topK int, scratch *Scrat
 		}
 		work.Add(w)
 	}
+	scratch.merged = all[:0] // retain grown capacity for reuse
 	if topK > 0 && len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool {
-			if all[i].Score != all[j].Score {
-				return all[i].Score > all[j].Score
+		// (Peptide, Precursor) pairs are unique per chunk layout, so this
+		// is a total order and the unstable sort stays deterministic.
+		slices.SortFunc(all, func(a, b Match) int {
+			if a.Score != b.Score {
+				if a.Score > b.Score {
+					return -1
+				}
+				return 1
 			}
-			if all[i].Peptide != all[j].Peptide {
-				return all[i].Peptide < all[j].Peptide
+			if a.Peptide != b.Peptide {
+				return cmp.Compare(a.Peptide, b.Peptide)
 			}
-			return all[i].Precursor < all[j].Precursor
+			return cmp.Compare(a.Precursor, b.Precursor)
 		})
 		if len(all) > topK {
 			all = all[:topK]
 		}
 	}
-	return all, work, touched
+	return copyMatches(all), work, touched
 }

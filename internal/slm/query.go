@@ -1,7 +1,8 @@
 package slm
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"lbe/internal/spectrum"
 )
@@ -39,12 +40,21 @@ type Scratch struct {
 	counts  []uint16
 	inten   []float64
 	touched []uint32
+	matches []Match // per-query accumulator, reused across searches
+	merged  []Match // cross-chunk accumulator for ChunkedIndex.Search
 }
 
 func (s *Scratch) ensure(rows int) {
 	if len(s.counts) < rows {
-		s.counts = make([]uint16, rows)
-		s.inten = make([]float64, rows)
+		// Round capacity up to the next power of two: a work-stealing
+		// pool hands one Scratch shards of alternating sizes, and
+		// growing at exact rows would reallocate on every steal.
+		n := 64
+		for n < rows {
+			n <<= 1
+		}
+		s.counts = make([]uint16, n)
+		s.inten = make([]float64, n)
 	}
 	s.touched = s.touched[:0]
 }
@@ -52,12 +62,27 @@ func (s *Scratch) ensure(rows int) {
 // Search queries one preprocessed experimental spectrum against the index
 // and returns the candidate matches (unordered unless topK > 0, in which
 // case the best topK by score are returned in descending score order).
+// The returned slice is owned by the caller and survives later searches
+// with the same Scratch.
 //
 // The query's peaks must be sorted by m/z (see spectrum.Preprocess).
 func (ix *Index) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]Match, Work) {
 	if scratch == nil {
 		scratch = &Scratch{}
 	}
+	matches, work := ix.searchScratch(q, scratch)
+	if topK > 0 && len(matches) > 0 {
+		sortMatches(matches)
+		if len(matches) > topK {
+			matches = matches[:topK]
+		}
+	}
+	return copyMatches(matches), work
+}
+
+// searchScratch runs the two search phases and returns matches backed by
+// scratch.matches: valid only until the next search with this Scratch.
+func (ix *Index) searchScratch(q spectrum.Experimental, scratch *Scratch) ([]Match, Work) {
 	scratch.ensure(len(ix.rows))
 	var work Work
 
@@ -77,7 +102,7 @@ func (ix *Index) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]
 	}
 
 	// Phase 2: threshold + precursor filter + scoring.
-	var matches []Match
+	matches := scratch.matches[:0]
 	qmass := q.PrecursorMass()
 	minShared := uint16(ix.params.MinSharedPeaks)
 	for _, rid := range scratch.touched {
@@ -101,23 +126,33 @@ func (ix *Index) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]
 		})
 	}
 
-	if topK > 0 && len(matches) > 0 {
-		sortMatches(matches)
-		if len(matches) > topK {
-			matches = matches[:topK]
-		}
-	}
+	scratch.matches = matches[:0] // retain grown capacity for reuse
 	return matches, work
 }
 
+// copyMatches returns a caller-owned copy of a scratch-backed slice so
+// callers may retain results across searches. nil stays nil.
+func copyMatches(ms []Match) []Match {
+	if len(ms) == 0 {
+		return nil
+	}
+	out := make([]Match, len(ms))
+	copy(out, ms)
+	return out
+}
+
 // sortMatches orders by descending score, then ascending row id for
-// determinism across runs and machines.
+// determinism across runs and machines. Both fields together are a total
+// order, so the unstable allocation-free sort is deterministic.
 func sortMatches(ms []Match) {
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].Score != ms[j].Score {
-			return ms[i].Score > ms[j].Score
+	slices.SortFunc(ms, func(a, b Match) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
 		}
-		return ms[i].Row < ms[j].Row
+		return cmp.Compare(a.Row, b.Row)
 	})
 }
 
