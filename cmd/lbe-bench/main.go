@@ -25,7 +25,7 @@ func main() {
 	log.SetPrefix("lbe-bench: ")
 
 	var (
-		fig     = flag.String("fig", "all", "which experiment: all|setup|5|6|7|8|9|10|11|grouping|transport|hetero|filtration|session|serve|coldstart|steal|route|cache")
+		fig     = flag.String("fig", "all", "which experiment: all|setup|5|6|7|8|9|10|11|grouping|transport|hetero|filtration|session|serve|coldstart|steal|route|cache|scatter")
 		scale   = flag.Float64("scale", 1.0/1000, "fraction of the paper's index sizes")
 		ranks   = flag.Int("ranks", 16, "partitions for the LI figures")
 		queries = flag.Int("queries", 800, "query spectra per run")
@@ -59,6 +59,7 @@ func main() {
 		"steal":      bench.Steal,
 		"route":      bench.Route,
 		"cache":      bench.CacheHit,
+		"scatter":    bench.Scatter,
 	}
 
 	var sb strings.Builder
@@ -75,7 +76,7 @@ func main() {
 	} else {
 		run, ok := runners[*fig]
 		if !ok {
-			log.Fatalf("unknown -fig %q; options: all setup 5 6 7 8 9 10 11 grouping transport hetero filtration session serve coldstart steal route cache", *fig)
+			log.Fatalf("unknown -fig %q; options: all setup 5 6 7 8 9 10 11 grouping transport hetero filtration session serve coldstart steal route cache scatter", *fig)
 		}
 		f, err := run(o)
 		if err != nil {

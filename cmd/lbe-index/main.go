@@ -10,6 +10,8 @@
 //
 //	lbe-index -in peptides.fasta -max-mods 3                  # stats report
 //	lbe-index -in proteins.fasta -digest -out store -ranks 4  # emit a session store
+//	lbe-index -in proteins.fasta -digest -out cluster -ranks 4 -shard-sets 2
+//	                                     # emit a partitioned cluster store
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 		policy   = flag.String("policy", "cyclic", "distribution policy for the store: chunk|cyclic|random")
 		seed     = flag.Int64("seed", 0, "seed for the random policy (with -out)")
 		topK     = flag.Int("topk", 5, "PSMs reported per query by the stored session (with -out)")
+		sets     = flag.Int("shard-sets", 0, "partition the emitted store into this many shard-sets for scatter/gather serving (with -out; 0 emits a whole store)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -47,7 +50,7 @@ func main() {
 		// Mirror the -index flag discipline of lbe-serve/lbe-search:
 		// refuse store-only flags loudly instead of silently ignoring
 		// them in the stats report.
-		if bad := cliutil.ExplicitlySet("ranks", "policy", "seed", "topk"); len(bad) > 0 {
+		if bad := cliutil.ExplicitlySet("ranks", "policy", "seed", "topk", "shard-sets"); len(bad) > 0 {
 			log.Fatalf("-%s only applies with -out (it shapes the emitted store)", bad[0])
 		}
 	}
@@ -70,7 +73,7 @@ func main() {
 	}
 
 	if *outDir != "" {
-		emitStore(peptides, *outDir, *ranks, *policy, *seed, *topK, *maxMods, *resol, *fragTol, *maxFrag)
+		emitStore(peptides, *outDir, *ranks, *policy, *seed, *topK, *maxMods, *resol, *fragTol, *maxFrag, *sets)
 		return
 	}
 
@@ -101,8 +104,10 @@ func main() {
 
 // emitStore builds a partitioned session with the same defaults lbe-serve
 // uses and persists it, so a store built here and a session built there
-// from the same inputs are interchangeable.
-func emitStore(peptides []string, dir string, ranks int, policy string, seed int64, topK, maxMods int, resol, fragTol, maxFrag float64) {
+// from the same inputs are interchangeable. With sets > 0 the store is
+// emitted as a partitioned cluster (one self-contained shard-set store
+// per set-NN directory plus cluster.json) for scatter/gather serving.
+func emitStore(peptides []string, dir string, ranks int, policy string, seed int64, topK, maxMods int, resol, fragTol, maxFrag float64, sets int) {
 	scfg := lbe.DefaultSessionConfig()
 	scfg.Params.Mods.MaxPerPep = maxMods
 	scfg.Params.Resolution = resol
@@ -126,6 +131,22 @@ func emitStore(peptides []string, dir string, ranks int, policy string, seed int
 	buildTime := time.Since(buildStart)
 
 	saveStart := time.Now()
+	if sets > 0 {
+		cm, err := sess.SavePartitioned(dir, peptides, sets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cluster:    %s\n", dir)
+		fmt.Printf("peptides:   %d\n", len(peptides))
+		fmt.Printf("shards:     %d (%s policy) over %d shard-sets\n", sess.NumShards(), pol, cm.Sets)
+		for i, sd := range cm.SetDirs {
+			fmt.Printf("  set %02d:   %s  digest %s\n", i, sd, cm.SetDigests[i])
+		}
+		fmt.Printf("cluster digest: %s\n", cm.ClusterDigest)
+		fmt.Printf("build time: %v\n", buildTime)
+		fmt.Printf("save time:  %v\n", time.Since(saveStart))
+		return
+	}
 	if err := sess.Save(dir, peptides); err != nil {
 		log.Fatal(err)
 	}

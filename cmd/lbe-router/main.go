@@ -7,10 +7,18 @@
 // /stats and /metrics surface as a replica, so lbe-client works
 // unchanged through it.
 //
+// With -scatter the replicas are holders of a partitioned store's
+// shard-sets (lbe-index -shard-sets): every /search fans out to one
+// healthy holder per set and the per-set top-K results are merged into
+// the bytes a whole-store session would return. The topology is
+// discovered from the holders' /healthz announcements; no static
+// configuration beyond the replica list is needed.
+//
 // Usage:
 //
 //	lbe-router -addr :8420 -replicas http://10.0.0.1:8417,http://10.0.0.2:8417
 //	lbe-router -addr :8420 -replicas-file replicas.txt -probe 1s -retries 2
+//	lbe-router -addr :8420 -scatter -replicas-file holders.txt
 //
 // The replicas file lists one base URL per line; blank lines and lines
 // starting with '#' are ignored.
@@ -77,6 +85,7 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
 		cacheB   = flag.Int64("cache-bytes", 64<<20, "merged-response cache byte budget (0 disables caching)")
 		cacheTTL = flag.Duration("cache-ttl", 0, "cache entry TTL (0 = until evicted or digest change)")
+		scatter  = flag.Bool("scatter", false, "scatter/gather mode: replicas hold shard-sets of one partitioned store")
 	)
 	flag.Parse()
 
@@ -96,6 +105,7 @@ func main() {
 		StatsStaleAfter: *stale,
 		CacheBytes:      *cacheB,
 		CacheTTL:        *cacheTTL,
+		Scatter:         *scatter,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -111,9 +121,17 @@ func main() {
 			state = "healthy"
 			healthy++
 		}
+		if r.ShardSet != nil {
+			state = fmt.Sprintf("%s, shard-set %d/%d", state, r.ShardSet.Set, r.ShardSet.Sets)
+		}
 		log.Printf("replica %s: %s", r.URL, state)
 	}
-	log.Printf("routing over %d replicas (%d healthy), digest %.12s", len(urls), healthy, st.Digest)
+	if st.Scatter != nil {
+		log.Printf("scatter/gather over %d shard-sets (%d covered, %d total shards), cluster digest %.12s",
+			st.Scatter.Sets, st.Scatter.Covered, st.Scatter.TotalShards, st.Digest)
+	} else {
+		log.Printf("routing over %d replicas (%d healthy), digest %.12s", len(urls), healthy, st.Digest)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -20,6 +20,7 @@ type StatusError struct {
 	Message string
 }
 
+// Error renders the status and message in one line.
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("api: server answered %d: %s", e.Code, e.Message)
 }

@@ -1,0 +1,88 @@
+package api
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scatter/gather merge: a scatter router fans one /search body to one
+// holder per shard-set and gathers one SearchResponse per set. Because a
+// peptide lives in exactly one shard of exactly one set, the per-set
+// responses are disjoint candidate lists; re-sorting their union with
+// the engine's deterministic comparator and truncating to the session's
+// TopK reproduces — byte for byte — the response a single whole-store
+// session would have rendered:
+//
+//   - the per-set top-K union contains the global top-K (a globally
+//     top-K PSM is top-K within its own set a fortiori);
+//   - the comparator (Score desc, Peptide asc, Precursor asc, Shared
+//     desc) mirrors the engine's sortPSMs, and PSMs tying on all four
+//     keys render identical rows (Sequence and Shard are functions of
+//     Peptide), so any tie order yields the same bytes;
+//   - float64 JSON round-trips exactly (shortest-representation
+//     marshaling), so decode → merge → re-encode preserves every score.
+
+// SortPSMs orders wire PSMs with the engine's deterministic comparator
+// (engine sortPSMs on the rendered fields): Score descending, then
+// Peptide, then Precursor ascending, then Shared descending. It is the
+// ordering every /search response already arrives in; the scatter merge
+// re-applies it to the per-set union.
+func SortPSMs(psms []PSMJSON) {
+	sort.Slice(psms, func(i, j int) bool {
+		a, b := psms[i], psms[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Peptide != b.Peptide {
+			return a.Peptide < b.Peptide
+		}
+		if a.Precursor != b.Precursor {
+			return a.Precursor < b.Precursor
+		}
+		return a.Shared > b.Shared
+	})
+}
+
+// MergeSearchResponses gathers one per-shard-set /search response into
+// the response a whole-store session would produce: per query, the
+// per-set PSM lists are concatenated, re-sorted with SortPSMs, and
+// truncated to topK (topK <= 0 keeps everything). Every part must carry
+// the same number of results with the same scans in the same order —
+// anything else means the sets answered different requests, and the
+// merge refuses rather than guess.
+func MergeSearchResponses(parts []SearchResponse, topK int) (SearchResponse, error) {
+	if len(parts) == 0 {
+		return SearchResponse{}, fmt.Errorf("api: merge: no responses")
+	}
+	n := len(parts[0].Results)
+	for i, p := range parts[1:] {
+		if len(p.Results) != n {
+			return SearchResponse{}, fmt.Errorf("api: merge: response %d has %d results, response 0 has %d",
+				i+1, len(p.Results), n)
+		}
+	}
+	out := SearchResponse{Results: make([]QueryResult, n)}
+	for q := 0; q < n; q++ {
+		scan := parts[0].Results[q].Scan
+		total := 0
+		for i, p := range parts {
+			if p.Results[q].Scan != scan {
+				return SearchResponse{}, fmt.Errorf("api: merge: result %d scan %d in response %d, response 0 says %d",
+					q, p.Results[q].Scan, i, scan)
+			}
+			total += len(p.Results[q].PSMs)
+		}
+		// Non-nil even when empty, so the merged body renders "psms":[]
+		// exactly as BuildSearchResponse does.
+		merged := make([]PSMJSON, 0, total)
+		for _, p := range parts {
+			merged = append(merged, p.Results[q].PSMs...)
+		}
+		SortPSMs(merged)
+		if topK > 0 && len(merged) > topK {
+			merged = merged[:topK]
+		}
+		out.Results[q] = QueryResult{Scan: scan, PSMs: merged}
+	}
+	return out, nil
+}

@@ -136,6 +136,11 @@ func FormatRouterMetrics(st *RouterStatsResponse) []byte {
 	m.header("lbe_router_requests_rejected_total", "Requests the router rejected, by reason.", "counter")
 	m.value("lbe_router_requests_rejected_total", `reason="draining"`, float64(st.RejectedDrain))
 	m.value("lbe_router_requests_rejected_total", `reason="no_replica"`, float64(st.RejectedNoReplica))
+	if st.Scatter != nil {
+		m.value("lbe_router_requests_rejected_total", `reason="shard_set_down"`, float64(st.Scatter.RejectedSetDown))
+		m.simple("lbe_router_shard_sets", "Shard-sets in the discovered partition topology.", "gauge", float64(st.Scatter.Sets))
+		m.simple("lbe_router_shard_sets_covered", "Shard-sets with at least one consistent healthy holder.", "gauge", float64(st.Scatter.Covered))
+	}
 	if st.Cache != nil {
 		m.appendCache("lbe_router_cache", st.Cache)
 	}

@@ -119,15 +119,30 @@ func BuildSearchResponse(qs []spectrum.Experimental, psms [][]engine.PSM, peptid
 	return out
 }
 
+// ShardSetJSON announces on /healthz and /stats which slice of a
+// partitioned store a replica holds (engine.Session.ShardSet). A
+// scatter/gather router discovers the cluster topology entirely from
+// these announcements: no static topology file exists. TopK rides along
+// because the front-end merge must truncate the per-set union to the
+// same depth a whole-store session would.
+type ShardSetJSON struct {
+	Set         int `json:"set"`
+	Sets        int `json:"sets"`
+	TotalShards int `json:"total_shards"`
+	TopK        int `json:"topk"`
+}
+
 // HealthResponse is the JSON body of /healthz. Digest is the serving
 // session's store-consistency digest (engine.Session.Digest): replicas
 // answering with different digests are serving different databases, and
-// the router's consistency gate refuses to mix them.
+// the router's consistency gate refuses to mix them. ShardSet is present
+// when the replica serves one shard-set of a partitioned store.
 type HealthResponse struct {
-	Status string `json:"status"`
-	Shards int    `json:"shards"`
-	Groups int    `json:"groups"`
-	Digest string `json:"digest,omitempty"`
+	Status   string        `json:"status"`
+	Shards   int           `json:"shards"`
+	Groups   int           `json:"groups"`
+	Digest   string        `json:"digest,omitempty"`
+	ShardSet *ShardSetJSON `json:"shard_set,omitempty"`
 }
 
 // ShardStatsJSON is one shard's lifetime load in /stats.
@@ -198,6 +213,7 @@ func (c *CacheStatsJSON) Add(o CacheStatsJSON) {
 type StatsResponse struct {
 	Status         string             `json:"status"`
 	Digest         string             `json:"digest,omitempty"`
+	ShardSet       *ShardSetJSON      `json:"shard_set,omitempty"`
 	Shards         int                `json:"shards"`
 	Groups         int                `json:"groups"`
 	IndexBytes     int                `json:"index_bytes"`
@@ -222,17 +238,31 @@ type StatsResponse struct {
 
 // RouterReplicaJSON is one replica's view in the router's /stats.
 type RouterReplicaJSON struct {
-	URL            string `json:"url"`
-	Healthy        bool   `json:"healthy"`
-	DigestMismatch bool   `json:"digest_mismatch,omitempty"`
-	Digest         string `json:"digest,omitempty"`
-	QueueLen       int    `json:"queue_len"`
-	InFlight       int    `json:"in_flight"`
-	RouterInFlight int64  `json:"router_in_flight"`
-	Routed         int64  `json:"routed"`
-	Failed         int64  `json:"failed"`
-	ProbeAgeMillis int64  `json:"probe_age_ms"` // -1 before the first successful probe
-	StatsAgeMillis int64  `json:"stats_age_ms"` // -1 before the first stats snapshot
+	URL            string        `json:"url"`
+	Healthy        bool          `json:"healthy"`
+	DigestMismatch bool          `json:"digest_mismatch,omitempty"`
+	Digest         string        `json:"digest,omitempty"`
+	ShardSet       *ShardSetJSON `json:"shard_set,omitempty"`
+	QueueLen       int           `json:"queue_len"`
+	InFlight       int           `json:"in_flight"`
+	RouterInFlight int64         `json:"router_in_flight"`
+	Routed         int64         `json:"routed"`
+	Failed         int64         `json:"failed"`
+	ProbeAgeMillis int64         `json:"probe_age_ms"` // -1 before the first successful probe
+	StatsAgeMillis int64         `json:"stats_age_ms"` // -1 before the first stats snapshot
+}
+
+// RouterScatterJSON is the scatter/gather block of the router's /stats:
+// the discovered cluster shape, how many shard-sets currently have a
+// consistent healthy holder, the per-set digests the cluster digest
+// composes from, and the requests rejected because a shard-set had no
+// holder (the explicit partial-failure path — never silent truncation).
+type RouterScatterJSON struct {
+	Sets            int      `json:"sets"`
+	TotalShards     int      `json:"total_shards"`
+	Covered         int      `json:"sets_covered"`
+	SetDigests      []string `json:"set_digests,omitempty"`
+	RejectedSetDown int64    `json:"requests_rejected_shard_set_down"`
 }
 
 // RouterStatsResponse is the JSON body of /stats on lbe-router: the
@@ -247,6 +277,7 @@ type RouterStatsResponse struct {
 	Failovers         int64               `json:"failovers"`
 	RejectedDrain     int64               `json:"requests_rejected_draining"`
 	RejectedNoReplica int64               `json:"requests_rejected_no_replica"`
+	Scatter           *RouterScatterJSON  `json:"scatter,omitempty"`
 	Replicas          []RouterReplicaJSON `json:"replicas"`
 	Cache             *CacheStatsJSON     `json:"cache,omitempty"`
 	Aggregate         StatsResponse       `json:"aggregate"`

@@ -190,6 +190,7 @@ func All(o Options) ([]Figure, error) {
 		{"steal", Steal},
 		{"route", Route},
 		{"cache", CacheHit},
+		{"scatter", Scatter},
 	}
 	var figs []Figure
 	for _, r := range runners {

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"lbe/internal/engine"
+	"lbe/internal/router"
+	"lbe/internal/server"
+)
+
+// Scatter measures the partitioned serving tier: one database is cut
+// into 1, 2 and 4 shard-sets (lbe-index -shard-sets), each set served by
+// its own warm-started replica, and a scatter/gather router merges the
+// per-set top-K at the front-end. A fixed closed-loop client population
+// drives every level; the whole-store replica driven directly (no
+// router, no partitioning) is the baseline the levels are compared
+// against. The figure reports latency percentiles per shard-set count;
+// the notes record achieved request rates, the gather overhead against
+// the direct baseline, and the per-level routing counters.
+func Scatter(o Options) (Figure, error) {
+	fig := Figure{
+		ID:     "scatter",
+		Title:  "Scatter/gather latency vs shard-set count (closed loop, 16 clients)",
+		XLabel: "shard-sets",
+		YLabel: "latency ms",
+	}
+	c, err := o.corpusAt(paperSizesM[0])
+	if err != nil {
+		return fig, err
+	}
+	cfg := engineConfig()
+
+	const concurrency = 16
+	shards := o.Ranks
+	if shards > 4 {
+		// The figure scales shard-sets over a fixed 4-shard store; the
+		// set counts {1,2,4} must divide into the shard count.
+		shards = 4
+	}
+	if shards < 4 {
+		shards = 4
+	}
+
+	cfg.TopK = 5
+	sess, err := engine.NewSession(c.Peptides, engine.SessionConfig{Config: cfg, Shards: shards})
+	if err != nil {
+		return fig, err
+	}
+	defer sess.Close()
+
+	dir, err := os.MkdirTemp("", "lbe-scatter-*")
+	if err != nil {
+		return fig, err
+	}
+	defer os.RemoveAll(dir)
+
+	bodies := make([][]byte, len(c.Queries))
+	for i, q := range c.Queries {
+		b, err := marshalQuery(q)
+		if err != nil {
+			return fig, err
+		}
+		bodies[i] = b
+	}
+
+	serverCfg := server.Config{
+		BatchSize:     64,
+		FlushInterval: time.Millisecond,
+		QueueDepth:    1024,
+		MaxInFlight:   4,
+	}
+
+	// Direct whole-store baseline: the same load on one un-partitioned
+	// replica without a router, quantifying the scatter tier's overhead.
+	baseSrv := server.New(sess, c.Peptides, serverCfg)
+	baseTS := httptest.NewServer(baseSrv.Handler())
+	directLat, directWall, err := closedLoop(baseTS.Client(), baseTS.URL, bodies, concurrency)
+	baseSrv.Close()
+	baseTS.Close()
+	if err != nil {
+		return fig, err
+	}
+	sort.Float64s(directLat)
+
+	p50 := Series{Label: "p50"}
+	p95 := Series{Label: "p95"}
+	p99 := Series{Label: "p99"}
+	var rates []float64
+	for _, sets := range []int{1, 2, 4} {
+		clusterDir := filepath.Join(dir, fmt.Sprintf("cluster-%d", sets))
+		cm, err := sess.SavePartitioned(clusterDir, c.Peptides, sets)
+		if err != nil {
+			return fig, err
+		}
+
+		type holderProc struct {
+			sess *engine.Session
+			srv  *server.Server
+			ts   *httptest.Server
+		}
+		holders := make([]holderProc, 0, sets)
+		urls := make([]string, 0, sets)
+		for s := 0; s < sets; s++ {
+			hs, peps, err := engine.OpenSession(filepath.Join(clusterDir, cm.SetDirs[s]))
+			if err != nil {
+				return fig, err
+			}
+			srv := server.New(hs, peps, serverCfg)
+			ts := httptest.NewServer(srv.Handler())
+			holders = append(holders, holderProc{sess: hs, srv: srv, ts: ts})
+			urls = append(urls, ts.URL)
+		}
+		rt, err := router.New(urls, router.Config{
+			ProbeInterval:   50 * time.Millisecond,
+			StatsStaleAfter: time.Hour,
+			Scatter:         true,
+		})
+		if err == nil {
+			rts := httptest.NewServer(rt.Handler())
+			var lat []float64
+			var wall time.Duration
+			lat, wall, err = closedLoop(rts.Client(), rts.URL, bodies, concurrency)
+			st := rt.Stats()
+			rt.Close()
+			rts.Close()
+			if err == nil {
+				if st.Scatter == nil || st.Scatter.Covered != sets || st.Routed != int64(len(bodies)) {
+					err = fmt.Errorf("bench: scatter: level %d covered %+v, routed %d of %d",
+						sets, st.Scatter, st.Routed, len(bodies))
+				}
+			}
+			if err == nil {
+				sort.Float64s(lat)
+				x := float64(sets)
+				p50.X, p50.Y = append(p50.X, x), append(p50.Y, percentile(lat, 0.50))
+				p95.X, p95.Y = append(p95.X, x), append(p95.Y, percentile(lat, 0.95))
+				p99.X, p99.Y = append(p99.X, x), append(p99.Y, percentile(lat, 0.99))
+				rates = append(rates, float64(len(bodies))/wall.Seconds())
+			}
+		}
+		for _, h := range holders {
+			h.srv.Close()
+			h.ts.Close()
+			h.sess.Close()
+		}
+		if err != nil {
+			return fig, err
+		}
+	}
+	fig.Series = []Series{p50, p95, p99}
+
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("achieved request rates per level: %s rps", trimFloats(rates)),
+		fmt.Sprintf("direct whole-store baseline (no router): %.0f rps, p50 %.2f ms — gather overhead at 1 set p50 %+.2f ms",
+			float64(len(bodies))/directWall.Seconds(), percentile(directLat, 0.50),
+			p50.Y[0]-percentile(directLat, 0.50)),
+		fmt.Sprintf("every level serves the same %d-shard store cut into shard-sets; merged responses are byte-identical to the whole-store session's", shards))
+	return fig, nil
+}

@@ -67,3 +67,22 @@ func (t MappingTable) MustLookup(m int, v uint32) uint32 {
 func (t MappingTable) MemoryBytes() int {
 	return 4*len(t.entries) + 8*len(t.offsets)
 }
+
+// Subset returns the table restricted to the given machines, renumbered
+// 0..len(machines)-1 in the given order. Lookups on the subset still
+// return the original global peptide indices, so a shard-set slice of a
+// partitioned store backtracks matches to exactly the identities the
+// whole-store table reports — the property the scatter/gather merge's
+// byte-identity rests on.
+func (t MappingTable) Subset(machines []int) (MappingTable, error) {
+	var out MappingTable
+	out.offsets = make([]int, 1, len(machines)+1)
+	for _, m := range machines {
+		if m < 0 || m >= t.Machines() {
+			return MappingTable{}, fmt.Errorf("core: subset machine %d out of range [0,%d)", m, t.Machines())
+		}
+		out.entries = append(out.entries, t.entries[t.offsets[m]:t.offsets[m+1]]...)
+		out.offsets = append(out.offsets, len(out.entries))
+	}
+	return out, nil
+}

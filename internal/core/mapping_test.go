@@ -108,3 +108,56 @@ func TestMappingTableMemoryBytes(t *testing.T) {
 		t.Errorf("MemoryBytes = %d, want %d", got, want)
 	}
 }
+
+// TestMappingTableSubset verifies that a subset table renumbers machines
+// locally while lookups keep returning the original global indices — the
+// property shard-set stores rely on.
+func TestMappingTableSubset(t *testing.T) {
+	g := Grouping{Order: []int{4, 2, 0, 3, 1, 5}, Sizes: []int{6}}
+	p, _ := PartitionClustered(g, 3, Cyclic, 0)
+	tbl := BuildMappingTable(g, p)
+
+	sub, err := tbl.Subset([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Machines() != 2 {
+		t.Fatalf("subset machines = %d, want 2", sub.Machines())
+	}
+	if sub.Len() != tbl.MachineLen(1)+tbl.MachineLen(2) {
+		t.Fatalf("subset len = %d", sub.Len())
+	}
+	for local, global := range []int{1, 2} {
+		if sub.MachineLen(local) != tbl.MachineLen(global) {
+			t.Fatalf("machine %d len differs", local)
+		}
+		for v := 0; v < sub.MachineLen(local); v++ {
+			got, err := sub.Lookup(local, uint32(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := tbl.MustLookup(global, uint32(v)); got != want {
+				t.Fatalf("subset Lookup(%d,%d) = %d, want %d", local, v, got, want)
+			}
+		}
+	}
+
+	// Subsets survive the binary round-trip the store uses.
+	blob, err := sub.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalMappingTable(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != sub.Len() || back.Machines() != sub.Machines() {
+		t.Fatalf("round-trip shape differs")
+	}
+
+	for _, bad := range [][]int{{-1}, {3}, {0, 7}} {
+		if _, err := tbl.Subset(bad); err == nil {
+			t.Fatalf("Subset(%v): expected an error", bad)
+		}
+	}
+}

@@ -74,7 +74,8 @@ type Session struct {
 	groups        int
 	groupingNanos int64
 	partitionNs   int64
-	build         []RankStats // per-shard construction stats (zero query load)
+	build         []RankStats   // per-shard construction stats (zero query load)
+	shardSet      *ShardSetInfo // non-nil when this session holds one slice of a partitioned store
 
 	mu       sync.Mutex
 	pool     *sched.Pool // query-time execution layer; swapped by Tune*
@@ -216,6 +217,38 @@ func (cfg Config) newSessionPool() *sched.Pool {
 
 // NumShards returns the number of in-process partitions.
 func (s *Session) NumShards() int { return len(s.build) }
+
+// ShardSetInfo identifies the slice of a partitioned store a session
+// holds: which shard-set it is, the cluster shape, and the global id of
+// each local shard (see Session.SavePartitioned).
+type ShardSetInfo struct {
+	Set         int   // this set's index in [0, Sets)
+	Sets        int   // shard-sets the cluster was partitioned into
+	TotalShards int   // shards across the whole cluster
+	ShardIDs    []int // global shard id of each local shard, in local order
+}
+
+// ShardSet returns the shard-set slice this session holds, or nil for a
+// whole-store session. The returned struct is a copy.
+func (s *Session) ShardSet() *ShardSetInfo {
+	if s.shardSet == nil {
+		return nil
+	}
+	out := *s.shardSet
+	out.ShardIDs = append([]int(nil), s.shardSet.ShardIDs...)
+	return &out
+}
+
+// globalShardID maps a local shard index to its cluster-wide id: the
+// identity for a whole-store session, the saved shard_ids entry for a
+// shard-set slice. Merged PSMs carry it as Origin, so a slice session
+// reports the same shard identities the whole-store session would.
+func (s *Session) globalShardID(m int) int {
+	if s.shardSet == nil {
+		return m
+	}
+	return s.shardSet.ShardIDs[m]
+}
 
 // Groups returns the number of LBE groups formed over the database.
 func (s *Session) Groups() int { return s.groups }
@@ -444,7 +477,7 @@ func (st *Stream) mergeLoop(in <-chan shardSearched) {
 						Shared:    match.Shared,
 						Score:     match.Score,
 						Precursor: match.Precursor,
-						Origin:    m,
+						Origin:    s.globalShardID(m),
 					})
 				}
 			}

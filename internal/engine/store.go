@@ -55,6 +55,12 @@ const (
 	peptidesFile = "peptides.txt"
 	shardPattern = "shard-%04d.slmx"
 
+	// A partitioned cluster store (SavePartitioned) is a directory of
+	// set-%02d subdirectories — each a complete store of its own — tied
+	// together by cluster.json.
+	clusterFile   = "cluster.json"
+	setDirPattern = "set-%02d"
+
 	// maxManifestBytes bounds how much of a (possibly corrupt) manifest
 	// is read before JSON decoding.
 	maxManifestBytes = 16 << 20
@@ -68,18 +74,29 @@ type storedFile struct {
 	CRC32 uint32 `json:"crc32"`
 }
 
+// shardSetManifest is the optional manifest block marking a store as one
+// shard-set slice of a partitioned cluster (see SavePartitioned): which
+// set it is, the cluster shape, and the global id of each local shard.
+type shardSetManifest struct {
+	Set         int   `json:"set"`
+	Sets        int   `json:"sets"`
+	TotalShards int   `json:"total_shards"`
+	ShardIDs    []int `json:"shard_ids"`
+}
+
 // storeManifest is the JSON document tying the store together.
 type storeManifest struct {
-	FormatVersion  int           `json:"format_version"`
-	Config         SessionConfig `json:"config"`
-	Groups         int           `json:"groups"`
-	GroupingNanos  int64         `json:"grouping_nanos"`
-	PartitionNanos int64         `json:"partition_nanos"`
-	Build          []RankStats   `json:"build"`
-	NumPeptides    int           `json:"num_peptides,omitempty"`
-	Mapping        storedFile    `json:"mapping"`
-	Peptides       *storedFile   `json:"peptides,omitempty"`
-	Shards         []storedFile  `json:"shards"`
+	FormatVersion  int               `json:"format_version"`
+	Config         SessionConfig     `json:"config"`
+	Groups         int               `json:"groups"`
+	GroupingNanos  int64             `json:"grouping_nanos"`
+	PartitionNanos int64             `json:"partition_nanos"`
+	Build          []RankStats       `json:"build"`
+	NumPeptides    int               `json:"num_peptides,omitempty"`
+	ShardSet       *shardSetManifest `json:"shard_set,omitempty"`
+	Mapping        storedFile        `json:"mapping"`
+	Peptides       *storedFile       `json:"peptides,omitempty"`
+	Shards         []storedFile      `json:"shards"`
 }
 
 // checksumWriter accumulates the whole-file CRC and byte count recorded
@@ -115,38 +132,43 @@ func writeStoreFile(dir, name string, fill func(io.Writer) error) (storedFile, e
 	return storedFile{Name: name, Size: cw.n, CRC32: cw.crc}, nil
 }
 
-// Save persists the session as a store directory that OpenSession can
-// warm-start from. peptides is the global peptide list the session was
-// built over; pass nil to omit it (sequence reporting is then
-// unavailable after reload). dir is created if needed; existing store
-// files in it are overwritten.
-func (s *Session) Save(dir string, peptides []string) error {
-	s.mu.Lock()
-	closed := s.closed
-	shards := s.shards
-	s.mu.Unlock()
-	if closed {
-		return fmt.Errorf("engine: save: session is closed")
-	}
+// storeSpec is everything saveStore persists into one store directory.
+type storeSpec struct {
+	cfg      SessionConfig
+	groups   int
+	groupNs  int64
+	partNs   int64
+	build    []RankStats
+	shards   []*slm.Index
+	table    core.MappingTable
+	peptides []string          // may be nil
+	shardSet *shardSetManifest // nil for a whole-store directory
+}
+
+// saveStore writes one store directory and returns its manifest digest.
+// Both Save (the whole session) and SavePartitioned (one shard-set slice
+// per call) funnel through it, so the two layouts cannot drift.
+func saveStore(dir string, spec storeSpec) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("engine: save: %w", err)
+		return "", fmt.Errorf("engine: save: %w", err)
 	}
 
 	man := storeManifest{
 		FormatVersion:  storeFormatVersion,
-		Config:         SessionConfig{Config: s.cfg, Shards: len(shards)},
-		Groups:         s.groups,
-		GroupingNanos:  s.groupingNanos,
-		PartitionNanos: s.partitionNs,
-		Build:          append([]RankStats(nil), s.build...),
+		Config:         spec.cfg,
+		Groups:         spec.groups,
+		GroupingNanos:  spec.groupNs,
+		PartitionNanos: spec.partNs,
+		Build:          append([]RankStats(nil), spec.build...),
+		ShardSet:       spec.shardSet,
 	}
 
 	// Shards write in parallel, mirroring the parallel load: each file is
 	// independent, so save time does not grow linearly with shard count.
-	man.Shards = make([]storedFile, len(shards))
-	werrs := make([]error, len(shards))
+	man.Shards = make([]storedFile, len(spec.shards))
+	werrs := make([]error, len(spec.shards))
 	var wwg sync.WaitGroup
-	for m, ix := range shards {
+	for m, ix := range spec.shards {
 		wwg.Add(1)
 		go func(m int, ix *slm.Index) {
 			defer wwg.Done()
@@ -159,35 +181,42 @@ func (s *Session) Save(dir string, peptides []string) error {
 	wwg.Wait()
 	for _, err := range werrs {
 		if err != nil {
-			return err
+			return "", err
 		}
 	}
 
-	blob, err := s.table.MarshalBinary()
+	blob, err := spec.table.MarshalBinary()
 	if err != nil {
-		return fmt.Errorf("engine: save: %w", err)
+		return "", fmt.Errorf("engine: save: %w", err)
 	}
 	if man.Mapping, err = writeStoreFile(dir, mappingFile, func(w io.Writer) error {
 		_, err := w.Write(blob)
 		return err
 	}); err != nil {
-		return err
+		return "", err
 	}
 
-	if peptides != nil {
+	if spec.peptides != nil {
 		// Fail fast on the wrong list (e.g. pre-digest proteins) instead
-		// of persisting a store OpenSession will refuse.
-		if len(peptides) != s.table.Len() {
-			return fmt.Errorf("engine: save: %d peptides do not match the session's %d mapped entries",
-				len(peptides), s.table.Len())
+		// of persisting a store OpenSession will refuse. A shard-set
+		// slice carries the full global list — its subset mapping returns
+		// global indices, so sequence lookup needs every entry — while a
+		// whole store's list matches the table exactly.
+		if spec.shardSet == nil && len(spec.peptides) != spec.table.Len() {
+			return "", fmt.Errorf("engine: save: %d peptides do not match the session's %d mapped entries",
+				len(spec.peptides), spec.table.Len())
 		}
-		for i, p := range peptides {
+		if spec.shardSet != nil && len(spec.peptides) < spec.table.Len() {
+			return "", fmt.Errorf("engine: save: %d peptides cannot cover the set's %d mapped entries",
+				len(spec.peptides), spec.table.Len())
+		}
+		for i, p := range spec.peptides {
 			if strings.ContainsAny(p, "\r\n") {
-				return fmt.Errorf("engine: save: peptide %d contains a line break", i)
+				return "", fmt.Errorf("engine: save: peptide %d contains a line break", i)
 			}
 		}
 		sf, err := writeStoreFile(dir, peptidesFile, func(w io.Writer) error {
-			for _, p := range peptides {
+			for _, p := range spec.peptides {
 				if _, err := io.WriteString(w, p); err != nil {
 					return err
 				}
@@ -198,26 +227,199 @@ func (s *Session) Save(dir string, peptides []string) error {
 			return nil
 		})
 		if err != nil {
-			return err
+			return "", err
 		}
 		man.Peptides = &sf
-		man.NumPeptides = len(peptides)
+		man.NumPeptides = len(spec.peptides)
 	}
 
 	// The manifest goes last: a store interrupted mid-save has no
 	// manifest and is refused by OpenSession instead of half-loading.
 	doc, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
-		return fmt.Errorf("engine: save: %w", err)
+		return "", fmt.Errorf("engine: save: %w", err)
 	}
 	doc = append(doc, '\n')
 	if err := os.WriteFile(filepath.Join(dir, manifestFile), doc, 0o644); err != nil {
-		return fmt.Errorf("engine: save: %w", err)
+		return "", fmt.Errorf("engine: save: %w", err)
+	}
+	return manifestDigest(doc), nil
+}
+
+// Save persists the session as a store directory that OpenSession can
+// warm-start from. peptides is the global peptide list the session was
+// built over; pass nil to omit it (sequence reporting is then
+// unavailable after reload). dir is created if needed; existing store
+// files in it are overwritten. Saving a shard-set session preserves its
+// shard-set identity.
+func (s *Session) Save(dir string, peptides []string) error {
+	s.mu.Lock()
+	closed := s.closed
+	shards := s.shards
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("engine: save: session is closed")
+	}
+	digest, err := saveStore(dir, storeSpec{
+		cfg:      SessionConfig{Config: s.cfg, Shards: len(shards)},
+		groups:   s.groups,
+		groupNs:  s.groupingNanos,
+		partNs:   s.partitionNs,
+		build:    s.build,
+		shards:   shards,
+		table:    s.table,
+		peptides: peptides,
+		shardSet: s.shardSetManifest(),
+	})
+	if err != nil {
+		return err
 	}
 	// The session's identity is now the store: adopt the manifest hash so
 	// this process agrees with every replica that warm-starts from dir.
-	s.setDigest(manifestDigest(doc))
+	s.setDigest(digest)
 	return nil
+}
+
+// ClusterManifest is the cluster.json document of a partitioned store: it
+// names each shard-set directory with its manifest digest and composes
+// the cluster-wide digest a scatter/gather router derives independently
+// from its probes.
+type ClusterManifest struct {
+	FormatVersion int      `json:"format_version"`
+	Sets          int      `json:"sets"`
+	TotalShards   int      `json:"total_shards"`
+	NumPeptides   int      `json:"num_peptides,omitempty"`
+	SetDirs       []string `json:"set_dirs"`
+	SetDigests    []string `json:"set_digests"`
+	ClusterDigest string   `json:"cluster_digest"`
+}
+
+// ComposeClusterDigest derives the cluster-wide consistency digest from
+// the ordered per-set store digests. lbe-index records it in cluster.json
+// and a scatter/gather router recomputes it from the digests its probes
+// observe; the two agree exactly when every shard-set serves the store
+// the partitioning emitted, so answer-cache keys and the router's
+// consistency gate compose across the partition boundary.
+func ComposeClusterDigest(setDigests []string) string {
+	h := sha256.New()
+	io.WriteString(h, "lbe-cluster/v1\x00")
+	for _, d := range setDigests {
+		io.WriteString(h, d)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SavePartitioned persists the session as a partitioned cluster store:
+// sets shard-set directories (set-%02d, each a self-contained store a
+// shard-set holder warm-starts from with OpenSession) plus a cluster.json
+// manifest composing their digests. Set i holds the contiguous shard
+// range [i*P/sets, (i+1)*P/sets); each set's manifest records the global
+// id of every local shard and its mapping subset still returns global
+// peptide indices, so per-set search results carry whole-store
+// identities and a front-end merge of the per-set top-K reproduces
+// Session.Search byte for byte.
+//
+// peptides is the global peptide list; every set stores the full list
+// (nil omits it everywhere). Unlike Save, the session's own digest is
+// left untouched — the partitioning creates sets new store identities,
+// not a new identity for this session.
+func (s *Session) SavePartitioned(dir string, peptides []string, sets int) (*ClusterManifest, error) {
+	s.mu.Lock()
+	closed := s.closed
+	shards := s.shards
+	s.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("engine: save: session is closed")
+	}
+	if s.shardSet != nil {
+		return nil, fmt.Errorf("engine: save: session is already a shard-set slice; partition the whole-store session")
+	}
+	p := len(shards)
+	if sets < 1 || sets > p {
+		return nil, fmt.Errorf("engine: save: %d shard-sets out of range [1,%d]", sets, p)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: save: %w", err)
+	}
+
+	cm := &ClusterManifest{
+		FormatVersion: storeFormatVersion,
+		Sets:          sets,
+		TotalShards:   p,
+		NumPeptides:   len(peptides),
+		SetDirs:       make([]string, sets),
+		SetDigests:    make([]string, sets),
+	}
+	for i := 0; i < sets; i++ {
+		lo, hi := i*p/sets, (i+1)*p/sets
+		ids := make([]int, hi-lo)
+		for j := range ids {
+			ids[j] = lo + j
+		}
+		sub, err := s.table.Subset(ids)
+		if err != nil {
+			return nil, fmt.Errorf("engine: save: set %d: %w", i, err)
+		}
+		setDir := fmt.Sprintf(setDirPattern, i)
+		digest, err := saveStore(filepath.Join(dir, setDir), storeSpec{
+			cfg:     SessionConfig{Config: s.cfg, Shards: hi - lo},
+			groups:  s.groups,
+			groupNs: s.groupingNanos,
+			partNs:  s.partitionNs,
+			build:   s.build[lo:hi],
+			shards:  shards[lo:hi],
+			table:   sub,
+			// Every set carries the full global list: its mapping subset
+			// returns global indices, so sequence reporting needs all
+			// entries.
+			peptides: peptides,
+			shardSet: &shardSetManifest{Set: i, Sets: sets, TotalShards: p, ShardIDs: ids},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cm.SetDirs[i] = setDir
+		cm.SetDigests[i] = digest
+	}
+	cm.ClusterDigest = ComposeClusterDigest(cm.SetDigests)
+
+	doc, err := json.MarshalIndent(cm, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("engine: save: %w", err)
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(filepath.Join(dir, clusterFile), doc, 0o644); err != nil {
+		return nil, fmt.Errorf("engine: save: %w", err)
+	}
+	return cm, nil
+}
+
+// ReadClusterManifest loads and validates dir/cluster.json, the manifest
+// tying a partitioned store's shard-set directories together.
+func ReadClusterManifest(dir string) (*ClusterManifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, clusterFile))
+	if err != nil {
+		return nil, fmt.Errorf("engine: open: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var cm ClusterManifest
+	if err := dec.Decode(&cm); err != nil {
+		return nil, fmt.Errorf("engine: open: parsing %s: %w", clusterFile, err)
+	}
+	if cm.FormatVersion != storeFormatVersion {
+		return nil, fmt.Errorf("engine: open: unsupported cluster format version %d (want %d)",
+			cm.FormatVersion, storeFormatVersion)
+	}
+	if cm.Sets < 1 || len(cm.SetDirs) != cm.Sets || len(cm.SetDigests) != cm.Sets {
+		return nil, fmt.Errorf("engine: open: %s lists %d dirs / %d digests for %d sets",
+			clusterFile, len(cm.SetDirs), len(cm.SetDigests), cm.Sets)
+	}
+	if want := ComposeClusterDigest(cm.SetDigests); cm.ClusterDigest != want {
+		return nil, fmt.Errorf("engine: open: %s cluster digest does not compose from its set digests", clusterFile)
+	}
+	return &cm, nil
 }
 
 // manifestDigest fingerprints a store by its manifest bytes. Every
@@ -331,6 +533,12 @@ func openShard(dir string, sf storedFile) (*slm.Index, error) {
 func OpenSession(dir string) (*Session, []string, error) {
 	f, err := os.Open(filepath.Join(dir, manifestFile))
 	if err != nil {
+		if os.IsNotExist(err) {
+			if _, cerr := os.Stat(filepath.Join(dir, clusterFile)); cerr == nil {
+				return nil, nil, fmt.Errorf("engine: open: %s is a partitioned cluster store; open one of its %s directories",
+					dir, fmt.Sprintf(setDirPattern, 0))
+			}
+		}
 		return nil, nil, fmt.Errorf("engine: open: %w", err)
 	}
 	doc, err := io.ReadAll(io.LimitReader(f, maxManifestBytes+1))
@@ -364,6 +572,27 @@ func OpenSession(dir string) (*Session, []string, error) {
 	if err := man.Config.Params.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("engine: open: stored config: %w", err)
 	}
+	if ss := man.ShardSet; ss != nil {
+		if ss.Sets < 1 || ss.Set < 0 || ss.Set >= ss.Sets {
+			return nil, nil, fmt.Errorf("engine: open: manifest names shard-set %d of %d", ss.Set, ss.Sets)
+		}
+		if len(ss.ShardIDs) != p {
+			return nil, nil, fmt.Errorf("engine: open: manifest lists %d global shard ids for %d shards",
+				len(ss.ShardIDs), p)
+		}
+		if ss.TotalShards < p {
+			return nil, nil, fmt.Errorf("engine: open: shard-set holds %d shards of a %d-shard cluster",
+				p, ss.TotalShards)
+		}
+		for i, id := range ss.ShardIDs {
+			if id < 0 || id >= ss.TotalShards {
+				return nil, nil, fmt.Errorf("engine: open: global shard id %d out of range [0,%d)", id, ss.TotalShards)
+			}
+			if i > 0 && id <= ss.ShardIDs[i-1] {
+				return nil, nil, fmt.Errorf("engine: open: global shard ids are not strictly increasing")
+			}
+		}
+	}
 
 	blob, err := openStoredFile(dir, man.Mapping)
 	if err != nil {
@@ -396,8 +625,15 @@ func OpenSession(dir string) (*Session, []string, error) {
 			return nil, nil, fmt.Errorf("engine: open: %s holds %d peptides, manifest says %d",
 				man.Peptides.Name, len(peptides), man.NumPeptides)
 		}
-		if table.Len() != len(peptides) {
+		// A whole store's list matches the mapping exactly; a shard-set
+		// slice stores the full global list, of which its subset mapping
+		// covers only its own shards' share.
+		if man.ShardSet == nil && table.Len() != len(peptides) {
 			return nil, nil, fmt.Errorf("engine: open: mapping covers %d peptides, store holds %d",
+				table.Len(), len(peptides))
+		}
+		if man.ShardSet != nil && table.Len() > len(peptides) {
+			return nil, nil, fmt.Errorf("engine: open: mapping covers %d peptides, store holds only %d",
 				table.Len(), len(peptides))
 		}
 	}
@@ -450,10 +686,32 @@ func OpenSession(dir string) (*Session, []string, error) {
 		partitionNs:   man.PartitionNanos,
 		build:         man.Build,
 	}
+	if ss := man.ShardSet; ss != nil {
+		s.shardSet = &ShardSetInfo{
+			Set:         ss.Set,
+			Sets:        ss.Sets,
+			TotalShards: ss.TotalShards,
+			ShardIDs:    append([]int(nil), ss.ShardIDs...),
+		}
+	}
 	s.load = append([]RankStats(nil), s.build...)
 	s.pool = s.cfg.newSessionPool()
 	s.digest = manifestDigest(doc)
 	return s, peptides, nil
+}
+
+// shardSetManifest renders the session's shard-set identity for a saved
+// manifest, nil for a whole-store session.
+func (s *Session) shardSetManifest() *shardSetManifest {
+	if s.shardSet == nil {
+		return nil
+	}
+	return &shardSetManifest{
+		Set:         s.shardSet.Set,
+		Sets:        s.shardSet.Sets,
+		TotalShards: s.shardSet.TotalShards,
+		ShardIDs:    append([]int(nil), s.shardSet.ShardIDs...),
+	}
 }
 
 // Tune adjusts the session's runtime knobs after OpenSession: the

@@ -13,6 +13,10 @@ import (
 // the cluster digest: replicas already guarantee byte-identical answers
 // for a given digest (the consistency gate refuses to mix digests), so a
 // 200 body replayed from the cache is exactly what a replica would send.
+// In scatter mode the digest is the composed cluster digest
+// (engine.ComposeClusterDigest over the per-set digests) and goes empty
+// whenever a shard-set is dark, so partial topologies bypass the cache
+// entirely — a merged body is only ever cached under full coverage.
 // Keys embed the digest, making entries from a retired store unreachable
 // the moment a probe observes the flip; probeAll additionally purges the
 // cache then, returning the memory and making the invalidation
@@ -55,14 +59,15 @@ func writeCached(w http.ResponseWriter, body []byte) {
 
 // searchCached serves one /search through the cache: hits replay the
 // stored body, duplicates of an in-flight request wait for its reply,
-// and only the singleflight leader proxies to a replica. Only a 200
-// pass-through is cached; any other outcome aborts the flight so waiters
-// retry (or lead their own attempt) — a failed or cancelled proxy can
-// never poison an entry.
+// and only the singleflight leader dispatches (a whole-store proxy or a
+// scatter/gather round — the merged body is byte-identical either way,
+// so both modes cache alike). Only a 200 is cached; any other outcome
+// aborts the flight so waiters retry (or lead their own attempt) — a
+// failed or cancelled dispatch can never poison an entry.
 func (rt *Router) searchCached(w http.ResponseWriter, r *http.Request, body []byte) {
 	key, ok := rt.cacheKey(body)
 	if !ok {
-		rt.proxySearch(w, r, body)
+		rt.dispatchSearch(w, r, body)
 		return
 	}
 	for {
@@ -72,7 +77,7 @@ func (rt *Router) searchCached(w http.ResponseWriter, r *http.Request, body []by
 			writeCached(w, v)
 			return
 		case qcache.Lead:
-			status, data := rt.proxySearch(w, r, body)
+			status, data := rt.dispatchSearch(w, r, body)
 			if status == http.StatusOK {
 				f.Complete(data)
 			} else {

@@ -21,6 +21,16 @@
 // and flagged in /stats — serving a blend of two databases would return
 // answers no single Session could produce.
 //
+// Scatter/gather: with Config.Scatter the replicas are holders of a
+// partitioned store's shard-sets (lbe-index -shard-sets) announcing
+// their slice on /healthz. The router discovers the partition shape from
+// those announcements, gates consistency per shard-set, fans each
+// /search to one healthy holder per set with the same failover budget,
+// and merges the per-set top-K into the bytes a whole-store session
+// would render (see scatter.go and api.MergeSearchResponses). A set with
+// no healthy holder fails the query explicitly — partial coverage never
+// truncates silently.
+//
 // The router serves the same /search, /healthz, /stats and /metrics
 // surface as a replica, so lbe-client (and anything else speaking
 // internal/api) works unchanged through it. /search bodies and replica
@@ -70,6 +80,14 @@ type Config struct {
 	// CacheTTL expires cache entries after this duration; 0 means
 	// entries live until evicted or invalidated by a digest change.
 	CacheTTL time.Duration
+	// Scatter enables shard-set scatter/gather mode: the replicas are
+	// holders of a partitioned store's shard-sets (announced on their
+	// /healthz), and every /search fans out to one healthy holder per
+	// set, with the per-set top-K merged at the router into the response
+	// a whole-store session would produce. In this mode the consistency
+	// gate works per shard-set and the cluster digest composes the
+	// per-set digests (engine.ComposeClusterDigest).
+	Scatter bool
 }
 
 // DefaultConfig returns routing defaults: 2s probes with a 1s timeout,
@@ -117,8 +135,9 @@ type replica struct {
 
 	mu       sync.Mutex
 	healthy  bool
-	mismatch bool   // digest differs from the cluster digest
-	digest   string // last probed digest
+	mismatch bool              // digest differs from the cluster digest
+	digest   string            // last probed digest
+	shardSet *api.ShardSetJSON // announced shard-set slice; nil for a whole store
 	shards   int
 	groups   int
 	probedAt time.Time // last successful health probe
@@ -152,6 +171,7 @@ type Router struct {
 	failovers         atomic.Int64
 	rejectedDrain     atomic.Int64
 	rejectedNoReplica atomic.Int64
+	rejectedSetDown   atomic.Int64 // scatter requests refused for an uncovered shard-set
 
 	quit      chan struct{}
 	probeDone chan struct{}
@@ -160,6 +180,7 @@ type Router struct {
 	mu            sync.RWMutex
 	draining      bool
 	clusterDigest string
+	scatter       *scatterState // discovered shard-set topology; nil until a probe finds one
 
 	// cache holds merged 200 response bodies keyed under the cluster
 	// digest; nil when Config.CacheBytes is 0.
@@ -221,7 +242,8 @@ func (rt *Router) probeLoop() {
 }
 
 // probeAll refreshes every replica concurrently, then re-derives the
-// cluster digest and each replica's consistency flag.
+// cluster digest and each replica's consistency flag — per shard-set in
+// scatter mode, cluster-wide otherwise.
 func (rt *Router) probeAll() {
 	var wg sync.WaitGroup
 	for _, r := range rt.replicas {
@@ -232,36 +254,58 @@ func (rt *Router) probeAll() {
 		}(r)
 	}
 	wg.Wait()
+	if rt.cfg.Scatter {
+		rt.gateScatter()
+		return
+	}
+	rt.gateUniform()
+}
 
-	// The cluster digest is the lowest-indexed healthy replica's: a
-	// deterministic choice that follows a coordinated store upgrade by
-	// itself. Replicas disagreeing with it are gated out of routing.
+// setClusterDigest publishes the freshly derived cluster digest. A store
+// change observed by the digest gate eagerly invalidates the answer
+// cache. Keys embed the digest, so correctness never depends on this
+// purge — it reclaims the retired entries' memory and makes the
+// invalidation visible in the counters. A full outage (digest gone) is
+// not a store change: entries stay for the replicas' return.
+func (rt *Router) setClusterDigest(digest string, sc *scatterState) {
+	rt.mu.Lock()
+	prev := rt.clusterDigest
+	rt.clusterDigest = digest
+	rt.scatter = sc
+	rt.mu.Unlock()
+	if rt.cache != nil && prev != "" && digest != "" && digest != prev {
+		rt.cache.Purge()
+	}
+}
+
+// gateUniform derives the replicated-store consistency view: the cluster
+// digest is the lowest-indexed healthy replica's — a deterministic
+// choice that follows a coordinated store upgrade by itself. Replicas
+// disagreeing with it are gated out of routing, as are holders of a
+// multi-set store slice: routing a whole-database request to a partial
+// holder would silently truncate results.
+func (rt *Router) gateUniform() {
 	digest := ""
 	for _, r := range rt.replicas {
 		r.mu.Lock()
-		if r.healthy && digest == "" {
+		if r.healthy && digest == "" && !isPartialHolder(r.shardSet) {
 			digest = r.digest
 		}
 		r.mu.Unlock()
 	}
-	rt.mu.Lock()
-	prev := rt.clusterDigest
-	rt.clusterDigest = digest
-	rt.mu.Unlock()
-	// A store change observed by the digest gate eagerly invalidates the
-	// answer cache. Keys embed the digest, so correctness never depends
-	// on this purge — it reclaims the retired entries' memory and makes
-	// the invalidation visible in the counters. A full outage (digest
-	// gone) is not a store change: entries stay for the replicas'
-	// return.
-	if rt.cache != nil && prev != "" && digest != "" && digest != prev {
-		rt.cache.Purge()
-	}
+	rt.setClusterDigest(digest, nil)
 	for _, r := range rt.replicas {
 		r.mu.Lock()
-		r.mismatch = r.healthy && r.digest != digest
+		r.mismatch = r.healthy && (r.digest != digest || isPartialHolder(r.shardSet))
 		r.mu.Unlock()
 	}
+}
+
+// isPartialHolder reports whether the announced shard-set slice covers
+// less than the whole database (a single-set "partition" is complete and
+// may serve whole-database traffic).
+func isPartialHolder(ss *api.ShardSetJSON) bool {
+	return ss != nil && ss.Sets > 1
 }
 
 // probeOne refreshes one replica's health and load snapshot.
@@ -279,6 +323,7 @@ func (rt *Router) probeOne(r *replica) {
 	r.digest = h.Digest
 	r.shards = h.Shards
 	r.groups = h.Groups
+	r.shardSet = h.ShardSet
 	r.probedAt = now
 	r.mu.Unlock()
 
@@ -314,12 +359,13 @@ func (r *replica) load(staleAfter time.Duration) (score int64, fresh bool) {
 }
 
 // pick selects the dispatch target among routable replicas not in
-// tried: the least-loaded replica with a fresh load snapshot, or plain
-// round-robin when no candidate's snapshot is fresh.
-func (rt *Router) pick(tried map[*replica]bool) *replica {
+// tried and accepted by want (nil accepts all): the least-loaded replica
+// with a fresh load snapshot, or plain round-robin when no candidate's
+// snapshot is fresh.
+func (rt *Router) pick(tried map[*replica]bool, want func(*replica) bool) *replica {
 	var candidates []*replica
 	for _, r := range rt.replicas {
-		if !tried[r] && r.routable() {
+		if !tried[r] && r.routable() && (want == nil || want(r)) {
 			candidates = append(candidates, r)
 		}
 	}
@@ -406,7 +452,7 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 		rt.searchCached(w, r, body)
 		return
 	}
-	rt.proxySearch(w, r, body)
+	rt.dispatchSearch(w, r, body)
 }
 
 // proxySearch runs the failover attempt loop for one raw /search body
@@ -424,7 +470,7 @@ func (rt *Router) proxySearch(w http.ResponseWriter, r *http.Request, body []byt
 			api.WriteError(w, http.StatusGatewayTimeout, "request cancelled: %v", err)
 			return 0, nil
 		}
-		rep := rt.pick(tried)
+		rep := rt.pick(tried, nil)
 		if rep == nil {
 			break
 		}
@@ -494,25 +540,47 @@ func (rt *Router) proxySearch(w http.ResponseWriter, r *http.Request, body []byt
 }
 
 // handleHealthz answers with the cluster view: ok while at least one
-// consistent healthy replica is routable.
+// consistent healthy replica is routable — in scatter mode, while every
+// shard-set has one, since a partially covered partition cannot answer
+// any query. Shards and Groups describe the whole logical store either
+// way.
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	rt.mu.RLock()
 	digest := rt.clusterDigest
+	sc := rt.scatter
 	rt.mu.RUnlock()
 	h := api.HealthResponse{Status: "ok", Digest: digest}
 	routable := 0
+	seenSet := make(map[int]bool)
 	for _, rep := range rt.replicas {
-		if rep.routable() {
-			routable++
-			rep.mu.Lock()
-			h.Shards, h.Groups = rep.shards, rep.groups
-			rep.mu.Unlock()
+		if !rep.routable() {
+			continue
 		}
+		routable++
+		rep.mu.Lock()
+		if sc != nil {
+			// Per-set holders each carry a slice of the store; the groups
+			// of one holder per set sum to the whole store's.
+			if ss := rep.shardSet; ss != nil && !seenSet[ss.Set] {
+				seenSet[ss.Set] = true
+				h.Groups += rep.groups
+			}
+		} else {
+			h.Shards, h.Groups = rep.shards, rep.groups
+		}
+		rep.mu.Unlock()
+	}
+	if sc != nil {
+		h.Shards = sc.totalShards
 	}
 	switch {
 	case rt.isDraining():
 		h.Status = "draining"
 	case routable == 0:
+		h.Status = "unavailable"
+	case sc != nil && sc.covered < sc.sets:
+		h.Status = "unavailable"
+	case rt.cfg.Scatter && sc == nil:
 		h.Status = "unavailable"
 	}
 	if h.Status != "ok" {
@@ -550,6 +618,7 @@ func (rt *Router) Stats() api.RouterStatsResponse {
 	rt.mu.RLock()
 	digest := rt.clusterDigest
 	draining := rt.draining
+	sc := rt.scatter
 	rt.mu.RUnlock()
 	out := api.RouterStatsResponse{
 		Status:            "ok",
@@ -559,6 +628,15 @@ func (rt *Router) Stats() api.RouterStatsResponse {
 		RejectedDrain:     rt.rejectedDrain.Load(),
 		RejectedNoReplica: rt.rejectedNoReplica.Load(),
 		Cache:             rt.cacheStats(),
+	}
+	if sc != nil {
+		out.Scatter = &api.RouterScatterJSON{
+			Sets:            sc.sets,
+			TotalShards:     sc.totalShards,
+			Covered:         sc.covered,
+			SetDigests:      append([]string(nil), sc.setDigests...),
+			RejectedSetDown: rt.rejectedSetDown.Load(),
+		}
 	}
 	if draining {
 		out.Status = "draining"
@@ -574,6 +652,7 @@ func (rt *Router) Stats() api.RouterStatsResponse {
 			Healthy:        rep.healthy,
 			DigestMismatch: rep.mismatch,
 			Digest:         rep.digest,
+			ShardSet:       rep.shardSet,
 			QueueLen:       rep.queueLen,
 			InFlight:       rep.busy,
 			RouterInFlight: rep.inflight.Load(),
@@ -614,6 +693,23 @@ func (rt *Router) Stats() api.RouterStatsResponse {
 			}
 		}
 		out.Replicas = append(out.Replicas, rj)
+	}
+	if sc != nil {
+		// Replica snapshots describe shard-set slices; the aggregate
+		// describes the whole logical store.
+		agg.Shards = sc.totalShards
+		agg.Groups = 0
+		seenSet := make(map[int]bool)
+		for i, rep := range rt.replicas {
+			ss := out.Replicas[i].ShardSet
+			if ss == nil || seenSet[ss.Set] || !rep.routable() {
+				continue
+			}
+			seenSet[ss.Set] = true
+			rep.mu.Lock()
+			agg.Groups += rep.stats.Groups
+			rep.mu.Unlock()
+		}
 	}
 	return out
 }

@@ -117,7 +117,15 @@ type testReplica struct {
 
 func startReplica(t *testing.T, c corpus) *testReplica {
 	t.Helper()
-	sess, peptides, err := engine.OpenSession(c.storeDir)
+	return startReplicaDir(t, c.storeDir)
+}
+
+// startReplicaDir boots one serving replica warm-started from an
+// arbitrary store directory — a whole store or one shard-set of a
+// partitioned cluster.
+func startReplicaDir(t *testing.T, dir string) *testReplica {
+	t.Helper()
+	sess, peptides, err := engine.OpenSession(dir)
 	if err != nil {
 		t.Fatal(err)
 	}

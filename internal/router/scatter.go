@@ -1,0 +1,289 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"lbe/internal/api"
+	"lbe/internal/engine"
+)
+
+// Scatter/gather mode: the replicas hold shard-sets of one partitioned
+// store (lbe-index -shard-sets) and announce their slice on /healthz.
+// The router discovers the topology from those announcements — no static
+// configuration — fans each /search to one healthy holder per set, and
+// merges the per-set top-K with api.MergeSearchResponses into the bytes
+// a whole-store session would have produced. Partial coverage is an
+// explicit failure: a set with no consistent healthy holder fails the
+// query with a 503 naming the set, never a silently truncated answer.
+
+// scatterState is the topology the probe loop discovered: the partition
+// shape, the per-set store digests, and how many sets currently have a
+// routable holder. It is rebuilt wholesale by every probe round and read
+// under Router.mu.
+type scatterState struct {
+	sets        int      // shard-sets in the partition
+	totalShards int      // shards across the whole store
+	topK        int      // per-spectrum PSM cap the holders enforce
+	covered     int      // sets with at least one routable holder
+	setDigests  []string // per-set digest; "" while a set has no healthy holder
+}
+
+// conforms reports whether a replica's announced slice belongs to the
+// partition shape the router locked onto.
+func conforms(ss, shape *api.ShardSetJSON) bool {
+	return ss != nil && ss.Sets == shape.Sets && ss.TotalShards == shape.TotalShards &&
+		ss.TopK == shape.TopK && ss.Set >= 0 && ss.Set < shape.Sets
+}
+
+// gateScatter derives the partitioned-store consistency view. The
+// partition shape comes from the lowest-indexed healthy replica that
+// announces one; each set's digest is its lowest-indexed conforming
+// healthy holder's, and holders disagreeing with their set's digest (or
+// with the shape, or announcing no slice at all) are gated out of
+// routing. The cluster digest composes the per-set digests — but only
+// once every set is covered; with a set dark there is no whole-store
+// contract to cache under, so the digest goes empty and the answer cache
+// is bypassed rather than fed partial answers.
+func (rt *Router) gateScatter() {
+	var shape *api.ShardSetJSON
+	for _, r := range rt.replicas {
+		r.mu.Lock()
+		if r.healthy && shape == nil && r.shardSet != nil {
+			ss := *r.shardSet
+			shape = &ss
+		}
+		r.mu.Unlock()
+	}
+	if shape == nil {
+		// Nothing announces a topology: keep any previously discovered
+		// shape out of play and route nowhere until a holder returns.
+		rt.setClusterDigest("", nil)
+		for _, r := range rt.replicas {
+			r.mu.Lock()
+			r.mismatch = r.healthy
+			r.mu.Unlock()
+		}
+		return
+	}
+	sc := &scatterState{
+		sets:        shape.Sets,
+		totalShards: shape.TotalShards,
+		topK:        shape.TopK,
+		setDigests:  make([]string, shape.Sets),
+	}
+	for _, r := range rt.replicas {
+		r.mu.Lock()
+		if r.healthy && conforms(r.shardSet, shape) && sc.setDigests[r.shardSet.Set] == "" {
+			sc.setDigests[r.shardSet.Set] = r.digest
+		}
+		r.mu.Unlock()
+	}
+	for _, r := range rt.replicas {
+		r.mu.Lock()
+		r.mismatch = r.healthy &&
+			(!conforms(r.shardSet, shape) || r.digest != sc.setDigests[r.shardSet.Set])
+		r.mu.Unlock()
+	}
+	for _, d := range sc.setDigests {
+		if d != "" {
+			sc.covered++
+		}
+	}
+	digest := ""
+	if sc.covered == sc.sets {
+		digest = engine.ComposeClusterDigest(sc.setDigests)
+	}
+	rt.setClusterDigest(digest, sc)
+}
+
+// scatterView snapshots the discovered topology, nil before any probe
+// found one.
+func (rt *Router) scatterView() *scatterState {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.scatter
+}
+
+// holderOf is the pick filter selecting routable holders of one set.
+func holderOf(set int) func(*replica) bool {
+	return func(r *replica) bool {
+		r.mu.Lock()
+		ss := r.shardSet
+		r.mu.Unlock()
+		return ss != nil && ss.Set == set
+	}
+}
+
+// setReply is one shard-set's outcome of a scatter round.
+type setReply struct {
+	status   int    // HTTP status of the reply that stands; 0 if none
+	data     []byte // body of that reply
+	err      error  // transport failure with no HTTP reply
+	noHolder bool   // no routable holder was available for the set
+}
+
+// fetchSet runs the per-set failover loop: each attempt goes to a
+// routable holder of the set not yet tried, within the same
+// FailoverRetries budget the uniform path uses. Transport failures mark
+// the holder down (the next probe revives it); retryable statuses (429,
+// 5xx) leave health to the prober and try the next holder.
+func (rt *Router) fetchSet(ctx context.Context, set int, body []byte) setReply {
+	tried := make(map[*replica]bool)
+	attempts := 1 + rt.cfg.FailoverRetries
+	triedAny := false
+	var last setReply
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return setReply{err: err}
+		}
+		rep := rt.pick(tried, holderOf(set))
+		if rep == nil {
+			break
+		}
+		triedAny = true
+		tried[rep] = true
+		if attempt > 0 {
+			rt.failovers.Add(1)
+		}
+
+		rep.inflight.Add(1)
+		status, data, err := rep.client.Do(ctx, http.MethodPost, "/search", body)
+		rep.inflight.Add(-1)
+
+		if err != nil {
+			if ctx.Err() != nil {
+				return setReply{err: ctx.Err()}
+			}
+			rep.failed.Add(1)
+			rep.markDown()
+			last = setReply{err: err}
+			continue
+		}
+		if status >= http.StatusInternalServerError || status == http.StatusTooManyRequests {
+			rep.failed.Add(1)
+			last = setReply{status: status, data: data}
+			continue
+		}
+		rep.routed.Add(1)
+		return setReply{status: status, data: data}
+	}
+	if !triedAny {
+		return setReply{noHolder: true}
+	}
+	return last
+}
+
+// relay writes one replica reply verbatim, preserving Retry-After
+// semantics on backpressure.
+func relay(w http.ResponseWriter, status int, data []byte) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+// scatterSearch fans one raw /search body to every shard-set
+// concurrently, gathers the per-set responses, and writes the merged
+// outcome. Like proxySearch it returns the (status, data) it wrote when
+// that reply is cacheable-shaped, and (0, nil) for synthesized errors.
+//
+// Aggregation order, strictest first: a cancelled caller wins (504);
+// then an uncovered set (503 naming the set — explicit partial-failure,
+// never truncation); then a definitive non-retryable replica reply such
+// as a 400, relayed verbatim (every set saw the same request, so one
+// set's verdict is the request's); then a final retryable reply (429,
+// 503, 5xx) relayed verbatim; then a transport failure (502). Only when
+// every set answered 200 do the parts merge.
+func (rt *Router) scatterSearch(w http.ResponseWriter, r *http.Request, body []byte) (int, []byte) {
+	sc := rt.scatterView()
+	if sc == nil {
+		rt.rejectedNoReplica.Add(1)
+		api.WriteError(w, http.StatusServiceUnavailable, "no shard-set topology discovered")
+		return 0, nil
+	}
+	replies := make([]setReply, sc.sets)
+	var wg sync.WaitGroup
+	for s := 0; s < sc.sets; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			replies[s] = rt.fetchSet(r.Context(), s, body)
+		}(s)
+	}
+	wg.Wait()
+
+	if err := r.Context().Err(); err != nil {
+		api.WriteError(w, http.StatusGatewayTimeout, "request cancelled: %v", err)
+		return 0, nil
+	}
+	for s, rep := range replies {
+		if rep.noHolder {
+			rt.rejectedSetDown.Add(1)
+			api.WriteError(w, http.StatusServiceUnavailable,
+				"shard-set %d of %d has no consistent healthy holder", s, sc.sets)
+			return 0, nil
+		}
+	}
+	for _, rep := range replies {
+		if rep.status != 0 && rep.status != http.StatusOK &&
+			rep.status < http.StatusInternalServerError && rep.status != http.StatusTooManyRequests {
+			relay(w, rep.status, rep.data)
+			return rep.status, rep.data
+		}
+	}
+	for _, rep := range replies {
+		if rep.status != 0 && rep.status != http.StatusOK {
+			relay(w, rep.status, rep.data)
+			return rep.status, rep.data
+		}
+	}
+	for s, rep := range replies {
+		if rep.err != nil {
+			api.WriteError(w, http.StatusBadGateway, "shard-set %d: every attempted holder failed: %v", s, rep.err)
+			return 0, nil
+		}
+	}
+
+	parts := make([]api.SearchResponse, sc.sets)
+	for s, rep := range replies {
+		if err := json.Unmarshal(rep.data, &parts[s]); err != nil {
+			api.WriteError(w, http.StatusBadGateway, "shard-set %d returned an undecodable body: %v", s, err)
+			return 0, nil
+		}
+	}
+	merged, err := api.MergeSearchResponses(parts, sc.topK)
+	if err != nil {
+		api.WriteError(w, http.StatusBadGateway, "gather: %v", err)
+		return 0, nil
+	}
+	// Encode exactly as api.WriteJSON does (json.Encoder, so the body is
+	// newline-terminated): the merged bytes must be indistinguishable
+	// from a whole-store replica's, cached or not.
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(merged); err != nil {
+		api.WriteError(w, http.StatusInternalServerError, "encoding merged response: %v", err)
+		return 0, nil
+	}
+	data := buf.Bytes()
+	rt.routed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+	return http.StatusOK, data
+}
+
+// dispatchSearch routes one raw /search body through the mode the router
+// was configured for: scatter/gather over shard-sets, or whole-store
+// replica proxying.
+func (rt *Router) dispatchSearch(w http.ResponseWriter, r *http.Request, body []byte) (int, []byte) {
+	if rt.cfg.Scatter {
+		return rt.scatterSearch(w, r, body)
+	}
+	return rt.proxySearch(w, r, body)
+}

@@ -1,0 +1,437 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lbe/internal/api"
+	"lbe/internal/engine"
+	"lbe/internal/mods"
+)
+
+// scatterFixtures is the shared partitioned-store fixture: one 4-shard
+// session over the corpus peptides, saved whole (the byte-identity
+// reference) and partitioned into 2 and 4 shard-sets.
+type scatterFixtures struct {
+	wholeDir string
+	dirs     map[int]string                  // sets -> cluster dir
+	clusters map[int]*engine.ClusterManifest // sets -> manifest
+}
+
+var (
+	scatterOnce sync.Once
+	scatterVal  scatterFixtures
+	scatterErr  error
+)
+
+func testScatterFixtures(t *testing.T) scatterFixtures {
+	t.Helper()
+	c := testCorpus(t)
+	scatterOnce.Do(func() {
+		cfg := engine.DefaultSessionConfig()
+		cfg.Params.Mods = mods.Config{Mods: mods.PaperSet(), MaxPerPep: 1}
+		cfg.TopK = 5
+		cfg.Shards = 4
+		sess, err := engine.NewSession(c.peptides, cfg)
+		if err != nil {
+			scatterErr = err
+			return
+		}
+		defer sess.Close()
+		whole := filepath.Join(corpusTmp, "scatter-whole")
+		if err := sess.Save(whole, c.peptides); err != nil {
+			scatterErr = err
+			return
+		}
+		dirs := make(map[int]string)
+		cms := make(map[int]*engine.ClusterManifest)
+		for _, sets := range []int{2, 4} {
+			dir := filepath.Join(corpusTmp, fmt.Sprintf("scatter-cluster-%d", sets))
+			cm, err := sess.SavePartitioned(dir, c.peptides, sets)
+			if err != nil {
+				scatterErr = err
+				return
+			}
+			dirs[sets] = dir
+			cms[sets] = cm
+		}
+		scatterVal = scatterFixtures{wholeDir: whole, dirs: dirs, clusters: cms}
+	})
+	if scatterErr != nil {
+		t.Fatal(scatterErr)
+	}
+	return scatterVal
+}
+
+// scatterCorpus is the corpus re-anchored on the 4-shard whole store, so
+// referencePSMs and requireMatchesReference compare against the store
+// the partitions were cut from (shard ids differ from the 2-shard corpus
+// store).
+func scatterCorpus(t *testing.T) (corpus, scatterFixtures) {
+	c := testCorpus(t)
+	f := testScatterFixtures(t)
+	return corpus{peptides: c.peptides, queries: c.queries, storeDir: f.wholeDir}, f
+}
+
+func scatterProbes() Config {
+	cfg := fastProbes()
+	cfg.Scatter = true
+	return cfg
+}
+
+// startSetReplicas boots count replicas per shard-set of the given
+// cluster and returns them with their URLs in set-major order.
+func startSetReplicas(t *testing.T, dir string, sets, count int) ([]*testReplica, []string) {
+	t.Helper()
+	var reps []*testReplica
+	var urls []string
+	for s := 0; s < sets; s++ {
+		for i := 0; i < count; i++ {
+			rep := startReplicaDir(t, filepath.Join(dir, fmt.Sprintf("set-%02d", s)))
+			reps = append(reps, rep)
+			urls = append(urls, rep.ts.URL)
+		}
+	}
+	return reps, urls
+}
+
+// TestScatterMatchesSessionSearch is the tentpole acceptance test: a
+// scatter router over one holder per shard-set, at two different
+// partition counts, answers every query with bytes identical to a direct
+// whole-store Session.Search — and adopts the composed cluster digest
+// the indexer recorded.
+func TestScatterMatchesSessionSearch(t *testing.T) {
+	cw, f := scatterCorpus(t)
+	ref := referencePSMs(t, cw)
+	for _, sets := range []int{2, 4} {
+		t.Run(fmt.Sprintf("sets=%d", sets), func(t *testing.T) {
+			_, urls := startSetReplicas(t, f.dirs[sets], sets, 1)
+			rt, ts := testRouter(t, scatterProbes(), urls...)
+
+			got := driveConcurrent(t, ts, cw, nil)
+			requireMatchesReference(t, cw, ref, got)
+
+			st := rt.Stats()
+			if st.Routed != int64(len(cw.queries)) {
+				t.Fatalf("routed %d merged requests, want %d", st.Routed, len(cw.queries))
+			}
+			if st.Scatter == nil || st.Scatter.Sets != sets || st.Scatter.Covered != sets {
+				t.Fatalf("scatter stats do not show full coverage: %+v", st.Scatter)
+			}
+			if st.Digest != f.clusters[sets].ClusterDigest {
+				t.Fatalf("router digest %q, want composed cluster digest %q",
+					st.Digest, f.clusters[sets].ClusterDigest)
+			}
+			for _, rep := range st.Replicas {
+				if !rep.Healthy || rep.DigestMismatch || rep.ShardSet == nil {
+					t.Fatalf("holder %s not routable in a healthy partition: %+v", rep.URL, rep)
+				}
+				if rep.Routed == 0 {
+					t.Fatalf("holder %s (set %d) carried no traffic", rep.URL, rep.ShardSet.Set)
+				}
+			}
+
+			// The health view describes the whole logical store.
+			resp, err := ts.Client().Get(ts.URL + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var h api.HealthResponse
+			if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || h.Shards != 4 {
+				t.Fatalf("scatter healthz: %d %+v, want 200 with 4 total shards", resp.StatusCode, h)
+			}
+		})
+	}
+}
+
+// TestScatterSurvivesHolderKill re-runs the equivalence check with two
+// holders per shard-set while one set-0 holder is torn down abruptly
+// mid-run: every response must still be a 200 byte-identical to the
+// whole-store Session.Search, via failover to the set's other replica.
+func TestScatterSurvivesHolderKill(t *testing.T) {
+	cw, f := scatterCorpus(t)
+	ref := referencePSMs(t, cw)
+	reps, urls := startSetReplicas(t, f.dirs[2], 2, 2)
+	rt, ts := testRouter(t, scatterProbes(), urls...)
+
+	got := driveConcurrent(t, ts, cw, reps[0].kill)
+	requireMatchesReference(t, cw, ref, got)
+
+	waitFor(t, func() bool {
+		st := rt.Stats()
+		return !st.Replicas[0].Healthy
+	}, "killed holder never marked down")
+
+	// The partition still has every set covered and keeps serving.
+	if status, _ := postRaw(t, ts.Client(), ts.URL, cw.queries[0]); status != http.StatusOK {
+		t.Fatalf("post-kill request answered %d", status)
+	}
+	st := rt.Stats()
+	if st.Scatter == nil || st.Scatter.Covered != 2 {
+		t.Fatalf("coverage lost after replica failover: %+v", st.Scatter)
+	}
+	if st.Digest == "" {
+		t.Fatal("cluster digest dropped while every set stayed covered")
+	}
+}
+
+// scatterFake is a scripted shard-set holder exposing the probe surface
+// without an engine behind it.
+type scatterFake struct {
+	searches atomic.Int64
+	ts       *httptest.Server
+}
+
+func startScatterFake(t *testing.T, set, sets int, dig string, queueLen int, search http.HandlerFunc) *scatterFake {
+	t.Helper()
+	f := &scatterFake{}
+	ss := &api.ShardSetJSON{Set: set, Sets: sets, TotalShards: sets, TopK: 5}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, http.StatusOK, api.HealthResponse{Status: "ok", Shards: 1, Digest: dig, ShardSet: ss})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, http.StatusOK, api.StatsResponse{Status: "ok", Digest: dig, QueueLen: queueLen, ShardSet: ss})
+	})
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		f.searches.Add(1)
+		search(w, r)
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+// okSet scripts a holder answering every query with the given PSMs.
+func okSet(psms ...api.PSMJSON) http.HandlerFunc {
+	if psms == nil {
+		psms = []api.PSMJSON{}
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, http.StatusOK, api.SearchResponse{
+			Results: []api.QueryResult{{Scan: 0, PSMs: psms}},
+		})
+	}
+}
+
+// failSet scripts a holder answering every query with an error status.
+func failSet(status int, msg string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		api.WriteError(w, status, "%s", msg)
+	}
+}
+
+// TestScatterPartialFailureTable drives the gather aggregation through
+// its partial-failure paths with scripted holders: an uncovered set, a
+// holder failing over within its set, a final retryable reply, a
+// definitive client error, duplicate and empty per-set results, and an
+// undecodable body.
+func TestScatterPartialFailureTable(t *testing.T) {
+	psmHi := api.PSMJSON{Peptide: 2, Sequence: "HIK", Score: 9, Shared: 3, Precursor: 500.25, Shard: 0}
+	psmLo := api.PSMJSON{Peptide: 7, Sequence: "LOK", Score: 4, Shared: 2, Precursor: 501.5, Shard: 1}
+
+	type holder struct {
+		set      int
+		queueLen int
+		search   http.HandlerFunc
+	}
+	cases := []struct {
+		name           string
+		holders        []holder
+		wantStatus     int
+		wantBody       string // exact body (trimmed) when non-empty
+		wantContains   string // substring expectation otherwise
+		wantSetDown    int64
+		wantFailovers  bool
+		wantRetryAfter bool
+	}{
+		{
+			name:         "uncovered shard-set fails explicitly",
+			holders:      []holder{{set: 0, search: okSet(psmHi)}},
+			wantStatus:   http.StatusServiceUnavailable,
+			wantContains: "shard-set 1",
+			wantSetDown:  1,
+		},
+		{
+			name: "holder timeout mid-gather fails over within the set",
+			holders: []holder{
+				{set: 0, queueLen: 0, search: failSet(http.StatusServiceUnavailable, "draining")},
+				{set: 0, queueLen: 5, search: okSet(psmHi)},
+				{set: 1, search: okSet(psmLo)},
+			},
+			wantStatus: http.StatusOK,
+			wantBody: `{"results":[{"scan":0,"psms":[` +
+				`{"peptide":2,"sequence":"HIK","score":9,"shared":3,"precursor":500.25,"shard":0},` +
+				`{"peptide":7,"sequence":"LOK","score":4,"shared":2,"precursor":501.5,"shard":1}]}]}`,
+			wantFailovers: true,
+		},
+		{
+			name: "final retryable reply relayed verbatim",
+			holders: []holder{
+				{set: 0, search: okSet(psmHi)},
+				{set: 1, search: failSet(http.StatusTooManyRequests, "admission queue full")},
+			},
+			wantStatus:     http.StatusTooManyRequests,
+			wantContains:   "admission queue full",
+			wantRetryAfter: true,
+		},
+		{
+			name: "definitive client error relayed verbatim",
+			holders: []holder{
+				{set: 0, search: okSet(psmHi)},
+				{set: 1, search: failSet(http.StatusBadRequest, "spectrum 0: no peaks")},
+			},
+			wantStatus:   http.StatusBadRequest,
+			wantContains: "spectrum 0: no peaks",
+		},
+		{
+			name: "duplicate rows from two sets merge deterministically",
+			holders: []holder{
+				{set: 0, search: okSet(psmHi)},
+				{set: 1, search: okSet(psmHi)},
+			},
+			wantStatus: http.StatusOK,
+			wantBody: `{"results":[{"scan":0,"psms":[` +
+				`{"peptide":2,"sequence":"HIK","score":9,"shared":3,"precursor":500.25,"shard":0},` +
+				`{"peptide":2,"sequence":"HIK","score":9,"shared":3,"precursor":500.25,"shard":0}]}]}`,
+		},
+		{
+			name: "empty shard-set results merge to an empty array",
+			holders: []holder{
+				{set: 0, search: okSet()},
+				{set: 1, search: okSet()},
+			},
+			wantStatus: http.StatusOK,
+			wantBody:   `{"results":[{"scan":0,"psms":[]}]}`,
+		},
+		{
+			name: "undecodable holder body is a gateway error",
+			holders: []holder{
+				{set: 0, search: okSet(psmHi)},
+				{set: 1, search: func(w http.ResponseWriter, r *http.Request) {
+					w.WriteHeader(http.StatusOK)
+					io.WriteString(w, "not json")
+				}},
+			},
+			wantStatus:   http.StatusBadGateway,
+			wantContains: "undecodable",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var urls []string
+			for _, h := range tc.holders {
+				f := startScatterFake(t, h.set, 2, fmt.Sprintf("set-digest-%d", h.set), h.queueLen, h.search)
+				urls = append(urls, f.ts.URL)
+			}
+			rt, ts := testRouter(t, scatterProbes(), urls...)
+
+			resp, err := ts.Client().Post(ts.URL+"/search", "application/json", bytes.NewReader(searchBody))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d; body %s", resp.StatusCode, tc.wantStatus, data)
+			}
+			body := string(bytes.TrimSpace(data))
+			if tc.wantBody != "" && body != tc.wantBody {
+				t.Fatalf("body:\n got %s\nwant %s", body, tc.wantBody)
+			}
+			if tc.wantContains != "" && !bytes.Contains(data, []byte(tc.wantContains)) {
+				t.Fatalf("body %s does not mention %q", data, tc.wantContains)
+			}
+			if tc.wantRetryAfter && resp.Header.Get("Retry-After") == "" {
+				t.Error("relayed 429 lost its Retry-After header")
+			}
+			st := rt.Stats()
+			if st.Scatter == nil {
+				t.Fatal("scatter stats block missing")
+			}
+			if st.Scatter.RejectedSetDown != tc.wantSetDown {
+				t.Fatalf("rejected_shard_set_down %d, want %d", st.Scatter.RejectedSetDown, tc.wantSetDown)
+			}
+			if tc.wantFailovers && st.Failovers == 0 {
+				t.Fatal("expected an in-set failover to be counted")
+			}
+		})
+	}
+}
+
+// TestScatterGateExcludesNonconforming: within a set, holders
+// disagreeing with the set's digest are gated; replicas announcing a
+// different partition shape are gated; the composed digest reflects the
+// adopted per-set digests.
+func TestScatterGateExcludesNonconforming(t *testing.T) {
+	good0 := startScatterFake(t, 0, 2, "dig-a", 0, okSet())
+	stale0 := startScatterFake(t, 0, 2, "dig-old", 0, okSet())
+	shape3 := startScatterFake(t, 1, 3, "dig-x", 0, okSet())
+	good1 := startScatterFake(t, 1, 2, "dig-b", 0, okSet())
+	rt, ts := testRouter(t, scatterProbes(), good0.ts.URL, stale0.ts.URL, shape3.ts.URL, good1.ts.URL)
+
+	for i := 0; i < 4; i++ {
+		if status := postBody(t, ts.Client(), ts.URL); status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+	}
+	if got := stale0.searches.Load(); got != 0 {
+		t.Fatalf("stale-digest holder served %d requests; the gate must exclude it", got)
+	}
+	if got := shape3.searches.Load(); got != 0 {
+		t.Fatalf("wrong-shape holder served %d requests; the gate must exclude it", got)
+	}
+
+	st := rt.Stats()
+	if !st.Replicas[1].DigestMismatch || !st.Replicas[2].DigestMismatch {
+		t.Fatalf("gated holders not flagged: %+v", st.Replicas)
+	}
+	want := engine.ComposeClusterDigest([]string{"dig-a", "dig-b"})
+	if st.Digest != want {
+		t.Fatalf("cluster digest %q, want composition of the adopted set digests %q", st.Digest, want)
+	}
+	if st.Scatter == nil || st.Scatter.Covered != 2 ||
+		st.Scatter.SetDigests[0] != "dig-a" || st.Scatter.SetDigests[1] != "dig-b" {
+		t.Fatalf("scatter stats wrong: %+v", st.Scatter)
+	}
+}
+
+// TestUniformGateExcludesPartialHolder: a non-scatter router must never
+// route whole-database traffic to a holder announcing a multi-set slice
+// — that would silently truncate results.
+func TestUniformGateExcludesPartialHolder(t *testing.T) {
+	partial := startScatterFake(t, 0, 2, "dig-a", 0, okSet())
+	whole := startFake(t, "dig-w", 0, true)
+	rt, ts := testRouter(t, fastProbes(), partial.ts.URL, whole.ts.URL)
+
+	for i := 0; i < 4; i++ {
+		if status := postBody(t, ts.Client(), ts.URL); status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+	}
+	if got := partial.searches.Load(); got != 0 {
+		t.Fatalf("partial holder served %d whole-database requests", got)
+	}
+	st := rt.Stats()
+	if st.Digest != "dig-w" {
+		t.Fatalf("cluster digest %q, want the whole store's", st.Digest)
+	}
+	if !st.Replicas[0].DigestMismatch {
+		t.Fatalf("partial holder not flagged: %+v", st.Replicas[0])
+	}
+}

@@ -290,12 +290,29 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// shardSetJSON announces the session's shard-set slice on the wire, nil
+// for a whole-store session. TopK rides along so a scatter router can
+// truncate its merged union to the session's reporting depth.
+func (s *Server) shardSetJSON() *api.ShardSetJSON {
+	info := s.sess.ShardSet()
+	if info == nil {
+		return nil
+	}
+	return &api.ShardSetJSON{
+		Set:         info.Set,
+		Sets:        info.Sets,
+		TotalShards: info.TotalShards,
+		TopK:        s.sess.Config().TopK,
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := api.HealthResponse{
-		Status: "ok",
-		Shards: s.sess.NumShards(),
-		Groups: s.sess.Groups(),
-		Digest: s.sess.Digest(),
+		Status:   "ok",
+		Shards:   s.sess.NumShards(),
+		Groups:   s.sess.Groups(),
+		Digest:   s.sess.Digest(),
+		ShardSet: s.shardSetJSON(),
 	}
 	if s.isDraining() {
 		h.Status = "draining"
@@ -322,6 +339,7 @@ func (s *Server) Stats() api.StatsResponse {
 	st := api.StatsResponse{
 		Status:         "ok",
 		Digest:         s.sess.Digest(),
+		ShardSet:       s.shardSetJSON(),
 		Shards:         s.sess.NumShards(),
 		Groups:         s.sess.Groups(),
 		IndexBytes:     s.sess.IndexBytes(),

@@ -1,0 +1,165 @@
+// Command doccheck enforces the godoc contract on the packages named on
+// its command line: every package must carry a package comment, and
+// every exported top-level identifier — functions, methods on exported
+// types, types, consts, vars — must carry a doc comment (the same
+// surface golint's exported rule covered). It exits non-zero listing
+// each violation, so CI fails when an exported name lands without
+// documentation.
+//
+// Usage:
+//
+//	go run ./tools/doccheck ./internal/api ./internal/router
+//
+// Only the standard library is used; the check costs no dependency.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package-dir> [package-dir...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		dir = strings.TrimPrefix(dir, "./")
+		for _, v := range checkDir(dir) {
+			fmt.Fprintln(os.Stderr, v)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory (tests excluded) and returns one
+// violation line per undocumented exported identifier.
+func checkDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", dir, err)}
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		// Deterministic file order for stable CI output.
+		var names []string
+		for name := range pkg.Files {
+			names = append(names, name)
+		}
+		sortStrings(names)
+		for _, name := range names {
+			out = append(out, checkFile(fset, pkg.Files[name])...)
+		}
+	}
+	return out
+}
+
+// checkFile walks one file's top-level declarations.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: %s is exported but has no doc comment", filepath.ToSlash(p.Filename), p.Line, what))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			// Methods on unexported receivers are internal surface.
+			if d.Recv != nil && !exportedRecv(d.Recv) {
+				continue
+			}
+			kind := "func " + d.Name.Name
+			if d.Recv != nil {
+				kind = "method " + recvName(d.Recv) + "." + d.Name.Name
+			}
+			report(d.Pos(), kind)
+		case *ast.GenDecl:
+			checkGenDecl(d, report)
+		}
+	}
+	return out
+}
+
+// checkGenDecl handles const/var/type blocks: a doc comment on the
+// declaration block stands in for per-spec comments; each exported spec
+// otherwise needs its own.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string)) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if s.Doc == nil && d.Doc == nil {
+				report(s.Pos(), "type "+s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if n.IsExported() && s.Doc == nil && d.Doc == nil && s.Comment == nil {
+					report(n.Pos(), d.Tok.String()+" "+n.Name)
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a method's receiver type is exported.
+func exportedRecv(recv *ast.FieldList) bool {
+	return ast.IsExported(recvName(recv))
+}
+
+// recvName extracts the receiver's base type name.
+func recvName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// sortStrings is a dependency-free insertion sort (the lists are tiny).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
