@@ -1,3 +1,8 @@
 module lbe
 
 go 1.22
+
+// x/tools backs tools/lbevet, the project's go/analysis multichecker.
+// It is vendored so builds stay hermetic, and is imported only under
+// tools/ — the library, engine and serving tiers remain dependency-free.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

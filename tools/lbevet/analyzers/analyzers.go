@@ -1,0 +1,23 @@
+// Package analyzers holds lbevet's project-specific go/analysis
+// analyzers: machine-checked forms of the invariants the LBE codebase
+// otherwise enforces only through runtime tests — the zero-alloc warm
+// Scratch hot path, deterministic (byte-identical) output composition,
+// context plumbing through the serving tiers, lock discipline in the
+// coalescer/registry/cache, the JSON wire contract, and the godoc
+// surface. See docs/STATIC_ANALYSIS.md for the full catalogue and the
+// //lbe:hotpath and //lbe:ignore annotations the analyzers understand.
+package analyzers
+
+import "golang.org/x/tools/go/analysis"
+
+// All returns every lbevet analyzer, in the order they are reported.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Hotpathalloc,
+		Maporder,
+		Ctxflow,
+		Lockheld,
+		Wiretags,
+		Doccheck,
+	}
+}

@@ -1,0 +1,97 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lbe/tools/lbevet/analyzers"
+	"lbe/tools/lbevet/vettest"
+)
+
+// testdata returns the shared golden tree, tools/lbevet/testdata.
+func testdata(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("../testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestHotpathalloc(t *testing.T) {
+	// hotdep first: hotpath imports it and consumes its facts.
+	vettest.Run(t, testdata(t), analyzers.Hotpathalloc, "hotdep", "hotpath")
+}
+
+func TestMaporder(t *testing.T) {
+	vettest.Run(t, testdata(t), analyzers.Maporder, "maporder")
+}
+
+func TestCtxflow(t *testing.T) {
+	vettest.Run(t, testdata(t), analyzers.Ctxflow, "ctxflow")
+}
+
+func TestCtxflowExemptsMain(t *testing.T) {
+	vettest.Run(t, testdata(t), analyzers.Ctxflow, "ctxmain")
+}
+
+func TestLockheld(t *testing.T) {
+	vettest.Run(t, testdata(t), analyzers.Lockheld, "lockheld")
+}
+
+func TestWiretags(t *testing.T) {
+	if err := analyzers.Wiretags.Flags.Set("wirepkg", "wire"); err != nil {
+		t.Fatal(err)
+	}
+	defer analyzers.Wiretags.Flags.Set("wirepkg", "lbe/internal/api")
+	vettest.Run(t, testdata(t), analyzers.Wiretags, "wire")
+}
+
+func TestDoccheck(t *testing.T) {
+	defaultPkgs := analyzers.Doccheck.Flags.Lookup("pkgs").Value.String()
+	if err := analyzers.Doccheck.Flags.Set("pkgs", "docbad,docok"); err != nil {
+		t.Fatal(err)
+	}
+	defer analyzers.Doccheck.Flags.Set("pkgs", defaultPkgs)
+	vettest.Run(t, testdata(t), analyzers.Doccheck, "docbad", "docok")
+}
+
+// TestDoccheckValueSpecs covers undocumented const/var: a trailing want
+// comment would itself count as documentation on a ValueSpec, so the
+// golden mechanism cannot express these and they are asserted directly.
+func TestDoccheckValueSpecs(t *testing.T) {
+	defaultPkgs := analyzers.Doccheck.Flags.Lookup("pkgs").Value.String()
+	if err := analyzers.Doccheck.Flags.Set("pkgs", "docvals"); err != nil {
+		t.Fatal(err)
+	}
+	defer analyzers.Doccheck.Flags.Set("pkgs", defaultPkgs)
+	diags := vettest.Diagnostics(t, testdata(t), analyzers.Doccheck, "docvals")
+	wants := []string{
+		"const Answer is exported but has no doc comment",
+		"var Count is exported but has no doc comment",
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics %v, want %d", len(diags), diags, len(wants))
+	}
+	for i, w := range wants {
+		if !strings.Contains(diags[i], w) {
+			t.Errorf("diagnostic %d = %q, want it to contain %q", i, diags[i], w)
+		}
+	}
+}
+
+// TestIgnoreNeedsReason pins the mandatory-reason contract: a bare
+// //lbe:ignore is reported on its own line and suppresses nothing.
+func TestIgnoreNeedsReason(t *testing.T) {
+	diags := vettest.Diagnostics(t, testdata(t), analyzers.Lockheld, "ignorebad")
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics %v, want 2", len(diags), diags)
+	}
+	if !strings.Contains(diags[0], "lbe:ignore lockheld needs a non-empty reason") {
+		t.Errorf("diagnostic 0 = %q, want the empty-reason report", diags[0])
+	}
+	if !strings.Contains(diags[1], "channel send while t.mu is held") {
+		t.Errorf("diagnostic 1 = %q, want the unsuppressed send report", diags[1])
+	}
+}

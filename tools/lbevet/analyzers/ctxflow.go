@@ -1,0 +1,178 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Ctxflow enforces the cancellation-plumbing contract on the library
+// packages: work started on behalf of a caller must be cancellable by
+// that caller. Two rules, both skipping package main (binaries own their
+// root contexts) and _test.go files:
+//
+//  1. context.Background() / context.TODO() are reported in library
+//     code: a fresh root context severs the cancellation chain. Roots
+//     that are genuinely process-lifetime (a server's base context, a
+//     detached drain deadline) carry //lbe:ignore ctxflow <reason>.
+//
+//  2. An exported function that directly performs blocking channel
+//     operations or network I/O must either accept a context.Context
+//     parameter or demonstrably thread a stored one (reference a
+//     context value in its body). Close/Stop/Flush are exempt by name:
+//     teardown runs after cancellation no longer applies.
+var Ctxflow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "report severed or missing context plumbing in library packages",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	ig := ignoresFor(pass, "ctxflow")
+
+	for _, f := range pass.Files {
+		if inTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Rule 1: fresh root contexts in library code.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func); ok {
+				if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "context" {
+					if fn.Name() == "Background" || fn.Name() == "TODO" {
+						ig.report(pass, call.Pos(), "context.%s() in library code severs the caller's cancellation chain; thread a context.Context through instead", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+		// Rule 2: exported blockers without a context.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			switch fd.Name.Name {
+			case "Close", "Stop", "Flush":
+				continue
+			}
+			if funcHasCtxParam(pass, fd) || funcUsesCtx(pass, fd) {
+				continue
+			}
+			if op := firstBlockingOp(pass, fd); op != "" {
+				ig.report(pass, fd.Name.Pos(), "exported %s %s but neither accepts nor threads a context.Context", fd.Name.Name, op)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// funcHasCtxParam reports whether the function declares a
+// context.Context parameter.
+func funcHasCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcUsesCtx reports whether the body references any context.Context
+// value (a stored s.ctx field counts as threading).
+func funcUsesCtx(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	uses := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if uses {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(e); t != nil && isContextType(t) {
+			uses = true
+		}
+		return true
+	})
+	return uses
+}
+
+// firstBlockingOp returns a description of the first blocking channel or
+// network operation performed directly by the function body (function
+// literals are skipped: goroutines they start have their own flow), or
+// "" if there is none.
+func firstBlockingOp(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	op := ""
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if op != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			op = "sends on a channel"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				op = "receives from a channel"
+			}
+		case *ast.SelectStmt:
+			if selectHasDefault(n) {
+				// Non-blocking: skip the comm clauses, keep walking bodies.
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						for _, s := range cc.Body {
+							ast.Inspect(s, walk)
+						}
+					}
+				}
+				return false
+			}
+			op = "blocks in a select"
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					op = "ranges over a channel"
+				}
+			}
+		case *ast.CallExpr:
+			if name := netBlockingCall(pass, n); name != "" {
+				op = "performs network I/O (" + name + ")"
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	return op
+}
+
+// selectHasDefault reports whether the select has a default clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

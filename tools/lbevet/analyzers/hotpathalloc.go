@@ -1,0 +1,307 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Hotpathalloc enforces the zero-alloc contract on functions annotated
+// //lbe:hotpath: neither the function nor anything it statically calls
+// within the module may contain an allocation-inducing construct. The
+// construct list matches the ones PR 6's AllocsPerRun guards were added
+// to keep out of the warm-Scratch search path:
+//
+//   - any call into package fmt (formatting allocates),
+//   - sort.Slice / sort.SliceStable / sort.SliceIsSorted / sort.Sort /
+//     sort.Stable (interface + closure allocation per call; the hot path
+//     uses the allocation-free slices.SortFunc instead),
+//   - unsized make(map[...]...) and map composite literals,
+//   - append into a slice freshly declared by the same statement, or
+//     onto a nil/composite-literal base (growing a non-reused slice),
+//   - function literals capturing enclosing variables (each closure
+//     allocates; non-capturing literals like slices.SortFunc comparators
+//     are free and stay legal).
+//
+// Sized makes (buffer growth under a capacity check) and struct literals
+// stay legal: the guarded property is "no per-query allocation on the
+// warm path", not "no allocation ever". Calls are followed through the
+// module's own packages via analysis facts, so a helper that allocates
+// three levels down is reported at the hot function's call site.
+var Hotpathalloc = &analysis.Analyzer{
+	Name:      "hotpathalloc",
+	Doc:       "report allocation-inducing constructs reachable from //lbe:hotpath functions",
+	Run:       runHotpathalloc,
+	FactTypes: []analysis.Fact{(*AllocFact)(nil)},
+}
+
+// AllocFact marks a function that may allocate (directly or through a
+// callee); it flows to importing packages so cross-package hot-path call
+// chains are checked.
+type AllocFact struct {
+	Reason string
+}
+
+// AFact marks AllocFact as an analysis fact.
+func (*AllocFact) AFact() {}
+
+// String renders the fact for -json and debug output.
+func (f *AllocFact) String() string { return "mayalloc(" + f.Reason + ")" }
+
+// allocSite is one allocation-inducing construct inside a function body.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+// callSite is one statically-resolved call inside a function body.
+type callSite struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// hotFuncInfo gathers one function's local construct sites and callees.
+type hotFuncInfo struct {
+	decl  *ast.FuncDecl
+	fn    *types.Func
+	hot   bool
+	sites []allocSite
+	calls []callSite
+}
+
+func runHotpathalloc(pass *analysis.Pass) (any, error) {
+	ig := ignoresFor(pass, "hotpathalloc")
+
+	modPath := ""
+	if pass.Module != nil {
+		modPath = pass.Module.Path
+	}
+	inModule := func(fn *types.Func) bool {
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return false
+		}
+		if pkg == pass.Pkg {
+			return true
+		}
+		if modPath == "" {
+			// No module info (test harness): treat every analyzed
+			// package as in-module; packages without facts contribute
+			// nothing either way.
+			return true
+		}
+		p := pkg.Path()
+		return p == modPath || strings.HasPrefix(p, modPath+"/")
+	}
+
+	// Pass 1: collect every function's local sites and callees.
+	infos := map[*types.Func]*hotFuncInfo{}
+	var order []*hotFuncInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &hotFuncInfo{
+				decl: fd,
+				fn:   fn,
+				hot:  hasDirective(fd.Doc, "lbe:hotpath"),
+			}
+			collectAllocs(pass, fd, info)
+			infos[fn] = info
+			order = append(order, info)
+		}
+	}
+
+	// Pass 2: transitive may-alloc status. A function's status is its
+	// first local construct, or the first callee whose status is
+	// non-empty (in-package via the map, cross-package via facts).
+	status := map[*types.Func]string{}
+	onStack := map[*types.Func]bool{}
+	var eval func(fn *types.Func) string
+	eval = func(fn *types.Func) string {
+		if s, ok := status[fn]; ok {
+			return s
+		}
+		if onStack[fn] {
+			return "" // recursion: the cycle's own constructs are found elsewhere
+		}
+		info, ok := infos[fn]
+		if !ok {
+			// Defined in another package: facts carry the verdict.
+			var f AllocFact
+			if inModule(fn) && pass.ImportObjectFact(fn, &f) {
+				status[fn] = f.Reason
+				return f.Reason
+			}
+			status[fn] = ""
+			return ""
+		}
+		onStack[fn] = true
+		defer delete(onStack, fn)
+		s := ""
+		if len(info.sites) > 0 {
+			site := info.sites[0]
+			s = fmt.Sprintf("%s at %s", site.what, pass.Fset.Position(site.pos))
+		} else {
+			for _, c := range info.calls {
+				if !inModule(c.callee) {
+					continue
+				}
+				if r := eval(c.callee); r != "" {
+					s = fmt.Sprintf("calls %s: %s", c.callee.Name(), r)
+					break
+				}
+			}
+		}
+		status[fn] = s
+		return s
+	}
+
+	for _, info := range order {
+		if s := eval(info.fn); s != "" && !inTestFile(pass.Fset, info.decl.Pos()) {
+			pass.ExportObjectFact(info.fn, &AllocFact{Reason: s})
+		}
+	}
+
+	// Pass 3: report, hot functions only.
+	for _, info := range order {
+		if !info.hot {
+			continue
+		}
+		name := info.fn.Name()
+		for _, site := range info.sites {
+			ig.report(pass, site.pos, "hot path %s: %s", name, site.what)
+		}
+		for _, c := range info.calls {
+			if !inModule(c.callee) {
+				continue
+			}
+			if r := eval(c.callee); r != "" {
+				ig.report(pass, c.pos, "hot path %s calls %s, which may allocate: %s", name, c.callee.Name(), r)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// collectAllocs walks one function body recording allocation-inducing
+// constructs and statically-resolved callees.
+func collectAllocs(pass *analysis.Pass, fd *ast.FuncDecl, info *hotFuncInfo) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			collectCall(pass, n, info)
+		case *ast.CompositeLit:
+			if isMapType(pass.TypesInfo.TypeOf(n)) {
+				info.sites = append(info.sites, allocSite{n.Pos(), "composes a map literal"})
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, rhs := range n.Rhs {
+					if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(pass, call, "append") {
+						info.sites = append(info.sites, allocSite{call.Pos(), "appends into a slice freshly declared by this statement"})
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if v := capturedVar(pass, fd, n); v != "" {
+				info.sites = append(info.sites, allocSite{n.Pos(), "closure captures variable " + v})
+			}
+		}
+		return true
+	})
+}
+
+// collectCall classifies one call: a directly-flagged construct, or a
+// resolved callee to follow transitively.
+func collectCall(pass *analysis.Pass, call *ast.CallExpr, info *hotFuncInfo) {
+	if isBuiltin(pass, call, "make") {
+		if len(call.Args) == 1 && isMapType(pass.TypesInfo.TypeOf(call.Args[0])) {
+			info.sites = append(info.sites, allocSite{call.Pos(), "makes an unsized map"})
+		}
+		return
+	}
+	if isBuiltin(pass, call, "append") {
+		switch base := call.Args[0].(type) {
+		case *ast.Ident:
+			if base.Name == "nil" {
+				info.sites = append(info.sites, allocSite{call.Pos(), "appends onto a nil base"})
+			}
+		case *ast.CompositeLit:
+			info.sites = append(info.sites, allocSite{call.Pos(), "appends onto a composite-literal base"})
+		}
+		return
+	}
+	callee := typeutil.Callee(pass.TypesInfo, call)
+	fn, ok := callee.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		info.sites = append(info.sites, allocSite{call.Pos(), "calls fmt." + fn.Name()})
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable", "SliceIsSorted", "Sort", "Stable":
+			info.sites = append(info.sites, allocSite{call.Pos(), "calls sort." + fn.Name() + " (interface+closure allocation; use slices.SortFunc)"})
+		}
+	default:
+		info.calls = append(info.calls, callSite{call.Pos(), fn})
+	}
+}
+
+// capturedVar returns the name of a variable the function literal
+// captures from its enclosing function, or "" when it captures nothing.
+func capturedVar(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function (including its
+		// receiver/parameters) but outside the literal itself.
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			captured = v.Name()
+		}
+		return true
+	})
+	return captured
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

@@ -1,0 +1,97 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// ignorePrefix is the suppression directive: `//lbe:ignore <analyzer>
+// <reason>`. It silences diagnostics of the named analyzer on the
+// directive's own line and on the line directly below it (so it can ride
+// as a trailing comment or stand on its own line above the code). The
+// reason is mandatory: a bare ignore is itself reported, so every
+// suppression in the tree explains why the invariant does not apply.
+const ignorePrefix = "//lbe:ignore"
+
+// ignoreSet holds one pass's parsed //lbe:ignore directives for a single
+// analyzer, keyed by file name and line.
+type ignoreSet struct {
+	name  string
+	fset  *token.FileSet
+	lines map[string]map[int]bool // filename -> suppressed lines
+}
+
+// ignoresFor scans the pass's files for //lbe:ignore directives naming
+// the analyzer. Directives with an empty reason are reported immediately
+// (they suppress nothing), enforcing the "suppressions carry a reason"
+// contract.
+func ignoresFor(pass *analysis.Pass, name string) *ignoreSet {
+	ig := &ignoreSet{name: name, fset: pass.Fset, lines: map[string]map[int]bool{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				target, reason, _ := strings.Cut(rest, " ")
+				if target != name {
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					pass.Reportf(c.Pos(), "lbe:ignore %s needs a non-empty reason", name)
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				m := ig.lines[p.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					ig.lines[p.Filename] = m
+				}
+				m[p.Line] = true
+				m[p.Line+1] = true
+			}
+		}
+	}
+	return ig
+}
+
+// suppressed reports whether a diagnostic at pos is covered by an ignore
+// directive.
+func (ig *ignoreSet) suppressed(pos token.Pos) bool {
+	p := ig.fset.Position(pos)
+	return ig.lines[p.Filename][p.Line]
+}
+
+// report emits a diagnostic unless an //lbe:ignore directive covers it.
+func (ig *ignoreSet) report(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	if ig.suppressed(pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// inTestFile reports whether pos lands in a _test.go file. The project
+// analyzers guard production invariants; test code is exempt, matching
+// the doccheck behavior the suite absorbed.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// hasDirective reports whether a doc comment carries the given
+// //lbe:... directive (exact word, e.g. "lbe:hotpath").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

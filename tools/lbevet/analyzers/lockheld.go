@@ -1,0 +1,203 @@
+package analyzers
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Lockheld enforces the lock discipline the coalescer, replica registry
+// and answer caches rely on: a sync.Mutex/RWMutex acquired in a function
+// must not be held across a blocking operation. While a lock acquired in
+// the same function is held it reports:
+//
+//   - channel sends and receives (select statements with a default
+//     clause are non-blocking and stay legal — that is the coalescer's
+//     admission pattern),
+//   - select statements without a default clause,
+//   - time.Sleep and sync.WaitGroup.Wait (sync.Cond.Wait is exempt: it
+//     releases the lock by contract),
+//   - network I/O (net, net/http) and file I/O (os open/read/write).
+//
+// The analysis is syntactic and per-function: a deferred Unlock holds to
+// the end of the function; an Unlock on a conditional path is treated as
+// releasing. Cross-function lock flows are out of scope. Intentional
+// blocking under a lock carries //lbe:ignore lockheld <reason>.
+var Lockheld = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "report blocking operations while a mutex acquired in the same function is held",
+	Run:  runLockheld,
+}
+
+func runLockheld(pass *analysis.Pass) (any, error) {
+	ig := ignoresFor(pass, "lockheld")
+	for _, f := range pass.Files {
+		if inTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLockFlow(pass, ig, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkLockFlow walks one function body in source order, tracking which
+// mutexes are held.
+func checkLockFlow(pass *analysis.Pass, ig *ignoreSet, fd *ast.FuncDecl) {
+	held := map[string]token.Pos{} // receiver expr -> Lock position
+	var walk func(n ast.Node) bool
+
+	reportIfHeld := func(pos token.Pos, what string) {
+		mu := ""
+		for m := range held {
+			if mu == "" || m < mu {
+				mu = m
+			}
+		}
+		if mu != "" {
+			ig.report(pass, pos, "%s while %s is held (locked in the same function)", what, mu)
+		}
+	}
+
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal's body runs on its own flow (often a goroutine);
+			// scan it with a fresh held set.
+			saved := held
+			held = map[string]token.Pos{}
+			ast.Inspect(n.Body, walk)
+			held = saved
+			return false
+		case *ast.DeferStmt:
+			if recv, op, ok := lockOp(pass, n.Call); ok && (op == "Lock" || op == "RLock") {
+				held[recv] = n.Pos()
+			}
+			// A deferred Unlock releases at return; the lock stays held
+			// for the rest of the body, which is exactly what we model by
+			// not removing it.
+			return false
+		case *ast.CallExpr:
+			if recv, op, ok := lockOp(pass, n); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = n.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				return true
+			}
+			if len(held) > 0 {
+				if what := blockingCall(pass, n); what != "" {
+					reportIfHeld(n.Pos(), what)
+				}
+			}
+		case *ast.SendStmt:
+			reportIfHeld(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reportIfHeld(n.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			if selectHasDefault(n) {
+				for _, c := range n.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						for _, s := range cc.Body {
+							ast.Inspect(s, walk)
+						}
+					}
+				}
+				return false
+			}
+			reportIfHeld(n.Pos(), "blocking select")
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					reportIfHeld(n.Pos(), "range over a channel")
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// lockOp matches a call to (*sync.Mutex/RWMutex).Lock/RLock/Unlock/
+// RUnlock, returning the printed receiver expression and the operation.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (recv, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return exprString(pass.Fset, sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// blockingCall returns a description when the call blocks (sleep,
+// WaitGroup.Wait, network or file I/O), else "".
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "sync":
+		if fn.Name() == "Wait" && recvNamed(fn) == "WaitGroup" {
+			return "sync.WaitGroup.Wait"
+		}
+	case "net", "net/http":
+		if name := netBlockingCall(pass, call); name != "" {
+			return "network I/O (" + name + ")"
+		}
+	case "os":
+		switch fn.Name() {
+		case "Open", "OpenFile", "Create", "ReadFile", "WriteFile", "ReadDir":
+			return "file I/O (os." + fn.Name() + ")"
+		}
+	}
+	return ""
+}
+
+// recvNamed returns the name of a method's receiver type, or "".
+func recvNamed(fn *types.Func) string {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// exprString prints an expression compactly for diagnostics.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

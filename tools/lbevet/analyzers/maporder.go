@@ -1,0 +1,122 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Maporder enforces the determinism invariant behind every byte-identity
+// test in the tree: output that ends up on the wire, in a digest, or in
+// a store file must never be composed in Go's randomized map iteration
+// order. Inside a `range` over a map it reports:
+//
+//   - method calls that append to ordered sinks: Write, WriteString,
+//     WriteByte, WriteRune, Encode, Sum (hashes, buffers, builders,
+//     encoders),
+//   - fmt.Fprint* / fmt.Print* calls (formatting into a stream),
+//   - += concatenation onto a string declared outside the loop.
+//
+// Collecting map entries into a slice and sorting it afterwards is the
+// blessed pattern and is not flagged (plain appends are legal). A body
+// that must write under map iteration for a proven-order-free reason can
+// carry `//lbe:ignore maporder <reason>`.
+var Maporder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "report ordered-output composition inside randomized map iteration",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *analysis.Pass) (any, error) {
+	ig := ignoresFor(pass, "maporder")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(pass.TypesInfo.TypeOf(rs.X)) {
+				return true
+			}
+			if inTestFile(pass.Fset, rs.Pos()) {
+				return false
+			}
+			checkMapRangeBody(pass, ig, rs)
+			return true // nested map ranges are checked on their own
+		})
+	}
+	return nil, nil
+}
+
+// orderedSinkMethods are method names that append to an ordered sink.
+var orderedSinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+	"Sum":         true,
+}
+
+// checkMapRangeBody flags ordered-output composition within one map
+// range body.
+func checkMapRangeBody(pass *analysis.Pass, ig *ignoreSet, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := orderedSinkCall(pass, n); ok {
+				ig.report(pass, n.Pos(), "map iteration order is randomized: %s composes ordered output inside a range over a map (collect and sort instead)", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isOutsideString(pass, n.Lhs[0], rs) {
+				ig.report(pass, n.Pos(), "map iteration order is randomized: string built by += inside a range over a map (collect and sort instead)")
+			}
+		}
+		return true
+	})
+}
+
+// orderedSinkCall reports whether the call writes to an ordered sink,
+// returning a display name for the diagnostic.
+func orderedSinkCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	callee := typeutil.Callee(pass.TypesInfo, call)
+	fn, ok := callee.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return "fmt." + fn.Name(), true
+		}
+		return "", false
+	}
+	// A method named like an ordered-sink appender (hash.Hash,
+	// bytes.Buffer, strings.Builder, json.Encoder, io.Writer, ...).
+	if fn.Type().(*types.Signature).Recv() != nil && orderedSinkMethods[fn.Name()] {
+		return "(" + types.TypeString(pass.TypesInfo.TypeOf(sel.X), types.RelativeTo(pass.Pkg)) + ")." + fn.Name(), true
+	}
+	return "", false
+}
+
+// isOutsideString reports whether lhs is a string-typed variable
+// declared outside the range statement (so += accumulates across
+// iterations in map order).
+func isOutsideString(pass *analysis.Pass, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	if b, ok := v.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return false
+	}
+	return v.Pos() < rs.Pos() || v.Pos() >= rs.End()
+}

@@ -1,0 +1,49 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// netBlockingCall returns a display name when the call can block on the
+// network: dialing, listening, accepting, reading or writing a net
+// connection, or an http client round-trip / server loop. Constructors
+// and plain accessors in net/net/http (http.NewServeMux, Header.Set,
+// NewRequest, ...) are not blocking and return "".
+func netBlockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	name := fn.Name()
+	method := fn.Type().(*types.Signature).Recv() != nil
+	switch fn.Pkg().Path() {
+	case "net":
+		if !method && (strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen")) {
+			return "net." + name
+		}
+		if method {
+			switch name {
+			case "Read", "Write", "Accept", "ReadFrom", "WriteTo", "AcceptTCP":
+				return "net." + name
+			}
+		}
+	case "net/http":
+		if !method {
+			switch name {
+			case "Get", "Post", "PostForm", "Head", "ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS":
+				return "http." + name
+			}
+		} else {
+			switch name {
+			case "Do", "Get", "Post", "PostForm", "Head", "ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS", "Shutdown":
+				return "http." + name
+			}
+		}
+	}
+	return ""
+}

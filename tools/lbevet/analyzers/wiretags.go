@@ -1,0 +1,169 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Wiretags guards the serving tier's wire contract, which lives in one
+// package (internal/api) and is consumed by serve, router, client and
+// the hand-rolled /metrics renderers. Two rules, applied only to the
+// wire package (-wirepkg):
+//
+//  1. Every exported struct field must carry an explicit json tag: the
+//     wire names are load-bearing (CI smokes and operators grep them),
+//     so no field may fall back to Go-name encoding silently.
+//
+//  2. Every wire struct the /metrics renderers touch must be rendered
+//     completely: if any field of a struct is selected in metrics.go,
+//     all its exported fields must be. This catches wire-contract
+//     drift — a counter added to /stats but forgotten on /metrics.
+//     Fields that are deliberately stats-only (identity strings whose
+//     label cardinality is unbounded, say) carry
+//     //lbe:ignore wiretags <reason>.
+var Wiretags = &analysis.Analyzer{
+	Name: "wiretags",
+	Doc:  "enforce json tags and /metrics rendering coverage on the wire package",
+	Run:  runWiretags,
+}
+
+// wirePkg is the package path the analyzer applies to.
+var wirePkg = "lbe/internal/api"
+
+func init() {
+	Wiretags.Flags.StringVar(&wirePkg, "wirepkg", wirePkg, "package path holding the wire contract")
+}
+
+func runWiretags(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() != wirePkg {
+		return nil, nil
+	}
+	ig := ignoresFor(pass, "wiretags")
+
+	// Rule 1: explicit json tags on every exported wire field, and
+	// collection of each struct's exported fields for rule 2.
+	fields := map[string]map[string]*ast.Field{} // struct name -> field name -> decl
+	for _, f := range pass.Files {
+		if inTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				byName := map[string]*ast.Field{}
+				fields[ts.Name.Name] = byName
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						if !name.IsExported() {
+							continue
+						}
+						byName[name.Name] = field
+						if !hasJSONTag(field) {
+							ig.report(pass, name.Pos(), "exported wire field %s.%s has no json tag; wire names must be explicit", ts.Name.Name, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Rule 2: /metrics rendering coverage. Selections inside metrics.go
+	// mark a struct as "rendered"; every exported field of a rendered
+	// struct must be selected there.
+	rendered := map[string]map[string]bool{} // struct name -> selected fields
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Pos())
+		if filepathBase(pos.Filename) != "metrics.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			named, ok := derefNamed(s.Recv())
+			if !ok || named.Obj().Pkg() != pass.Pkg {
+				return true
+			}
+			name := named.Obj().Name()
+			if rendered[name] == nil {
+				rendered[name] = map[string]bool{}
+			}
+			rendered[name][sel.Sel.Name] = true
+			return true
+		})
+	}
+	type miss struct {
+		pos        token.Pos
+		structName string
+		fieldName  string
+	}
+	var misses []miss
+	for structName, selected := range rendered {
+		for fieldName, field := range fields[structName] {
+			if !selected[fieldName] {
+				misses = append(misses, miss{field.Pos(), structName, fieldName})
+			}
+		}
+	}
+	sort.Slice(misses, func(a, b int) bool { return misses[a].pos < misses[b].pos })
+	for _, m := range misses {
+		ig.report(pass, m.pos, "wire field %s.%s is on /stats but not rendered by the /metrics renderers (metrics.go)", m.structName, m.fieldName)
+	}
+	return nil, nil
+}
+
+// hasJSONTag reports whether the field's tag has a non-empty json key.
+func hasJSONTag(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return false
+	}
+	tag, ok := reflect.StructTag(raw).Lookup("json")
+	return ok && tag != ""
+}
+
+// derefNamed unwraps pointers down to a named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+// filepathBase returns the last path element without importing
+// path/filepath (positions always use forward or native slashes; both
+// are handled).
+func filepathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

@@ -1,0 +1,82 @@
+// Command lbevet is the project's static-analysis gate: a go/analysis
+// multichecker carrying the analyzers that make LBE's load-bearing
+// invariants machine-checked — the //lbe:hotpath zero-alloc contract
+// (hotpathalloc), deterministic output composition (maporder), context
+// plumbing (ctxflow), lock discipline (lockheld), the JSON wire and
+// /metrics contract (wiretags), and the godoc surface (doccheck).
+//
+// Usage:
+//
+//	go run ./tools/lbevet ./...
+//
+// exits 0 when the tree is clean and non-zero naming the analyzer and
+// position of every violation. Single analyzers can be toggled with
+// standard vet flags, e.g. `go run ./tools/lbevet -lockheld=false ./...`
+// — see docs/STATIC_ANALYSIS.md.
+//
+// Mechanically the binary is both halves of the `go vet -vettool`
+// protocol: invoked with package patterns it re-executes itself through
+// `go vet -vettool=<self>`, which calls it back per package with a
+// *.cfg unit file that the unitchecker runs. Driving through go vet
+// (instead of go/packages) keeps the dependency surface to the
+// toolchain-vendored part of x/tools and gives analysis-fact flow plus
+// vet's per-package result caching for free.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"lbe/tools/lbevet/analyzers"
+)
+
+func main() {
+	// go vet speaks to a vettool in three shapes: -V=full (version
+	// stamp), -flags (flag inventory), and <unit>.cfg (analyze one
+	// package). Everything else is a human invocation.
+	if len(os.Args) >= 2 {
+		arg := os.Args[1]
+		if arg == "-V=full" || arg == "-flags" || strings.HasSuffix(arg, ".cfg") {
+			unitchecker.Main(analyzers.All()...) // does not return
+		}
+	}
+	os.Exit(drive(os.Args[1:]))
+}
+
+// drive re-executes the checker across package patterns via
+// `go vet -vettool=<self>`, passing analyzer flags through and
+// defaulting to ./... when no pattern is given.
+func drive(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbevet: cannot locate own executable: %v\n", err)
+		return 2
+	}
+	hasPattern := false
+	for _, a := range args {
+		if !strings.HasPrefix(a, "-") {
+			hasPattern = true
+			break
+		}
+	}
+	vetArgs := append([]string{"vet", "-vettool=" + exe}, args...)
+	if !hasPattern {
+		vetArgs = append(vetArgs, "./...")
+	}
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "lbevet: go vet: %v\n", err)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,62 @@
+// Package ctxflow exercises the ctxflow analyzer: severed roots and
+// exported blockers without a context are flagged; threading, teardown
+// names, non-blocking selects and unexported helpers stay legal.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// Root severs the cancellation chain.
+func Root() context.Context {
+	return context.Background() // want "context\\.Background\\(\\) in library code"
+}
+
+// Todo is the same sever through the other constructor.
+func Todo() context.Context {
+	return context.TODO() // want "context\\.TODO\\(\\) in library code"
+}
+
+// Fetch round-trips without a context. The diagnostic lands on the name.
+func Fetch(c *http.Client, url string) error { // want "exported Fetch performs network I/O \\(http\\.Get\\)"
+	_, err := c.Get(url)
+	return err
+}
+
+// FetchCtx accepts and threads a context.
+func FetchCtx(ctx context.Context, c *http.Client, req *http.Request) error {
+	_, err := c.Do(req.WithContext(ctx))
+	return err
+}
+
+// Recv blocks on a channel without a context.
+func Recv(ch chan int) int { // want "exported Recv receives from a channel"
+	return <-ch
+}
+
+// TryRecv is non-blocking (select with default) and legal.
+func TryRecv(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Close is teardown and exempt by name.
+func Close(ch chan int) {
+	<-ch
+}
+
+// recvInternal is unexported and out of rule 2's scope.
+func recvInternal(ch chan int) int {
+	return <-ch
+}
+
+// DrainDetached is a sanctioned process-lifetime root.
+func DrainDetached() context.Context {
+	//lbe:ignore ctxflow drain deadline is detached from request lifetime by design
+	return context.Background()
+}

@@ -1,0 +1,10 @@
+// Command ctxmain verifies ctxflow exempts package main: binaries own
+// their root contexts.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,17 @@
+package docbad // want "package docbad has no package comment"
+
+type Exported struct{} // want "type Exported is exported but has no doc comment"
+
+func PublicFunc() {} // want "func PublicFunc is exported but has no doc comment"
+
+func (Exported) Method() {} // want "method Exported\\.Method is exported but has no doc comment"
+
+// Documented is fine.
+func Documented() {}
+
+// unexported surface is out of scope.
+func internal() {}
+
+type hidden struct{}
+
+func (hidden) Method() {}

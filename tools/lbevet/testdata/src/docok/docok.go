@@ -1,0 +1,14 @@
+// Package docok is fully documented and produces no diagnostics.
+package docok
+
+// Exported is documented.
+type Exported struct{}
+
+// Method is documented.
+func (Exported) Method() {}
+
+// Answer is documented.
+const Answer = 42
+
+// Count is documented.
+var Count int

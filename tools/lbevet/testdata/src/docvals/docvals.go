@@ -1,0 +1,8 @@
+// Package docvals holds undocumented values for the doccheck unit test:
+// a trailing `// want` comment would count as documentation on a
+// ValueSpec, so these are asserted via vettest.Diagnostics instead.
+package docvals
+
+const Answer = 42
+
+var Count int

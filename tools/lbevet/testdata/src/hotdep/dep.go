@@ -1,0 +1,14 @@
+// Package hotdep is the dependency side of the hotpathalloc golden
+// tests: the may-alloc fact exported for Describe must flow into the
+// importing hotpath package.
+package hotdep
+
+import "fmt"
+
+// Describe formats and therefore may allocate.
+func Describe(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Add is allocation-free.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,82 @@
+// Package hotpath exercises the hotpathalloc analyzer: direct
+// allocation constructs, transitive in-package and cross-package call
+// chains, the constructs that stay legal, and suppression.
+package hotpath
+
+import (
+	"fmt"
+	"sort"
+
+	"hotdep"
+)
+
+// HotDirect hits three direct construct classes on the hot path.
+//
+//lbe:hotpath
+func HotDirect(xs []int) string {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want "calls sort\\.Slice" "closure captures variable xs"
+	m := make(map[int]int)                                       // want "makes an unsized map"
+	m[0] = len(xs)
+	return fmt.Sprintf("%d", len(xs)) // want "calls fmt\\.Sprintf"
+}
+
+// HotClosure allocates a closure per call.
+//
+//lbe:hotpath
+func HotClosure(n int) func() int {
+	f := func() int { return n } // want "closure captures variable n"
+	return f
+}
+
+// HotLiterals allocates maps and append-grown slices.
+//
+//lbe:hotpath
+func HotLiterals(k string, ys []string) []string {
+	m := map[string]int{k: 1} // want "composes a map literal"
+	_ = m
+	out := append(ys, k) // want "appends into a slice freshly declared by this statement"
+	return out
+}
+
+// helper may allocate three frames down from a hot caller.
+func helper() string {
+	return fmt.Sprintf("x")
+}
+
+// HotCallsHelper reaches an allocation through an in-package callee.
+//
+//lbe:hotpath
+func HotCallsHelper() string {
+	return helper() // want "calls helper, which may allocate: calls fmt\\.Sprintf"
+}
+
+// HotCallsDep reaches an allocation through an imported module package;
+// the verdict arrives as an analysis fact.
+//
+//lbe:hotpath
+func HotCallsDep(n int) string {
+	return hotdep.Describe(n) // want "calls Describe, which may allocate: calls fmt\\.Sprintf"
+}
+
+// HotClean is the legal shape: sized makes, copies, in-place reuse, and
+// allocation-free callees.
+//
+//lbe:hotpath
+func HotClean(xs []int) int {
+	buf := make([]int, len(xs))
+	copy(buf, xs)
+	return hotdep.Add(len(buf), 1)
+}
+
+// HotIgnored carries a sanctioned suppression.
+//
+//lbe:hotpath
+func HotIgnored() string {
+	//lbe:ignore hotpathalloc cold-start formatting, bench guard covers the warm path
+	return fmt.Sprintf("x")
+}
+
+// coldAlloc is not annotated, so its constructs are not reported.
+func coldAlloc() map[int]int {
+	return map[int]int{}
+}

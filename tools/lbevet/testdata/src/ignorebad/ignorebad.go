@@ -1,0 +1,21 @@
+// Package ignorebad exercises the mandatory-reason contract: a bare
+// //lbe:ignore suppresses nothing and is itself reported (asserted via
+// vettest.Diagnostics, since the report lands on the directive's line).
+package ignorebad
+
+import "sync"
+
+// T is a guarded box.
+type T struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// BareIgnore has a reasonless directive; both the directive and the
+// unsuppressed send are reported.
+func (t *T) BareIgnore(v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//lbe:ignore lockheld
+	t.ch <- v
+}

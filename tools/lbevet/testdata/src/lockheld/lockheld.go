@@ -1,0 +1,87 @@
+// Package lockheld exercises the lockheld analyzer: blocking while a
+// same-function mutex is held is flagged; unlock-then-block, the
+// select-with-default admission pattern, and goroutine bodies are legal.
+package lockheld
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// S is a guarded box with a channel.
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	v  int
+}
+
+// SendHeld sends on a channel while holding mu.
+func (s *S) SendHeld(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while s\\.mu is held"
+	s.mu.Unlock()
+}
+
+// SendAfterUnlock releases first and is legal.
+func (s *S) SendAfterUnlock(v int) {
+	s.mu.Lock()
+	s.v = v
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// SleepDeferred holds through a deferred unlock to the end of the body.
+func (s *S) SleepDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time\\.Sleep while s\\.mu is held"
+}
+
+// ReadHeldRecv receives while a read lock is held.
+func (s *S) ReadHeldRecv() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return <-s.ch // want "channel receive while s\\.rw is held"
+}
+
+// TrySendHeld uses a select with default — the coalescer's admission
+// pattern — and is legal.
+func (s *S) TrySendHeld(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// FetchHeld performs network I/O under the lock.
+func (s *S) FetchHeld(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := http.Get(url) // want "network I/O \\(http\\.Get\\) while s\\.mu is held"
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// GoroutineSend is legal: the literal runs on its own flow.
+func (s *S) GoroutineSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- v
+	}()
+}
+
+// IgnoredSend carries a sanctioned suppression.
+func (s *S) IgnoredSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lbe:ignore lockheld receiver is unbuffered-ready by construction
+	s.ch <- v
+}

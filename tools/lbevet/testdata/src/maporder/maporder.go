@@ -1,0 +1,64 @@
+// Package maporder exercises the maporder analyzer: ordered-output
+// composition inside map iteration is flagged, the collect-and-sort
+// pattern stays legal.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// EncodeBad streams keys to a buffer in map order.
+func EncodeBad(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want "composes ordered output inside a range over a map"
+	}
+}
+
+// PrintBad formats into a stream in map order.
+func PrintBad(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m {
+		fmt.Fprintf(buf, "%s=%d\n", k, v) // want "fmt\\.Fprintf composes ordered output"
+	}
+}
+
+// ConcatBad accumulates a string across iterations.
+func ConcatBad(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want "string built by \\+= inside a range over a map"
+	}
+	return out
+}
+
+// CollectSortGood is the blessed pattern: collect, sort, then write.
+func CollectSortGood(m map[string]int, buf *bytes.Buffer) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf.WriteString(k)
+	}
+}
+
+// LocalConcatGood builds a per-iteration string, which is order-free.
+func LocalConcatGood(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		line := k
+		line += "!"
+		out = append(out, line)
+	}
+	return out
+}
+
+// IgnoredWrite carries a sanctioned suppression.
+func IgnoredWrite(m map[string]struct{}, buf *bytes.Buffer) {
+	for k := range m {
+		//lbe:ignore maporder digest is XOR-folded downstream, order cannot matter
+		buf.WriteString(k)
+	}
+}

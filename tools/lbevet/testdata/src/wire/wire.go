@@ -1,0 +1,24 @@
+// Package wire exercises the wiretags analyzer: every exported field
+// needs an explicit json tag, and structs the metrics renderer touches
+// must be rendered completely.
+package wire
+
+// StatsResponse is rendered by metrics.go; Digest is forgotten there.
+type StatsResponse struct {
+	Queries   int64  `json:"queries"`
+	Batches   int64  `json:"batches"`
+	Digest    string `json:"digest"`     // want "wire field StatsResponse\\.Digest is on /stats but not rendered"
+	ReplicaID string `json:"replica_id"` //lbe:ignore wiretags identity string, unbounded label cardinality
+	secret    int
+}
+
+// BadResponse is missing a tag on Count.
+type BadResponse struct {
+	Count int // want "exported wire field BadResponse\\.Count has no json tag"
+	Named int `json:"named"`
+}
+
+// Internal opts its handle out of encoding explicitly, which is legal.
+type Internal struct {
+	Conn any `json:"-"`
+}

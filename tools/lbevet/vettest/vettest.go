@@ -1,0 +1,300 @@
+// Package vettest is a minimal analysistest substitute for the lbevet
+// analyzers. The toolchain-vendored subset of x/tools (the only copy
+// available offline) ships neither go/analysis/analysistest nor
+// go/packages, so this package reimplements the golden-file flow on the
+// standard library: parse testdata/src/<pkg>, type-check it with the
+// source importer, run one analyzer with an in-memory fact store, and
+// compare its diagnostics against `// want "regexp"` comments.
+//
+// Semantics intentionally mirror analysistest where the analyzers need
+// them: packages listed earlier in a Run call are importable by later
+// ones (facts flow between them), a `// want` comment matches
+// diagnostics reported on its own line, and both unexpected diagnostics
+// and unmatched expectations fail the test.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes each listed package under dir/src and reports any
+// mismatch against the packages' `// want` expectations as test errors.
+// Packages are loaded in the given order; earlier packages are
+// importable by later ones and analyzer facts flow accordingly, so
+// dependencies must be listed before their importers.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := &loader{
+		fset:   token.NewFileSet(),
+		loaded: map[string]*loadedPkg{},
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	facts := newFactStore()
+	for _, pkg := range pkgs {
+		lp, err := ld.load(dir, pkg)
+		if err != nil {
+			t.Fatalf("vettest: loading %s: %v", pkg, err)
+		}
+		diags := runAnalyzer(t, a, lp, facts)
+		checkExpectations(t, ld.fset, a, lp, diags)
+	}
+}
+
+// Diagnostics analyzes the listed packages like Run but skips `// want`
+// matching, returning every diagnostic as "file:line: message" with the
+// file reduced to its base name. Tests use it to assert behavior a want
+// comment cannot anchor, such as a report landing on an //lbe:ignore
+// directive's own line.
+func Diagnostics(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) []string {
+	t.Helper()
+	ld := &loader{
+		fset:   token.NewFileSet(),
+		loaded: map[string]*loadedPkg{},
+	}
+	ld.fallback = importer.ForCompiler(ld.fset, "source", nil)
+	facts := newFactStore()
+	var out []string
+	for _, pkg := range pkgs {
+		lp, err := ld.load(dir, pkg)
+		if err != nil {
+			t.Fatalf("vettest: loading %s: %v", pkg, err)
+		}
+		for _, d := range runAnalyzer(t, a, lp, facts) {
+			pos := ld.fset.Position(d.Pos)
+			out = append(out, fmt.Sprintf("%s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message))
+		}
+	}
+	return out
+}
+
+// loadedPkg is one type-checked testdata package.
+type loadedPkg struct {
+	path  string
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader parses and type-checks testdata packages, serving earlier
+// packages to later ones as imports.
+type loader struct {
+	fset     *token.FileSet
+	loaded   map[string]*loadedPkg
+	fallback types.Importer
+}
+
+// Import implements types.Importer: testdata packages win over the
+// source-importer fallback (which resolves the standard library).
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if lp, ok := ld.loaded[path]; ok {
+		return lp.pkg, nil
+	}
+	return ld.fallback.Import(path)
+}
+
+// load parses and type-checks dir/src/<path>.
+func (ld *loader) load(dir, path string) (*loadedPkg, error) {
+	srcDir := filepath.Join(dir, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(srcDir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", srcDir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{path: path, fset: ld.fset, files: files, pkg: pkg, info: info}
+	ld.loaded[path] = lp
+	return lp, nil
+}
+
+// factStore is an in-memory substitute for the unitchecker's serialized
+// fact files, shared across the packages of one Run call.
+type factStore struct {
+	object  map[types.Object][]analysis.Fact
+	pkgwide map[*types.Package][]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		object:  map[types.Object][]analysis.Fact{},
+		pkgwide: map[*types.Package][]analysis.Fact{},
+	}
+}
+
+// get copies the stored fact with ptr's concrete type into ptr,
+// reporting whether one was found.
+func get(stored []analysis.Fact, ptr analysis.Fact) bool {
+	want := reflect.TypeOf(ptr)
+	for _, f := range stored {
+		if reflect.TypeOf(f) == want {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// runAnalyzer runs a over one loaded package, returning its diagnostics.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, lp *loadedPkg, facts *factStore) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       lp.fset,
+		Files:      lp.files,
+		Pkg:        lp.pkg,
+		TypesInfo:  lp.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]any{},
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return get(facts.object[obj], fact)
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			facts.object[obj] = append(facts.object[obj], fact)
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			return get(facts.pkgwide[pkg], fact)
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			facts.pkgwide[lp.pkg] = append(facts.pkgwide[lp.pkg], fact)
+		},
+		AllObjectFacts:  func() []analysis.ObjectFact { return nil },
+		AllPackageFacts: func() []analysis.PackageFact { return nil },
+		Module:          &analysis.Module{Path: ""},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("vettest: analyzer %s on %s: %v", a.Name, lp.path, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// expectation is one `// want "regexp"` on a source line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantRE pulls the Go-quoted regexp arguments out of a want comment.
+var wantRE = regexp.MustCompile(`want\s+(.*)`)
+
+// checkExpectations matches diagnostics against the package's want
+// comments, failing the test on any unexpected diagnostic or unmatched
+// expectation.
+func checkExpectations(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, lp *loadedPkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range lp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil || !strings.Contains(text, `"`) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, lit := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("vettest: %s: bad want literal %s: %v", pos, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("vettest: %s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected %s diagnostic: %s", pos, a.Name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected %s diagnostic matching %q, got none", w.file, w.line, a.Name, w.re)
+		}
+	}
+}
+
+// splitQuoted returns the top-level Go string literals in s, in order.
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		if s[i] != '"' {
+			continue
+		}
+		j := i + 1
+		for j < len(s) {
+			if s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			break
+		}
+		out = append(out, s[i:j+1])
+		i = j
+	}
+	return out
+}
