@@ -15,9 +15,11 @@ import (
 // StatusError is a non-2xx HTTP reply, carrying the status code and the
 // server's ErrorResponse message (or a body excerpt when the body is not
 // an ErrorResponse).
+// The fields opt out of JSON explicitly: StatusError is a client-side
+// error value, decoded from ErrorResponse but never itself on the wire.
 type StatusError struct {
-	Code    int
-	Message string
+	Code    int    `json:"-"`
+	Message string `json:"-"`
 }
 
 // Error renders the status and message in one line.
@@ -35,22 +37,23 @@ func (e *StatusError) Error() string {
 // construct with New for a ready-to-use client.
 type Client struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8417". A
-	// trailing slash is trimmed.
-	BaseURL string
+	// trailing slash is trimmed. Client configuration is never
+	// JSON-encoded, so every field opts out of the wire explicitly.
+	BaseURL string `json:"-"`
 	// HTTPClient performs the requests; nil uses http.DefaultClient.
 	// Deadlines come from the per-attempt Timeout, not the http.Client.
-	HTTPClient *http.Client
+	HTTPClient *http.Client `json:"-"`
 	// Timeout is the per-attempt deadline layered onto the caller's
 	// context; 0 or negative applies no deadline beyond the context's.
-	Timeout time.Duration
+	Timeout time.Duration `json:"-"`
 	// Retries is the number of additional attempts after the first, spent
 	// only on transport errors and retryable statuses (429, 500, 502,
 	// 503, 504). Negative means no retries.
-	Retries int
+	Retries int `json:"-"`
 	// RetryBackoff is the base delay before the first retry; subsequent
 	// retries double it, and every wait is jittered to ±50% so synchronized
 	// clients do not retry in lockstep. 0 uses 100ms.
-	RetryBackoff time.Duration
+	RetryBackoff time.Duration `json:"-"`
 }
 
 // New returns a Client for the service root with the package defaults:
