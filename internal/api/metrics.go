@@ -44,6 +44,16 @@ func b2f(b bool) float64 {
 // appendStats renders one StatsResponse under the lbe_ metric names.
 func (m *metricsWriter) appendStats(st *StatsResponse) {
 	m.simple("lbe_draining", "Whether the service is draining (1) or serving (0).", "gauge", b2f(st.Status != "ok"))
+	if st.Digest != "" {
+		m.header("lbe_index_info", "Store identity: the consistency digest replicas must agree on (always 1).", "gauge")
+		m.value("lbe_index_info", fmt.Sprintf(`digest=%q`, st.Digest), 1)
+	}
+	if ss := st.ShardSet; ss != nil {
+		m.simple("lbe_shard_set", "Shard-set ordinal this replica holds (partitioned stores).", "gauge", float64(ss.Set))
+		m.simple("lbe_shard_sets", "Shard-set count in the replica's partition topology.", "gauge", float64(ss.Sets))
+		m.simple("lbe_shard_set_total_shards", "Total shards across the replica's partition topology.", "gauge", float64(ss.TotalShards))
+		m.simple("lbe_shard_set_topk", "Per-set result depth the scatter merge truncates to.", "gauge", float64(ss.TopK))
+	}
 	m.simple("lbe_shards", "Index shards held by the session(s).", "gauge", float64(st.Shards))
 	m.simple("lbe_groups", "LBE peptide groups formed over the database.", "gauge", float64(st.Groups))
 	m.simple("lbe_index_bytes", "Resident shard-index bytes.", "gauge", float64(st.IndexBytes))
@@ -62,8 +72,22 @@ func (m *metricsWriter) appendStats(st *StatsResponse) {
 	m.simple("lbe_queue_depth", "Admission queue capacity.", "gauge", float64(st.QueueDepth))
 	m.simple("lbe_inflight_batches", "Coalesced batches currently searching.", "gauge", float64(st.InFlight))
 	m.simple("lbe_max_inflight_batches", "In-flight batch slot capacity.", "gauge", float64(st.MaxInFlight))
+	m.simple("lbe_coalesce_batch_size", "Coalescer flush threshold (queries per batch).", "gauge", float64(st.BatchSize))
+	m.simple("lbe_coalesce_flush_interval_us", "Coalescer flush interval in microseconds.", "gauge", float64(st.FlushMicros))
 
 	if len(st.PerShard) > 0 {
+		m.header("lbe_shard_peptides", "Database peptides indexed by the shard.", "gauge")
+		for _, sh := range st.PerShard {
+			m.value("lbe_shard_peptides", fmt.Sprintf(`shard="%d"`, sh.Rank), float64(sh.Peptides))
+		}
+		m.header("lbe_shard_rows", "Index rows (peptide variants) held by the shard.", "gauge")
+		for _, sh := range st.PerShard {
+			m.value("lbe_shard_rows", fmt.Sprintf(`shard="%d"`, sh.Rank), float64(sh.Rows))
+		}
+		m.header("lbe_shard_index_bytes", "Resident index bytes held by the shard.", "gauge")
+		for _, sh := range st.PerShard {
+			m.value("lbe_shard_index_bytes", fmt.Sprintf(`shard="%d"`, sh.Rank), float64(sh.IndexBytes))
+		}
 		m.header("lbe_shard_work_units_total", "Deterministic work units per shard.", "counter")
 		for _, sh := range st.PerShard {
 			m.value("lbe_shard_work_units_total", fmt.Sprintf(`shard="%d"`, sh.Rank), float64(sh.WorkUnits))
@@ -81,10 +105,19 @@ func (m *metricsWriter) appendStats(st *StatsResponse) {
 
 	m.simple("lbe_sched_stealing", "Whether work stealing is enabled.", "gauge", b2f(sc.Stealing))
 	m.simple("lbe_sched_chunk_size", "Effective scheduler chunk granularity (queries).", "gauge", float64(sc.ChunkSize))
+	m.simple("lbe_sched_batches_total", "Query batches the scheduler executed.", "counter", float64(sc.Batches))
 	m.simple("lbe_sched_chunks_total", "Scheduler chunks executed.", "counter", float64(sc.Chunks))
 	m.simple("lbe_sched_steals_total", "Steal-half operations performed.", "counter", float64(sc.Steals))
 	m.simple("lbe_sched_chunks_stolen_total", "Chunks acquired by stealing.", "counter", float64(sc.Stolen))
 	if len(sc.PerWorker) > 0 {
+		m.header("lbe_worker_chunks_total", "Chunks executed per scheduler worker.", "counter")
+		for _, w := range sc.PerWorker {
+			m.value("lbe_worker_chunks_total", fmt.Sprintf(`worker="%d"`, w.Worker), float64(w.Chunks))
+		}
+		m.header("lbe_worker_chunks_stolen_total", "Chunks acquired by stealing, per scheduler worker.", "counter")
+		for _, w := range sc.PerWorker {
+			m.value("lbe_worker_chunks_stolen_total", fmt.Sprintf(`worker="%d"`, w.Worker), float64(w.Stolen))
+		}
 		m.header("lbe_worker_work_units_total", "Deterministic work units per scheduler worker.", "counter")
 		for _, w := range sc.PerWorker {
 			m.value("lbe_worker_work_units_total", fmt.Sprintf(`worker="%d"`, w.Worker), float64(w.WorkUnits))
@@ -131,6 +164,10 @@ func FormatRouterMetrics(st *RouterStatsResponse) []byte {
 	m.appendStats(&st.Aggregate)
 
 	m.simple("lbe_router_draining", "Whether the router is draining (1) or serving (0).", "gauge", b2f(st.Status != "ok"))
+	if st.Digest != "" {
+		m.header("lbe_router_index_info", "Cluster store identity: the digest the router requires replicas to match (always 1).", "gauge")
+		m.value("lbe_router_index_info", fmt.Sprintf(`digest=%q`, st.Digest), 1)
+	}
 	m.simple("lbe_router_requests_routed_total", "Requests routed to a replica successfully.", "counter", float64(st.Routed))
 	m.simple("lbe_router_failovers_total", "Attempts retried on another replica after a failure.", "counter", float64(st.Failovers))
 	m.header("lbe_router_requests_rejected_total", "Requests the router rejected, by reason.", "counter")
@@ -140,6 +177,13 @@ func FormatRouterMetrics(st *RouterStatsResponse) []byte {
 		m.value("lbe_router_requests_rejected_total", `reason="shard_set_down"`, float64(st.Scatter.RejectedSetDown))
 		m.simple("lbe_router_shard_sets", "Shard-sets in the discovered partition topology.", "gauge", float64(st.Scatter.Sets))
 		m.simple("lbe_router_shard_sets_covered", "Shard-sets with at least one consistent healthy holder.", "gauge", float64(st.Scatter.Covered))
+		m.simple("lbe_router_total_shards", "Total shards across the discovered partition topology.", "gauge", float64(st.Scatter.TotalShards))
+		if len(st.Scatter.SetDigests) > 0 {
+			m.header("lbe_router_shard_set_info", "Per-set store digest of the discovered topology (always 1).", "gauge")
+			for i, d := range st.Scatter.SetDigests {
+				m.value("lbe_router_shard_set_info", fmt.Sprintf(`set="%d",digest=%q`, i, d), 1)
+			}
+		}
 	}
 	if st.Cache != nil {
 		m.appendCache("lbe_router_cache", st.Cache)
@@ -161,6 +205,34 @@ func FormatRouterMetrics(st *RouterStatsResponse) []byte {
 		m.header("lbe_router_replica_failed_total", "Attempts that failed on the replica.", "counter")
 		for _, r := range st.Replicas {
 			m.value("lbe_router_replica_failed_total", fmt.Sprintf(`replica=%q`, r.URL), float64(r.Failed))
+		}
+		m.header("lbe_router_replica_queue_len", "Admission queue length last reported by the replica.", "gauge")
+		for _, r := range st.Replicas {
+			m.value("lbe_router_replica_queue_len", fmt.Sprintf(`replica=%q`, r.URL), float64(r.QueueLen))
+		}
+		m.header("lbe_router_replica_in_flight", "In-flight batches last reported by the replica.", "gauge")
+		for _, r := range st.Replicas {
+			m.value("lbe_router_replica_in_flight", fmt.Sprintf(`replica=%q`, r.URL), float64(r.InFlight))
+		}
+		m.header("lbe_router_replica_router_in_flight", "Requests the router currently has outstanding on the replica.", "gauge")
+		for _, r := range st.Replicas {
+			m.value("lbe_router_replica_router_in_flight", fmt.Sprintf(`replica=%q`, r.URL), float64(r.RouterInFlight))
+		}
+		m.header("lbe_router_replica_probe_age_ms", "Milliseconds since the replica's last successful probe (-1 before the first).", "gauge")
+		for _, r := range st.Replicas {
+			m.value("lbe_router_replica_probe_age_ms", fmt.Sprintf(`replica=%q`, r.URL), float64(r.ProbeAgeMillis))
+		}
+		m.header("lbe_router_replica_stats_age_ms", "Milliseconds since the replica's last stats snapshot (-1 before the first).", "gauge")
+		for _, r := range st.Replicas {
+			m.value("lbe_router_replica_stats_age_ms", fmt.Sprintf(`replica=%q`, r.URL), float64(r.StatsAgeMillis))
+		}
+		m.header("lbe_router_replica_info", "Replica identity: store digest and shard-set ordinal (-1 for whole-store replicas; always 1).", "gauge")
+		for _, r := range st.Replicas {
+			set := -1
+			if r.ShardSet != nil {
+				set = r.ShardSet.Set
+			}
+			m.value("lbe_router_replica_info", fmt.Sprintf(`replica=%q,digest=%q,set="%d"`, r.URL, r.Digest, set), 1)
 		}
 	}
 	return m.buf.Bytes()
