@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -39,6 +41,12 @@ func main() {
 	o.Ranks = *ranks
 	o.Queries = *queries
 	o.Seed = *seed
+
+	// Interrupt cancels the run's root context, so a Ctrl-C mid-figure
+	// tears down streaming sessions instead of abandoning them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	o.Ctx = ctx
 
 	runners := map[string]func(bench.Options) (bench.Figure, error){
 		"setup":      bench.SetupStats,

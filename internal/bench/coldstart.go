@@ -48,7 +48,7 @@ func ColdStart(o Options) (Figure, error) {
 			sess.Close()
 			return fig, err
 		}
-		openMs, rows, bytes, err := openFromStore(sess, c, dir)
+		openMs, rows, bytes, err := openFromStore(o.ctx(), sess, c, dir)
 		os.RemoveAll(dir)
 		sess.Close()
 		if err != nil {
@@ -72,7 +72,7 @@ func ColdStart(o Options) (Figure, error) {
 // openFromStore saves the session to dir, times OpenSession, verifies the
 // reloaded session answers a query sample identically, and reports the
 // open wall time, total indexed rows, and store bytes on disk.
-func openFromStore(sess *engine.Session, c Corpus, dir string) (openMs float64, rows int, storeBytes int64, err error) {
+func openFromStore(ctx context.Context, sess *engine.Session, c Corpus, dir string) (openMs float64, rows int, storeBytes int64, err error) {
 	if err := sess.Save(dir, c.Peptides); err != nil {
 		return 0, 0, 0, err
 	}
@@ -109,11 +109,11 @@ func openFromStore(sess *engine.Session, c Corpus, dir string) (openMs float64, 
 	if len(sample) > 32 {
 		sample = sample[:32]
 	}
-	want, err := sess.Search(context.Background(), sample)
+	want, err := sess.Search(ctx, sample)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	got, err := loaded.Search(context.Background(), sample)
+	got, err := loaded.Search(ctx, sample)
 	if err != nil {
 		return 0, 0, 0, err
 	}

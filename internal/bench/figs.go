@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,6 +20,18 @@ type Options struct {
 	RankSweep []int   // CPU counts for the scalability figures (paper: 2..16)
 	Queries   int     // query spectra per run
 	Seed      uint64
+	// Ctx cancels long figure runs mid-flight (lbe-bench threads a
+	// signal-cancelled root); nil falls back to an uncancellable run.
+	Ctx context.Context
+}
+
+// ctx returns the run's cancellation context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	//lbe:ignore ctxflow nil-Ctx fallback keeps zero-value Options usable in tests; lbe-bench threads a real root
+	return context.Background()
 }
 
 // DefaultOptions returns the laptop-scale defaults.

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"context"
 	"fmt"
 	"time"
 
@@ -46,7 +45,7 @@ func SessionThroughput(o Options) (Figure, error) {
 	session := Series{Label: "session pipeline"}
 	baseline := Series{Label: "serial baseline"}
 	for _, b := range batches {
-		st, err := sess.Stream(context.Background())
+		st, err := sess.Stream(o.ctx())
 		if err != nil {
 			return fig, err
 		}

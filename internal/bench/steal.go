@@ -132,7 +132,7 @@ func Steal(o Options) (Figure, error) {
 
 	// One real measured pair at the machine's own width, so the model is
 	// anchored to an actual run (on few-core containers the two coincide).
-	measured, err := measuredStealPair(peptides, c.Queries, cfg, shards)
+	measured, err := measuredStealPair(o.ctx(), peptides, c.Queries, cfg, shards)
 	if err != nil {
 		return fig, err
 	}
@@ -142,7 +142,7 @@ func Steal(o Options) (Figure, error) {
 
 // measuredStealPair runs the real engine once per schedule at
 // GOMAXPROCS workers and reports wall time and steal counts.
-func measuredStealPair(peptides []string, queries []spectrum.Experimental, cfg engine.Config, shards int) (string, error) {
+func measuredStealPair(ctx context.Context, peptides []string, queries []spectrum.Experimental, cfg engine.Config, shards int) (string, error) {
 	workers := runtime.GOMAXPROCS(0)
 	var walls [2]float64
 	var steals int64
@@ -157,7 +157,7 @@ func measuredStealPair(peptides []string, queries []spectrum.Experimental, cfg e
 			return "", err
 		}
 		start := time.Now()
-		if _, err := sess.Search(context.Background(), queries); err != nil {
+		if _, err := sess.Search(ctx, queries); err != nil {
 			sess.Close()
 			return "", err
 		}
