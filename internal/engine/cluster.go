@@ -15,6 +15,7 @@ import (
 // transport) and returns the master's result. It is the workhorse of the
 // experiments and examples.
 func RunInProcess(p int, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	//lbe:ignore ctxflow uncancellable convenience wrapper; callers needing cancellation use RunInProcessCtx
 	return RunInProcessCtx(context.Background(), p, peptides, queries, cfg)
 }
 
@@ -31,6 +32,7 @@ func RunInProcessCtx(ctx context.Context, p int, peptides []string, queries []sp
 // loopback TCP links, demonstrating wire-level operation; used by the
 // transport ablation.
 func RunOverTCP(p int, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	//lbe:ignore ctxflow uncancellable convenience wrapper; callers needing cancellation use RunOverTCPCtx
 	return RunOverTCPCtx(context.Background(), p, peptides, queries, cfg)
 }
 

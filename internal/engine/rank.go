@@ -92,6 +92,7 @@ func (pr lbePrep) localPeptides(peptides []string, m int) []string {
 // cfg.BuildWorkers to divide the cores among them; the in-process cluster
 // runners do this automatically.
 func RunRank(c mpi.Comm, peptides []string, queries []spectrum.Experimental, cfg Config) (*Result, error) {
+	//lbe:ignore ctxflow uncancellable convenience wrapper; callers needing cancellation use RunRankCtx
 	return RunRankCtx(context.Background(), c, peptides, queries, cfg)
 }
 
