@@ -44,6 +44,7 @@ type tcpComm struct {
 func (c *tcpComm) Rank() int { return c.rank }
 func (c *tcpComm) Size() int { return c.size }
 
+//lbe:ignore ctxflow Comm is the MPI-style wire contract; cancellation closes the communicator, which fails a blocked Write
 func (c *tcpComm) Send(to int, tag Tag, data []byte) error {
 	if err := checkPeer(to, c.size); err != nil {
 		return err
@@ -62,6 +63,7 @@ func (c *tcpComm) Send(to int, tag Tag, data []byte) error {
 	binary.LittleEndian.PutUint16(frame[4:], uint16(tag))
 	copy(frame[6:], data)
 	c.mu.Lock()
+	//lbe:ignore lockheld the mutex exists to serialize whole-frame writes; Close unblocks a stuck Write by closing the conn
 	_, err := conn.Write(frame)
 	c.mu.Unlock()
 	if err != nil {
@@ -199,6 +201,8 @@ func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
 // process, with every rank listening on a loopback TCP port and a full
 // mesh of real TCP connections between them. It returns the endpoints
 // indexed by rank.
+//
+//lbe:ignore ctxflow MPI_Init-style bootstrap; abandoning setup means Close on the returned endpoints, not a context
 func NewTCPCluster(size int) ([]Comm, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("mpi: cluster size %d must be >= 1", size)
@@ -241,6 +245,8 @@ func NewTCPCluster(size int) ([]Comm, error) {
 // HostTCP runs the coordinator side of the multi-process bootstrap: it
 // listens on addr, waits for size-1 workers to register, assigns ranks,
 // distributes the address table, and returns the rank-0 endpoint.
+//
+//lbe:ignore ctxflow MPI_Init-style bootstrap; abandoning setup means Close on the returned endpoint, not a context
 func HostTCP(addr string, size int) (Comm, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("mpi: cluster size %d must be >= 1", size)
@@ -299,6 +305,8 @@ func HostTCP(addr string, size int) (Comm, error) {
 // JoinTCP runs the worker side of the multi-process bootstrap: it starts a
 // peer listener, registers with the coordinator at addr, receives its rank
 // and the address table, completes the mesh, and returns its endpoint.
+//
+//lbe:ignore ctxflow MPI_Init-style bootstrap; dialRetry's deadline bounds the wait, and abandoning setup means Close
 func JoinTCP(addr string) (Comm, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
