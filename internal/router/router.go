@@ -177,6 +177,12 @@ type Router struct {
 	probeDone chan struct{}
 	reqWG     sync.WaitGroup
 
+	// probeCtx is the probe loop's lifecycle root; stopProbes cancels it
+	// on Shutdown so a probe blocked in a slow Health call aborts
+	// immediately instead of running out its timeout.
+	probeCtx   context.Context
+	stopProbes context.CancelFunc
+
 	mu            sync.RWMutex
 	draining      bool
 	clusterDigest string
@@ -201,6 +207,8 @@ func New(replicaURLs []string, cfg Config) (*Router, error) {
 		quit:      make(chan struct{}),
 		probeDone: make(chan struct{}),
 	}
+	//lbe:ignore ctxflow the router owns its probe lifecycle; this root is cancelled by Shutdown, and callers bound requests via their own contexts
+	rt.probeCtx, rt.stopProbes = context.WithCancel(context.Background())
 	if cfg.CacheBytes > 0 {
 		rt.cache = qcache.New[[]byte](
 			qcache.Config{MaxBytes: cfg.CacheBytes, TTL: cfg.CacheTTL},
@@ -310,7 +318,7 @@ func isPartialHolder(ss *api.ShardSetJSON) bool {
 
 // probeOne refreshes one replica's health and load snapshot.
 func (rt *Router) probeOne(r *replica) {
-	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	ctx, cancel := context.WithTimeout(rt.probeCtx, rt.cfg.ProbeTimeout)
 	defer cancel()
 	h, err := r.client.Health(ctx)
 	if err != nil || h.Status != "ok" {
@@ -724,6 +732,7 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 	rt.mu.Unlock()
 	if !already {
 		close(rt.quit)
+		rt.stopProbes()
 	}
 	<-rt.probeDone
 
@@ -743,7 +752,10 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 // Close force-drains the router, for tests and defer-style cleanup.
 // In-flight proxied requests are abandoned to their own deadlines.
 func (rt *Router) Close() {
-	expired, cancel := context.WithCancel(context.Background())
+	// Deriving from the probe root keeps Close context-free; it works
+	// even after the root is cancelled because expired is cancelled
+	// immediately anyway.
+	expired, cancel := context.WithCancel(rt.probeCtx)
 	cancel()
 	_ = rt.Shutdown(expired)
 }
