@@ -154,6 +154,7 @@ type Server struct {
 // Shutdown returns.
 func New(sess *engine.Session, peptides []string, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	//lbe:ignore ctxflow the server owns its drain lifecycle; Shutdown cancels this root, and handlers bound work via each request's context
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:          cfg,
@@ -222,7 +223,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // context, for tests and defer-style cleanup.
 func (s *Server) Close() {
 	s.cancelBase()
-	expired, cancel := context.WithCancel(context.Background())
+	// Deriving from the (just-cancelled) base keeps Close context-free;
+	// expired is cancelled immediately anyway.
+	expired, cancel := context.WithCancel(s.baseCtx)
 	cancel()
 	_ = s.Shutdown(expired)
 }
