@@ -155,6 +155,8 @@ func newWorkerState(id, shards int) *workerState {
 
 // runChunk searches one chunk's queries against its shard, writing each
 // query's matches into the (shard, query) cell owned by this chunk alone.
+//
+//lbe:hotpath
 func (ws *workerState) runChunk(c chunk, ix *slm.Index, qs []spectrum.Experimental, out [][][]slm.Match) {
 	start := time.Now()
 	var work slm.Work
@@ -180,6 +182,9 @@ type deque struct {
 	chunks []chunk
 }
 
+// pop removes and returns the front chunk.
+//
+//lbe:hotpath
 func (d *deque) pop() (chunk, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -192,6 +197,9 @@ func (d *deque) pop() (chunk, bool) {
 }
 
 // stealHalf removes and returns the back half (rounded up) of the deque.
+// The sized make for the stolen chunks is the transfer's one allocation.
+//
+//lbe:hotpath
 func (d *deque) stealHalf() []chunk {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -206,6 +214,9 @@ func (d *deque) stealHalf() []chunk {
 	return stolen
 }
 
+// size reports the current queue length (used by the victim scan).
+//
+//lbe:hotpath
 func (d *deque) size() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -172,6 +172,8 @@ func (p Params) maxModDelta() float64 {
 // open search all chunks are. Results are identical to the monolithic
 // index (with Peptide resolved through the chunk's map); ChunksTouched in
 // the returned Work statistics... chunk accounting is returned separately.
+//
+//lbe:hotpath
 func (ci *ChunkedIndex) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]Match, Work, int) {
 	if scratch == nil {
 		scratch = &Scratch{}

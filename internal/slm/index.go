@@ -350,6 +350,8 @@ func (ix *Index) MemoryBytes() int {
 func (ix *Index) BuildPeakBytes() int { return ix.buildPeak }
 
 // bucketRange returns the posting range for the fragment window around mz.
+//
+//lbe:hotpath
 func (ix *Index) bucketRange(mz float64) (lo, hi uint32) {
 	bucketer := mass.NewBucketer(ix.params.Resolution)
 	blo, bhi := bucketer.Range(mz, ix.params.FragmentTol)

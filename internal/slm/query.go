@@ -44,6 +44,10 @@ type Scratch struct {
 	merged  []Match // cross-chunk accumulator for ChunkedIndex.Search
 }
 
+// ensure sizes the scratch buffers for an index with rows rows; a warm
+// scratch (already at capacity) does not allocate.
+//
+//lbe:hotpath
 func (s *Scratch) ensure(rows int) {
 	if len(s.counts) < rows {
 		// Round capacity up to the next power of two: a work-stealing
@@ -66,6 +70,8 @@ func (s *Scratch) ensure(rows int) {
 // with the same Scratch.
 //
 // The query's peaks must be sorted by m/z (see spectrum.Preprocess).
+//
+//lbe:hotpath
 func (ix *Index) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]Match, Work) {
 	if scratch == nil {
 		scratch = &Scratch{}
@@ -82,6 +88,8 @@ func (ix *Index) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]
 
 // searchScratch runs the two search phases and returns matches backed by
 // scratch.matches: valid only until the next search with this Scratch.
+//
+//lbe:hotpath
 func (ix *Index) searchScratch(q spectrum.Experimental, scratch *Scratch) ([]Match, Work) {
 	scratch.ensure(len(ix.rows))
 	var work Work
@@ -131,7 +139,10 @@ func (ix *Index) searchScratch(q spectrum.Experimental, scratch *Scratch) ([]Mat
 }
 
 // copyMatches returns a caller-owned copy of a scratch-backed slice so
-// callers may retain results across searches. nil stays nil.
+// callers may retain results across searches. nil stays nil. The sized
+// make here is the one allocation the warm search path is allowed.
+//
+//lbe:hotpath
 func copyMatches(ms []Match) []Match {
 	if len(ms) == 0 {
 		return nil
@@ -144,6 +155,8 @@ func copyMatches(ms []Match) []Match {
 // sortMatches orders by descending score, then ascending row id for
 // determinism across runs and machines. Both fields together are a total
 // order, so the unstable allocation-free sort is deterministic.
+//
+//lbe:hotpath
 func sortMatches(ms []Match) {
 	slices.SortFunc(ms, func(a, b Match) int {
 		if a.Score != b.Score {

@@ -12,6 +12,8 @@ import "math"
 // every candidate of one query shares that count, so it cannot reorder
 // matches, and queries are never ranked against each other. (An earlier
 // signature accepted it and silently ignored it.)
+//
+//lbe:hotpath
 func hyperscore(shared uint16, intensitySum float64, rowIons int) float64 {
 	if shared == 0 {
 		return 0
