@@ -7,15 +7,23 @@
 //	lbe-bench                    # everything, laptop scale (1/1000 of paper)
 //	lbe-bench -fig 6             # just the load-imbalance figure
 //	lbe-bench -scale 0.01 -out EXPERIMENTS.md
+//	lbe-bench -fig coldstart -json artifacts/
+//
+// Besides the markdown tables, every figure is also written as a
+// machine-readable BENCH_<id>.json artifact (series plus headline
+// metrics) into the -json directory, "" to disable — the hook for
+// tracking perf trajectories across commits without scraping tables.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -33,6 +41,7 @@ func main() {
 		queries = flag.Int("queries", 800, "query spectra per run")
 		seed    = flag.Uint64("seed", 1, "dataset seed")
 		out     = flag.String("out", "", "write markdown to this file instead of stdout")
+		jsonDir = flag.String("json", ".", "directory for machine-readable BENCH_<id>.json artifacts ('' disables)")
 	)
 	flag.Parse()
 
@@ -71,9 +80,11 @@ func main() {
 	}
 
 	var sb strings.Builder
+	var figs []bench.Figure
 	start := time.Now()
 	if *fig == "all" {
-		figs, err := bench.All(o)
+		var err error
+		figs, err = bench.All(o)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -90,9 +101,27 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		figs = append(figs, f)
 		sb.WriteString(f.Markdown())
 	}
 	log.Printf("experiments completed in %v", time.Since(start).Round(time.Millisecond))
+
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range figs {
+			doc, err := json.MarshalIndent(f, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+f.ID+".json")
+			if err := os.WriteFile(path, append(doc, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", path)
+		}
+	}
 
 	if *out == "" {
 		fmt.Print(sb.String())

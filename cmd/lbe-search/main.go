@@ -44,6 +44,7 @@ func main() {
 	var (
 		db      = flag.String("db", "", "peptide FASTA database (required unless -index is set)")
 		index   = flag.String("index", "", "warm-start from a session store directory written by lbe-index -out")
+		mmap    = flag.Bool("mmap", true, "memory-map the store's shard indexes (page-cache shared, heap fallback); only with -index")
 		ms2In   = flag.String("ms2", "", "MS2 query file (required)")
 		out     = flag.String("out", "", "output TSV report ('-' or empty for stdout)")
 		ranks   = flag.Int("ranks", 4, "shards (virtual cluster size)")
@@ -73,8 +74,13 @@ func main() {
 			"ranks", "policy", "seed", "max-mods", "topk", "weights"); len(bad) > 0 {
 			log.Fatalf("-%s cannot be combined with -index: the store fixes it", bad[0])
 		}
-	} else if *db == "" {
-		log.Fatal("-db or -index is required")
+	} else {
+		if *db == "" {
+			log.Fatal("-db or -index is required")
+		}
+		if bad := cliutil.ExplicitlySet("mmap"); len(bad) > 0 {
+			log.Fatalf("-%s requires -index: only a stored index can be memory-mapped", bad[0])
+		}
 	}
 
 	var peptides []string
@@ -114,7 +120,7 @@ func main() {
 	} else {
 		loadStart := time.Now()
 		var err error
-		sess, peptides, err = lbe.OpenSession(*index)
+		sess, peptides, err = lbe.OpenSessionOptions(*index, lbe.OpenOptions{MapStore: *mmap})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -125,8 +131,8 @@ func main() {
 		sess.Tune(*threads, *batch)
 		cliutil.TuneSchedulerFromFlags(sess, *chunk, *steal)
 		cfg = sess.Config()
-		log.Printf("session restored from %s: %d shards, %d groups, index %.2f MB, loaded in %v",
-			*index, sess.NumShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),
+		log.Printf("session restored from %s: %d shards (%d mmap-backed), %d groups, index %.2f MB, loaded in %v",
+			*index, sess.NumShards(), sess.MappedShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),
 			time.Since(loadStart).Round(time.Millisecond))
 	}
 

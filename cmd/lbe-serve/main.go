@@ -52,6 +52,7 @@ func main() {
 		addr     = flag.String("addr", ":8417", "listen address (host:port; port 0 picks a free port)")
 		db       = flag.String("db", "", "peptide FASTA database (required unless -index is set)")
 		index    = flag.String("index", "", "warm-start from a session store directory written by lbe-index -out")
+		mmap     = flag.Bool("mmap", true, "memory-map the store's shard indexes (page-cache shared, heap fallback); only with -index")
 		doDigest = flag.Bool("digest", false, "treat -db as proteins and digest in-process")
 		maxMods  = flag.Int("max-mods", 2, "max modified residues per peptide")
 		ranks    = flag.Int("ranks", 4, "shards (virtual cluster size)")
@@ -83,14 +84,14 @@ func main() {
 		}
 		loadStart := time.Now()
 		var err error
-		sess, peptides, err = lbe.OpenSession(*index)
+		sess, peptides, err = lbe.OpenSessionOptions(*index, lbe.OpenOptions{MapStore: *mmap})
 		if err != nil {
 			log.Fatal(err)
 		}
 		sess.Tune(*threads, *batch)
 		cliutil.TuneSchedulerFromFlags(sess, *chunk, *steal)
-		log.Printf("session restored from %s: %d peptides, %d shards, %d groups, index %.2f MB, loaded in %v",
-			*index, len(peptides), sess.NumShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),
+		log.Printf("session restored from %s: %d peptides, %d shards (%d mmap-backed), %d groups, index %.2f MB, loaded in %v",
+			*index, len(peptides), sess.NumShards(), sess.MappedShards(), sess.Groups(), float64(sess.IndexBytes())/(1<<20),
 			time.Since(loadStart).Round(time.Millisecond))
 		if peptides == nil {
 			log.Printf("store has no peptide list; responses will omit matched sequences")
@@ -98,6 +99,9 @@ func main() {
 	} else {
 		if *db == "" {
 			log.Fatal("-db or -index is required")
+		}
+		if bad := cliutil.ExplicitlySet("mmap"); len(bad) > 0 {
+			log.Fatalf("-%s requires -index: only a stored index can be memory-mapped", bad[0])
 		}
 		recs, err := lbe.ReadFasta(*db)
 		if err != nil {

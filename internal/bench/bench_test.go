@@ -398,26 +398,45 @@ func TestColdStartShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fig.Series) != 2 {
+	if len(fig.Series) != 5 {
 		t.Fatalf("series = %d", len(fig.Series))
 	}
-	rebuild, warm := fig.Series[0], fig.Series[1]
-	if len(rebuild.Y) != len(paperSizesM) || len(warm.Y) != len(rebuild.Y) {
-		t.Fatalf("notches: rebuild %d, warm %d, want %d", len(rebuild.Y), len(warm.Y), len(paperSizesM))
+	rebuild, heapOpen, mmapOpen := fig.Series[0], fig.Series[1], fig.Series[2]
+	heapQ, mmapQ := fig.Series[3], fig.Series[4]
+	for _, s := range fig.Series {
+		if len(s.Y) != len(paperSizesM) {
+			t.Fatalf("%s: %d notches, want %d", s.Label, len(s.Y), len(paperSizesM))
+		}
 	}
-	for i := range warm.Y {
-		if warm.Y[i] <= 0 || rebuild.Y[i] <= 0 {
-			t.Errorf("notch %d: non-positive wall time (rebuild %.3f, open %.3f)", i, rebuild.Y[i], warm.Y[i])
+	for i := range rebuild.Y {
+		for _, s := range []Series{rebuild, heapOpen, mmapOpen, heapQ, mmapQ} {
+			if s.Y[i] <= 0 {
+				t.Errorf("notch %d: non-positive wall time in %s (%.3f)", i, s.Label, s.Y[i])
+			}
 		}
 	}
 	// The figure's reason to exist is that opening beats rebuilding, but
-	// at tinyOptions scale both are single-digit milliseconds, so a
+	// at tinyOptions scale everything is single-digit milliseconds, so a
 	// strict inequality would flake on a loaded CI runner. Allow a wide
 	// margin; the real comparison is the reported figure itself.
 	last := len(rebuild.Y) - 1
-	if warm.Y[last] >= 3*rebuild.Y[last] {
-		t.Errorf("open-from-store (%.2fms) wildly slower than rebuild (%.2fms) at the largest notch",
-			warm.Y[last], rebuild.Y[last])
+	if heapOpen.Y[last] >= 3*rebuild.Y[last] {
+		t.Errorf("heap open (%.2fms) wildly slower than rebuild (%.2fms) at the largest notch",
+			heapOpen.Y[last], rebuild.Y[last])
+	}
+	if mmapOpen.Y[last] >= 3*heapOpen.Y[last] {
+		t.Errorf("mmap open (%.2fms) wildly slower than heap open (%.2fms) at the largest notch",
+			mmapOpen.Y[last], heapOpen.Y[last])
+	}
+	for _, key := range []string{
+		"rebuild_ms_largest", "heap_open_ms_largest", "mmap_open_ms_largest",
+		"mmap_open_speedup_largest", "heap_first_query_ms_largest",
+		"mmap_first_query_ms_largest", "heap_open_alloc_mb_largest",
+		"mmap_open_alloc_mb_largest", "store_mb_largest",
+	} {
+		if _, ok := fig.Metrics[key]; !ok {
+			t.Errorf("metrics missing %q", key)
+		}
 	}
 }
 

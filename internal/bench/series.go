@@ -2,24 +2,33 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
 // Series is one labeled curve of an experiment figure.
 type Series struct {
-	Label string
-	X     []float64
-	Y     []float64
+	Label string    `json:"label"`
+	X     []float64 `json:"x"`
+	Y     []float64 `json:"y"`
 }
 
 // Figure is a reproduced paper figure: axis metadata plus its curves.
+// The JSON encoding is the machine-readable BENCH_<id>.json artifact
+// lbe-bench writes next to the markdown, so perf trajectories can be
+// tracked across commits without parsing tables.
 type Figure struct {
-	ID     string // e.g. "fig6"
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
-	Notes  []string
+	ID     string   `json:"id"` // e.g. "fig6"
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	YLabel string   `json:"y_label"`
+	Series []Series `json:"series"`
+	Notes  []string `json:"notes,omitempty"`
+
+	// Metrics are the figure's headline scalars (speedups, deltas) keyed
+	// by a stable snake_case name, for dashboards and CI assertions that
+	// should not scrape Notes prose.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Markdown renders the figure as a markdown table with one column per
@@ -64,6 +73,16 @@ func (f Figure) Markdown() string {
 	}
 	for _, n := range f.Notes {
 		fmt.Fprintf(&sb, "\n> %s\n", n)
+	}
+	if len(f.Metrics) > 0 {
+		keys := make([]string, 0, len(f.Metrics))
+		for k := range f.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "\n> %s = %s\n", k, trimFloat(f.Metrics[k]))
+		}
 	}
 	return sb.String()
 }

@@ -31,6 +31,12 @@ type SessionConfig struct {
 	// cluster size); 0 or negative means 1. Results are identical for
 	// every shard count.
 	Shards int
+	// MapStore asks store-opening entry points to back shard indexes
+	// with read-only memory mappings of the SLMX files instead of heap
+	// copies (see OpenOptions.MapStore). It is a runtime preference, not
+	// part of the store's identity: the json:"-" tag keeps it out of
+	// manifests, so digests are invariant to how a store is opened.
+	MapStore bool `json:"-"`
 }
 
 // DefaultSessionConfig returns a traffic-serving setup: the paper's cyclic
@@ -76,6 +82,13 @@ type Session struct {
 	partitionNs   int64
 	build         []RankStats   // per-shard construction stats (zero query load)
 	shardSet      *ShardSetInfo // non-nil when this session holds one slice of a partitioned store
+
+	// storeVerify holds the deferred content verification of mapped shard
+	// opens (section CRCs + manifest whole-file CRCs); verifyOnce runs it
+	// before the first query and latches the outcome into verifyErr.
+	storeVerify []func() error
+	verifyOnce  sync.Once
+	verifyErr   error
 
 	mu       sync.Mutex
 	pool     *sched.Pool // query-time execution layer; swapped by Tune*
@@ -218,6 +231,22 @@ func (cfg Config) newSessionPool() *sched.Pool {
 // NumShards returns the number of in-process partitions.
 func (s *Session) NumShards() int { return len(s.build) }
 
+// MappedShards returns how many of the session's shard indexes are
+// backed by zero-copy memory mappings (see OpenOptions.MapStore): 0 for
+// freshly built or heap-loaded sessions, NumShards for a fully mapped
+// store open, in between when some shards fell back.
+func (s *Session) MappedShards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ix := range s.shards {
+		if ix.Mapped() {
+			n++
+		}
+	}
+	return n
+}
+
 // ShardSetInfo identifies the slice of a partitioned store a session
 // holds: which shard-set it is, the cluster shape, and the global id of
 // each local shard (see Session.SavePartitioned).
@@ -307,7 +336,10 @@ func (s *Session) SchedulerStats() SchedulerStats {
 }
 
 // Close releases the shard indexes. Streams opened later fail; streams
-// already open keep their index references and drain normally.
+// already open keep their index references and drain normally. For a
+// mapped session this only drops the references — the underlying file
+// mappings are released when the last index reference is collected
+// (never eagerly, since a draining stream may still be searching them).
 func (s *Session) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -392,9 +424,46 @@ type Stream struct {
 	err error
 }
 
+// verifyStore runs the deferred content verification of a mapped store
+// open exactly once — every lazily-opened shard in parallel — and
+// returns the same outcome on later calls. Sessions built in-process or
+// heap-loaded verified everything eagerly and return nil immediately.
+func (s *Session) verifyStore() error {
+	s.verifyOnce.Do(func() {
+		if len(s.storeVerify) == 0 {
+			return
+		}
+		errs := make([]error, len(s.storeVerify))
+		var wg sync.WaitGroup
+		for i, fn := range s.storeVerify {
+			wg.Add(1)
+			go func(i int, fn func() error) {
+				defer wg.Done()
+				errs[i] = fn()
+			}(i, fn)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				s.verifyErr = err
+				return
+			}
+		}
+	})
+	return s.verifyErr
+}
+
 // Stream opens a streaming pipeline over the session. Cancel ctx to abort:
 // every stage shuts down promptly and Err reports the cancellation.
+//
+// For a session warm-started with mapped shards, the first Stream (or
+// Search) runs the store's deferred content verification and fails here
+// if the store is corrupt — after that one check, streams open with no
+// extra cost.
 func (s *Session) Stream(ctx context.Context) (*Stream, error) {
+	if err := s.verifyStore(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	closed := s.closed
 	shards := s.shards

@@ -253,6 +253,12 @@ func saveStore(dir string, spec storeSpec) (string, error) {
 // files in it are overwritten. Saving a shard-set session preserves its
 // shard-set identity.
 func (s *Session) Save(dir string, peptides []string) error {
+	// A mapped session may not have run its deferred store verification
+	// yet; saving would re-encode the mapped bytes under fresh checksums,
+	// so verify first rather than bless latent corruption.
+	if err := s.verifyStore(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	closed := s.closed
 	shards := s.shards
@@ -325,6 +331,10 @@ func ComposeClusterDigest(setDigests []string) string {
 // left untouched — the partitioning creates sets new store identities,
 // not a new identity for this session.
 func (s *Session) SavePartitioned(dir string, peptides []string, sets int) (*ClusterManifest, error) {
+	// Same rationale as Save: never re-encode unverified mapped bytes.
+	if err := s.verifyStore(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	closed := s.closed
 	shards := s.shards
@@ -487,50 +497,139 @@ func openStoredFile(dir string, sf storedFile) ([]byte, error) {
 	return data, nil
 }
 
-// openShard loads and verifies one SLMX shard file.
-func openShard(dir string, sf storedFile) (*slm.Index, error) {
+// openShard loads and verifies one SLMX shard file. With mapped set it
+// first attempts a zero-copy mapped open (returning lazy=true: content
+// verification is deferred, see shardVerifier); any mapped failure falls
+// back to the heap path, whose error (if the file is genuinely bad) is
+// the one reported — both readers enforce the same format checks, so a
+// file one rejects the other rejects too.
+func openShard(dir string, sf storedFile, mapped bool) (ix *slm.Index, lazy bool, err error) {
 	if err := checkStoredName(sf.Name); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	path := filepath.Join(dir, sf.Name)
+	if mapped {
+		if ix, err := openShardMapped(path, sf); err == nil {
+			return ix, true, nil
+		}
+	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("engine: open: %w", err)
+		return nil, false, fmt.Errorf("engine: open: %w", err)
 	}
 	defer f.Close()
 	fi, err := f.Stat()
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: open: %w", err)
+	}
+	if fi.Size() != sf.Size {
+		return nil, false, fmt.Errorf("engine: open: %s is %d bytes, manifest says %d", sf.Name, fi.Size(), sf.Size)
+	}
+	mr := &measuredReader{r: f, rem: fi.Size()}
+	ix, err = slm.ReadIndex(mr)
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: open: %s: %w", sf.Name, err)
+	}
+	// Drain read-ahead to EOF so the CRC covers the whole file; trailing
+	// junk after the SLMX checksum surfaces as a manifest CRC mismatch.
+	if _, err := io.Copy(io.Discard, mr); err != nil {
+		return nil, false, fmt.Errorf("engine: open: %s: %w", sf.Name, err)
+	}
+	if mr.crc != sf.CRC32 {
+		return nil, false, fmt.Errorf("engine: open: %s checksum %08x does not match manifest %08x", sf.Name, mr.crc, sf.CRC32)
+	}
+	return ix, false, nil
+}
+
+// openShardMapped opens one shard with mmap backing. Only the manifest's
+// size and the SLMX header (CRC-protected section table) are checked
+// here — no section byte is read, which is what makes a mapped warm
+// start O(header) per shard instead of O(file). Content verification
+// (section CRCs and the manifest's whole-file CRC) is deferred to the
+// session's first query via shardVerifier.
+func openShardMapped(path string, sf storedFile) (*slm.Index, error) {
+	fi, err := os.Stat(path)
 	if err != nil {
 		return nil, fmt.Errorf("engine: open: %w", err)
 	}
 	if fi.Size() != sf.Size {
 		return nil, fmt.Errorf("engine: open: %s is %d bytes, manifest says %d", sf.Name, fi.Size(), sf.Size)
 	}
-	mr := &measuredReader{r: f, rem: fi.Size()}
-	ix, err := slm.ReadIndex(mr)
+	ix, err := slm.OpenIndexMapped(path)
 	if err != nil {
 		return nil, fmt.Errorf("engine: open: %s: %w", sf.Name, err)
-	}
-	// Drain read-ahead to EOF so the CRC covers the whole file; trailing
-	// junk after the SLMX checksum surfaces as a manifest CRC mismatch.
-	if _, err := io.Copy(io.Discard, mr); err != nil {
-		return nil, fmt.Errorf("engine: open: %s: %w", sf.Name, err)
-	}
-	if mr.crc != sf.CRC32 {
-		return nil, fmt.Errorf("engine: open: %s checksum %08x does not match manifest %08x", sf.Name, mr.crc, sf.CRC32)
 	}
 	return ix, nil
 }
 
+// shardVerifier is the deferred half of a mapped shard open, run once by
+// the session before its first query: the index's own content checks
+// (section CRCs, padding, CSR shape — this pass also faults the mapping
+// in, so the first search runs warm), then the manifest's whole-file CRC
+// over the store file, which catches shard files swapped between slots
+// or replaced wholesale — corruptions the file-internal checksums cannot
+// see because the files stay self-consistent.
+func shardVerifier(dir string, sf storedFile, ix *slm.Index) func() error {
+	return func() error {
+		if err := ix.Verify(); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+		f, err := os.Open(filepath.Join(dir, sf.Name))
+		if err != nil {
+			return fmt.Errorf("engine: verify: %w", err)
+		}
+		cw := &checksumWriter{w: io.Discard}
+		_, err = io.Copy(cw, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("engine: verify: %s: %w", sf.Name, err)
+		}
+		if cw.n != sf.Size || cw.crc != sf.CRC32 {
+			return fmt.Errorf("engine: verify: %s checksum %08x does not match manifest %08x", sf.Name, cw.crc, sf.CRC32)
+		}
+		return nil
+	}
+}
+
+// OpenOptions controls how OpenSession backs the loaded store.
+type OpenOptions struct {
+	// MapStore backs each shard index with a read-only memory mapping of
+	// its SLMX file instead of decoding it into the heap: opening reads
+	// only each file's CRC-protected header (near-instant warm start),
+	// the index's resident bytes are kernel page cache shared with every
+	// co-located process serving the same store, and clean pages are
+	// reclaimable under memory pressure. Content verification — section
+	// CRCs and the manifest's whole-file CRCs — is deferred to the
+	// session's first query, so a corrupt store surfaces as a Search or
+	// Stream error instead of an open error, always before any result is
+	// produced. Results are byte-identical either way. Shards that
+	// cannot be mapped (v1 files, platforms without mmap) silently fall
+	// back to the eagerly-verified heap load; Session.MappedShards
+	// reports the outcome.
+	MapStore bool
+}
+
 // OpenSession warm-starts a session from a store directory written by
 // Save: the manifest is validated, the mapping table and every shard
-// index are reloaded (shards in parallel) with their checksums verified,
-// and the cross-file shape is checked before the session is assembled.
-// The returned peptide list is the one saved alongside the session, or
-// nil when the store was saved without peptides.
+// index are reloaded (shards in parallel), and the cross-file shape is
+// checked before the session is assembled. Mapped shards defer their
+// content checksums to the session's first query (see
+// OpenOptions.MapStore); everything else is verified here. The returned
+// peptide list is the one saved alongside the session, or nil when the
+// store was saved without peptides.
+//
+// Shard indexes are memory-mapped when the platform allows it (with
+// automatic heap fallback); use OpenSessionOptions to force heap loads.
 //
 // The loaded session serves queries exactly as the session that saved it
 // would: the indexes and mapping table are byte-for-byte the saved ones.
 func OpenSession(dir string) (*Session, []string, error) {
+	return OpenSessionOptions(dir, OpenOptions{MapStore: true})
+}
+
+// OpenSessionOptions is OpenSession with explicit control over the store
+// backing.
+func OpenSessionOptions(dir string, opts OpenOptions) (*Session, []string, error) {
 	f, err := os.Open(filepath.Join(dir, manifestFile))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -638,22 +737,31 @@ func OpenSession(dir string) (*Session, []string, error) {
 		}
 	}
 
-	// Shards load in parallel — the O(index bytes) warm start replacing
-	// the O(database) rebuild.
+	// Shards load in parallel. Heap opens decode and verify everything
+	// here (O(index bytes)); mapped opens validate headers only
+	// (O(header) — the near-instant warm start) and push their content
+	// verification into lazy, run by the session before its first query.
 	shards := make([]*slm.Index, p)
+	lazy := make([]func() error, 0, p)
+	lazyFor := make([]bool, p)
 	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for m := 0; m < p; m++ {
 		wg.Add(1)
 		go func(m int) {
 			defer wg.Done()
-			shards[m], errs[m] = openShard(dir, man.Shards[m])
+			shards[m], lazyFor[m], errs[m] = openShard(dir, man.Shards[m], opts.MapStore)
 		}(m)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
+		}
+	}
+	for m, ix := range shards {
+		if lazyFor[m] {
+			lazy = append(lazy, shardVerifier(dir, man.Shards[m], ix))
 		}
 	}
 
@@ -697,6 +805,7 @@ func OpenSession(dir string) (*Session, []string, error) {
 	s.load = append([]RankStats(nil), s.build...)
 	s.pool = s.cfg.newSessionPool()
 	s.digest = manifestDigest(doc)
+	s.storeVerify = lazy
 	return s, peptides, nil
 }
 

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"lbe/internal/core"
+)
+
+// TestMappedOpenMatchesHeapOpen pins the mmap tentpole at the engine
+// layer: for every policy × shard count, a session whose shards are
+// zero-copy views of the store files must be indistinguishable from a
+// heap-loaded one — identical digest, identical accounting, and
+// byte-identical PSMs with provenance.
+func TestMappedOpenMatchesHeapOpen(t *testing.T) {
+	peptides, queries, _ := testDataset(t, 8, 2, 40)
+	base := lightConfig()
+	ctx := context.Background()
+
+	for _, policy := range []core.Policy{core.Chunk, core.Cyclic, core.Random} {
+		for _, shards := range []int{1, 3} {
+			label := fmt.Sprintf("%v/shards=%d", policy, shards)
+			cfg := SessionConfig{Config: base, Shards: shards}
+			cfg.Policy = policy
+			cfg.Seed = 7
+			live, err := NewSession(peptides, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			dir := filepath.Join(t.TempDir(), "store")
+			if err := live.Save(dir, peptides); err != nil {
+				t.Fatalf("%s: save: %v", label, err)
+			}
+			live.Close()
+
+			heap, _, err := OpenSessionOptions(dir, OpenOptions{MapStore: false})
+			if err != nil {
+				t.Fatalf("%s: heap open: %v", label, err)
+			}
+			mapped, _, err := OpenSessionOptions(dir, OpenOptions{MapStore: true})
+			if err != nil {
+				t.Fatalf("%s: mapped open: %v", label, err)
+			}
+			if n := heap.MappedShards(); n != 0 {
+				t.Fatalf("%s: heap open reports %d mapped shards", label, n)
+			}
+			if runtime.GOOS == "linux" && mapped.MappedShards() != shards {
+				t.Fatalf("%s: mapped open backed %d of %d shards", label, mapped.MappedShards(), shards)
+			}
+			if heap.Digest() != mapped.Digest() {
+				t.Fatalf("%s: digests differ by open mode: %s vs %s", label, heap.Digest(), mapped.Digest())
+			}
+			if heap.IndexBytes() != mapped.IndexBytes() {
+				t.Fatalf("%s: index accounting differs: heap %d, mapped %d",
+					label, heap.IndexBytes(), mapped.IndexBytes())
+			}
+
+			want, err := heap.Search(ctx, queries)
+			if err != nil {
+				t.Fatalf("%s: heap search: %v", label, err)
+			}
+			got, err := mapped.Search(ctx, queries)
+			if err != nil {
+				t.Fatalf("%s: mapped search: %v", label, err)
+			}
+			requireIdenticalPSMs(t, label, got.PSMs, want.PSMs)
+			if got.CandidatePSMs() != want.CandidatePSMs() {
+				t.Fatalf("%s: scored %d, heap scored %d", label, got.CandidatePSMs(), want.CandidatePSMs())
+			}
+			if !reflect.DeepEqual(workOnly(got.Stats), workOnly(want.Stats)) {
+				t.Fatalf("%s: deterministic work differs by open mode", label)
+			}
+			mapped.Close()
+			heap.Close()
+		}
+	}
+}
+
+// workOnly projects the deterministic work counters out of rank stats
+// (wall times legitimately differ between runs).
+func workOnly(stats []RankStats) []any {
+	out := make([]any, len(stats))
+	for i, s := range stats {
+		out[i] = struct {
+			Rows     int
+			Peptides int
+			IonHits  int64
+			Scored   int64
+		}{s.Rows, s.Peptides, s.Work.IonHits, s.Work.Scored}
+	}
+	return out
+}

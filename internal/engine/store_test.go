@@ -142,8 +142,11 @@ func editManifest(t *testing.T, dir string, fn func(map[string]any)) {
 	}
 }
 
-// TestOpenRejectsCorruptStores drives the corruption suite: every
-// tampered store must fail cleanly at OpenSession, never at query time.
+// TestOpenRejectsCorruptStores drives the corruption suite. A heap open
+// (MapStore false) must fail at OpenSessionOptions for every tampered
+// store; a mapped open defers shard-content checksums to the first
+// query, so it must fail at open or at the first Search — never serve a
+// result from a corrupt store.
 func TestOpenRejectsCorruptStores(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -214,9 +217,17 @@ func TestOpenRejectsCorruptStores(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			dir, _ := storeFixture(t, 2, true)
 			tc.tamper(t, dir)
-			if sess, _, err := OpenSession(dir); err == nil {
+			if sess, _, err := OpenSessionOptions(dir, OpenOptions{MapStore: false}); err == nil {
 				sess.Close()
 				t.Error(tc.message)
+			}
+			sess, _, err := OpenSession(dir)
+			if err == nil {
+				_, err = sess.Search(context.Background(), nil)
+				sess.Close()
+			}
+			if err == nil {
+				t.Errorf("mapped open: %s", tc.message)
 			}
 		})
 	}

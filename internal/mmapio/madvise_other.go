@@ -1,0 +1,9 @@
+//go:build !linux
+
+package mmapio
+
+// madvise is a no-op on platforms without the madvise syscall; hints are
+// best-effort by contract.
+func madvise(_ []byte, _ Advice) error {
+	return nil
+}

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package mmapio
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile reports mmap as unsupported, routing Open to the heap-read
+// fallback.
+func mmapFile(_ *os.File, _ int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+// munmap is unreachable on platforms without mmapFile support.
+func munmap(_ []byte) error {
+	return nil
+}

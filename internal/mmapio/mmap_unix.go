@@ -1,0 +1,19 @@
+//go:build unix
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so the page cache
+// backs every co-located process mapping the same file once.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmap releases a region obtained from mmapFile.
+func munmap(b []byte) error {
+	return syscall.Munmap(b)
+}

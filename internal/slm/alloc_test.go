@@ -32,6 +32,39 @@ func TestSearchZeroAllocWarmScratch(t *testing.T) {
 	}
 }
 
+// TestMappedSearchZeroAllocWarmScratch extends the warm zero-alloc guard
+// to the mapped search path: searching zero-copy views of a memory
+// mapping must allocate exactly like searching heap arrays — one result
+// copy with matches, nothing on a miss.
+func TestMappedSearchZeroAllocWarmScratch(t *testing.T) {
+	peps := []string{"PEPTIDEK", "PEPTIDER", "PEPTIDEH", "AAAAGGGGK"}
+	built, err := Build(peps, noModParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := OpenIndexMapped(saveTestIndex(t, built))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	hit := queryFor(t, "PEPTIDEK")
+	miss := queryFor(t, "WWWWWWWWK")
+
+	var scratch Scratch
+	ix.Search(hit, 5, &scratch) // warm buffers
+
+	if n := testing.AllocsPerRun(100, func() {
+		ix.Search(hit, 5, &scratch)
+	}); n > 1 {
+		t.Errorf("mapped Search with matches allocates %.1f times per run, want <= 1 (result copy only)", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		ix.Search(miss, 5, &scratch)
+	}); n != 0 {
+		t.Errorf("mapped Search without matches allocates %.1f times per run, want 0", n)
+	}
+}
+
 // TestChunkedSearchZeroAllocWarmScratch extends the guard across the
 // chunked index's merge path.
 func TestChunkedSearchZeroAllocWarmScratch(t *testing.T) {

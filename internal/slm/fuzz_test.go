@@ -32,34 +32,55 @@ func FuzzReadIndex(f *testing.F) {
 		f.Fatal(err)
 	}
 
-	// A mods-free index puts the nrows field at the fixed offset 66
-	// (magic 4 + version 4 + params 54 + nseries 4), so a huge-row-count
-	// seed can be forged deterministically.
+	// v1 streams keep their own decode path alive; a mods-free v1 index
+	// puts the nrows field at the fixed offset 66 (magic 4 + version 4 +
+	// params 54 + nseries 4), so a huge-row-count seed can be forged
+	// deterministically.
 	plainParams := DefaultParams()
 	plainParams.Mods = mods.Config{}
 	plain, err := Build([]string{"PEPTIDEK"}, plainParams)
 	if err != nil {
 		f.Fatal(err)
 	}
-	var plainBuf bytes.Buffer
-	if _, err := plain.WriteTo(&plainBuf); err != nil {
+	var plainV1 bytes.Buffer
+	if err := writeToV1(plain, &plainV1); err != nil {
+		f.Fatal(err)
+	}
+	var validV1 bytes.Buffer
+	if err := writeToV1(ix, &validV1); err != nil {
 		f.Fatal(err)
 	}
 
 	f.Add(valid.Bytes())
 	f.Add(emptyBuf.Bytes())
 	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add(validV1.Bytes())
 	f.Add([]byte("SLMX"))
 	f.Add([]byte("NOPE"))
-	// A truncated header claiming a gigantic row count.
-	hugeRows := append([]byte(nil), plainBuf.Bytes()[:70]...)
+	// A truncated v1 header claiming a gigantic row count.
+	hugeRows := append([]byte(nil), plainV1.Bytes()[:70]...)
 	binary.LittleEndian.PutUint32(hugeRows[66:], 0xFFFFFFFF)
 	f.Add(hugeRows)
-	// The same offset in the mods-bearing stream is the first mod-name
+	// The same offset in the mods-bearing v1 stream is the first mod-name
 	// length: forge that too.
-	hugeName := append([]byte(nil), valid.Bytes()[:70]...)
+	hugeName := append([]byte(nil), validV1.Bytes()[:70]...)
 	binary.LittleEndian.PutUint32(hugeName[66:], 0xFFFFFFFF)
 	f.Add(hugeName)
+	// v2 seeds: a forged section table — gigantic rows count at the
+	// canonical offsets with a re-fixed header CRC — and a corrupt
+	// section CRC in an otherwise intact file.
+	tableOff, crcOff, headerLen := v2HeaderOffsets(plain)
+	var plainV2 bytes.Buffer
+	if _, err := plain.WriteTo(&plainV2); err != nil {
+		f.Fatal(err)
+	}
+	forged := append([]byte(nil), plainV2.Bytes()[:headerLen]...)
+	binary.LittleEndian.PutUint64(forged[tableOff+8:], 1<<27)
+	refixV2HeaderCRC(forged, crcOff)
+	f.Add(forged)
+	badSec := append([]byte(nil), plainV2.Bytes()...)
+	badSec[len(badSec)-1] ^= 0xFF
+	f.Add(badSec)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadIndex(bytes.NewReader(data))

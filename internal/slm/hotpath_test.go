@@ -81,6 +81,7 @@ func TestHotpathAnnotationsMatchAllocGuards(t *testing.T) {
 		"Index.bucketRange",
 		"Index.searchScratch",
 		"Scratch.ensure",
+		"Scratch.quantize",
 		"copyMatches",
 		"hyperscore",
 		"sortMatches",

@@ -16,8 +16,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"lbe/internal/mass"
+	"lbe/internal/mmapio"
 	"lbe/internal/mods"
 	"lbe/internal/spectrum"
 )
@@ -94,13 +97,29 @@ func (p Params) capBucket() int {
 	return mass.NewBucketer(p.Resolution).Bucket(p.MaxFragmentMZ)
 }
 
-// Row is one indexed theoretical spectrum: a peptide variant.
+// Row is one indexed theoretical spectrum: a peptide variant. The field
+// order packs it into exactly 16 bytes (one quarter cache line, no
+// padding), which doubles as the on-disk v2 record layout so a
+// memory-mapped store can serve rows zero-copy (see OpenIndexMapped).
 type Row struct {
-	Peptide   uint32  // local (virtual) peptide index within this partition
 	Precursor float64 // neutral mass including mod deltas
+	Peptide   uint32  // local (virtual) peptide index within this partition
 	NumIons   uint16  // fragment ions indexed for this row
-	Modified  bool    // whether the row carries any modification
+	Flags     uint16  // rowFlag* bits
 }
+
+// rowFlagModified marks a row carrying at least one modification. Flags
+// is a bitfield (not a bool) so mapped bytes are valid for every value.
+const rowFlagModified = 1 << 0
+
+// rowMemBytes is the in-memory (and v2 on-disk) size of a Row. The array
+// conversion is a compile-time assertion that the struct has no padding.
+const rowMemBytes = 16
+
+var _ [rowMemBytes]byte = [unsafe.Sizeof(Row{})]byte{}
+
+// Modified reports whether the row carries any modification.
+func (r Row) Modified() bool { return r.Flags&rowFlagModified != 0 }
 
 // Index is an immutable fragment-ion index over a set of peptides
 // (typically one LBE partition). Build with Build; query with Search.
@@ -116,6 +135,21 @@ type Index struct {
 
 	numBuckets int
 	buildPeak  int // peak transient bytes observed during construction
+
+	// mapping is non-nil when rows/offsets/ids are zero-copy views into a
+	// memory-mapped store file (see OpenIndexMapped); Close releases it.
+	mapping *mmapio.Mapping
+
+	// verifyFn holds the deferred content validation of a mapped open
+	// (section CRCs, padding, shape); nil for indexes validated at build
+	// or decode time. verifyDone/verifyMu latch its one execution into
+	// verifyErr with closure-free double-checked locking, keeping the
+	// warm Verify fast path (an atomic load) legal inside //lbe:hotpath
+	// Search.
+	verifyFn   func() error
+	verifyMu   sync.Mutex
+	verifyDone atomic.Bool
+	verifyErr  error
 }
 
 // NumRows returns the number of indexed spectra (peptide variants).
@@ -196,12 +230,16 @@ func (sh *buildShard) enumerate(peptides []string, params Params) {
 				ions = append(ions, ion)
 			}
 			sh.totalIons += len(ions)
+			var flags uint16
+			if v.IsModified() {
+				flags |= rowFlagModified
+			}
 			sh.pending = append(sh.pending, rowIons{
 				row: Row{
 					Peptide:   uint32(pi),
 					Precursor: th.Precursor,
 					NumIons:   uint16(len(ions)),
-					Modified:  v.IsModified(),
+					Flags:     flags,
 				},
 				ions: ions,
 			})
@@ -338,11 +376,12 @@ func BuildWorkers(peptides []string, params Params, workers int) (*Index, error)
 }
 
 // MemoryBytes returns the resident size of the index structures in bytes:
-// rows (4+8+2+1 padded to 24), offsets (4 per bucket) and ion postings
-// (4 each). This is the quantity reported by the Fig. 5 experiment.
+// packed 16-byte rows, offsets (4 per bucket) and ion postings (4 each).
+// This is the quantity reported by the Fig. 5 experiment. For a mapped
+// index (OpenIndexMapped) it is the mapped footprint: the bytes are
+// page-cache backed and shared across co-located processes.
 func (ix *Index) MemoryBytes() int {
-	const rowBytes = 24 // struct layout: uint32 + pad + float64 + uint16 + bool + pad
-	return rowBytes*len(ix.rows) + 4*len(ix.offsets) + 4*len(ix.ids)
+	return rowMemBytes*len(ix.rows) + 4*len(ix.offsets) + 4*len(ix.ids)
 }
 
 // BuildPeakBytes returns the peak transient memory observed while the

@@ -1,0 +1,152 @@
+package slm
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func saveTestIndex(t *testing.T, ix *Index) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "part.slm")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestOpenIndexMappedMatchesHeap pins the tentpole equivalence: a mapped
+// open must agree with the heap open byte for byte — same shape, same
+// rows, and bit-identical search results.
+func TestOpenIndexMappedMatchesHeap(t *testing.T) {
+	built := buildTestIndex(t)
+	path := saveTestIndex(t, built)
+
+	heap, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenIndexMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if runtime.GOOS == "linux" && !mapped.Mapped() {
+		t.Error("OpenIndexMapped fell back to heap on linux")
+	}
+	if heap.Mapped() {
+		t.Error("heap-loaded index claims to be mapped")
+	}
+	if err := heap.Verify(); err != nil {
+		t.Errorf("heap Verify must be a no-op: %v", err)
+	}
+	// Deferred content validation of a clean file succeeds, repeatedly.
+	if err := mapped.Verify(); err != nil {
+		t.Fatalf("mapped Verify: %v", err)
+	}
+	if err := mapped.Verify(); err != nil {
+		t.Fatalf("second mapped Verify: %v", err)
+	}
+
+	if mapped.NumRows() != heap.NumRows() || mapped.NumIons() != heap.NumIons() ||
+		mapped.numBuckets != heap.numBuckets {
+		t.Fatalf("shape: mapped %d/%d/%d, heap %d/%d/%d",
+			mapped.NumRows(), mapped.NumIons(), mapped.numBuckets,
+			heap.NumRows(), heap.NumIons(), heap.numBuckets)
+	}
+	for rid := uint32(0); rid < uint32(heap.NumRows()); rid++ {
+		if mapped.Row(rid) != heap.Row(rid) {
+			t.Fatalf("row %d: mapped %+v, heap %+v", rid, mapped.Row(rid), heap.Row(rid))
+		}
+	}
+	for _, pep := range []string{"PEPTIDEK", "NQKCMAAR", "AAAAGGGGK"} {
+		q := queryFor(t, pep)
+		a, wa := heap.Search(q, 0, nil)
+		b, wb := mapped.Search(q, 0, nil)
+		if len(a) != len(b) || wa != wb {
+			t.Fatalf("%s: %d/%d matches, widened %v/%v", pep, len(a), len(b), wa, wb)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s match %d: heap %+v, mapped %+v", pep, i, a[i], b[i])
+			}
+		}
+	}
+	if mapped.MemoryBytes() != heap.MemoryBytes() {
+		t.Errorf("memory accounting differs: mapped %d, heap %d",
+			mapped.MemoryBytes(), heap.MemoryBytes())
+	}
+}
+
+// TestOpenIndexMappedEmpty covers the zero-row, zero-posting corner.
+func TestOpenIndexMappedEmpty(t *testing.T) {
+	empty, err := Build(nil, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenIndexMapped(saveTestIndex(t, empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if mapped.NumRows() != 0 || mapped.NumIons() != 0 {
+		t.Errorf("empty mapped index: %d rows %d ions", mapped.NumRows(), mapped.NumIons())
+	}
+}
+
+// TestOpenIndexMappedV1FallsBack: v1 files predate the section table and
+// cannot be mapped; the open must silently fall back to the heap loader.
+func TestOpenIndexMappedV1FallsBack(t *testing.T) {
+	ix := buildTestIndex(t)
+	path := filepath.Join(t.TempDir(), "v1.slm")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeToV1(ix, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenIndexMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mapped() {
+		t.Error("v1 file must not report as mapped")
+	}
+	if got.NumRows() != ix.NumRows() {
+		t.Errorf("v1 fallback rows = %d, want %d", got.NumRows(), ix.NumRows())
+	}
+}
+
+// TestMappedIndexClose: Close releases the views and is idempotent;
+// searching a heap index after (no-op) Close still works.
+func TestMappedIndexClose(t *testing.T) {
+	mapped, err := OpenIndexMapped(saveTestIndex(t, buildTestIndex(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if mapped.Mapped() {
+		t.Error("closed index still claims to be mapped")
+	}
+	if err := mapped.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if mapped.NumRows() != 0 {
+		t.Errorf("closed index retains %d rows", mapped.NumRows())
+	}
+
+	heap := buildTestIndex(t)
+	if err := heap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if heap.NumRows() == 0 {
+		t.Error("Close must be a no-op for heap indexes")
+	}
+}

@@ -1,0 +1,94 @@
+package slm
+
+import (
+	"math"
+	"testing"
+
+	"lbe/internal/spectrum"
+)
+
+func TestQuantizeIntensityEdgeCases(t *testing.T) {
+	// Zero or empty queries quantize everything to zero with zero scales.
+	if s, inv := quantScales(0); s != 0 || inv != 0 {
+		t.Errorf("quantScales(0) = %v, %v; want 0, 0", s, inv)
+	}
+	scale, invScale := quantScales(2.0)
+	if got := quantizeIntensity(2.0, scale); got != intensityQuantLevels {
+		t.Errorf("max intensity quantizes to %d, want %d", got, intensityQuantLevels)
+	}
+	if got := quantizeIntensity(0, scale); got != 0 {
+		t.Errorf("zero intensity quantizes to %d, want 0", got)
+	}
+	// Round half up at the level boundary: 1.5 levels rounds to 2.
+	if got := quantizeIntensity(1.5*invScale, scale); got != 2 {
+		t.Errorf("1.5 levels quantizes to %d, want 2", got)
+	}
+	// A value epsilon above the maximum (float noise) clamps, not wraps.
+	if got := quantizeIntensity(2.0*(1+1e-12), scale); got != intensityQuantLevels {
+		t.Errorf("slightly-over-max intensity quantizes to %d, want clamp", got)
+	}
+}
+
+// TestQuantizedScoreBounded pins the quantization error budget: each
+// posting hit contributes at most half a quantization level of intensity
+// error, and Log1p is 1-Lipschitz, so a match's score may deviate from
+// the exact float-accumulated score by at most shared/2 levels.
+func TestQuantizedScoreBounded(t *testing.T) {
+	ix := buildTestIndex(t)
+	for _, pep := range []string{"PEPTIDEK", "NQKCMAAR", "AAAAGGGGK"} {
+		q := queryFor(t, pep)
+
+		maxI := 0.0
+		for _, p := range q.Peaks {
+			if p.Intensity > maxI {
+				maxI = p.Intensity
+			}
+		}
+		_, invScale := quantScales(maxI)
+
+		matches, _ := ix.Search(q, 0, nil)
+		if len(matches) == 0 {
+			t.Fatalf("%s: no matches", pep)
+		}
+		for _, m := range matches {
+			// Recompute the exact float intensity sum for this row.
+			exact := 0.0
+			for _, p := range q.Peaks {
+				lo, hi := ix.bucketRange(p.MZ)
+				for i := lo; i < hi; i++ {
+					if ix.ids[i] == m.Row {
+						exact += p.Intensity
+					}
+				}
+			}
+			want := hyperscore(m.Shared, exact, int(ix.Row(m.Row).NumIons))
+			bound := 0.5*invScale*float64(m.Shared) + 1e-9
+			if diff := math.Abs(m.Score - want); diff > bound {
+				t.Errorf("%s row %d: quantized score %v vs exact %v, |diff| %v > bound %v",
+					pep, m.Row, m.Score, want, diff, bound)
+			}
+		}
+	}
+}
+
+// TestQuantizeScratchReuse: growing and reusing the qint buffer across
+// differently-sized queries must keep results independent of history.
+func TestQuantizeScratchReuse(t *testing.T) {
+	var s Scratch
+	big := make([]spectrum.Peak, 300)
+	for i := range big {
+		big[i] = spectrum.Peak{MZ: float64(i + 100), Intensity: float64(i%7) / 7}
+	}
+	s.quantize(big)
+	small := []spectrum.Peak{{MZ: 100, Intensity: 0.25}, {MZ: 200, Intensity: 0.5}}
+	inv := s.quantize(small)
+	if len(s.qint) != len(small) {
+		t.Fatalf("qint len %d, want %d", len(s.qint), len(small))
+	}
+	if s.qint[1] != intensityQuantLevels {
+		t.Errorf("strongest peak = %d levels, want %d", s.qint[1], intensityQuantLevels)
+	}
+	if got := float64(s.qint[0]) * inv; math.Abs(got-0.25) > 0.5*inv {
+		t.Errorf("dequantized %v, want ~0.25", got)
+	}
+}

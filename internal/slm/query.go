@@ -38,7 +38,8 @@ func (w *Work) Add(w2 Work) {
 // shared between goroutines.
 type Scratch struct {
 	counts  []uint16
-	inten   []float64
+	inten   []uint32 // quantized intensity accumulator (phase 1)
+	qint    []uint16 // per-peak quantized intensities for the current query
 	touched []uint32
 	matches []Match // per-query accumulator, reused across searches
 	merged  []Match // cross-chunk accumulator for ChunkedIndex.Search
@@ -58,9 +59,65 @@ func (s *Scratch) ensure(rows int) {
 			n <<= 1
 		}
 		s.counts = make([]uint16, n)
-		s.inten = make([]float64, n)
+		s.inten = make([]uint32, n)
 	}
 	s.touched = s.touched[:0]
+}
+
+// intensityQuantLevels is the quantization range of peak intensities:
+// each query's peaks are rescaled so its strongest peak is this value.
+const intensityQuantLevels = 65535
+
+// quantScales returns the quantize/dequantize factor pair for a query
+// whose strongest peak has maxIntensity. A non-positive maximum (empty
+// or all-zero query) yields zero scales, quantizing everything to 0.
+func quantScales(maxIntensity float64) (scale, invScale float64) {
+	if maxIntensity <= 0 {
+		return 0, 0
+	}
+	return intensityQuantLevels / maxIntensity, maxIntensity / intensityQuantLevels
+}
+
+// quantizeIntensity maps one peak intensity to its u16 level: round half
+// up, clamped so float rounding at the maximum cannot wrap.
+func quantizeIntensity(v, scale float64) uint16 {
+	q := v*scale + 0.5
+	if q >= intensityQuantLevels {
+		return intensityQuantLevels
+	}
+	if q < 0 {
+		return 0
+	}
+	return uint16(q)
+}
+
+// quantize fills s.qint with the query's peak intensities quantized to
+// u16 levels and returns the dequantization factor. Phase 1 then
+// accumulates 4-byte integers instead of 8-byte floats — half the
+// accumulator traffic on the random row-indexed writes — and the sum is
+// converted back to intensity units once per scored candidate.
+//
+//lbe:hotpath
+func (s *Scratch) quantize(peaks []spectrum.Peak) float64 {
+	if cap(s.qint) < len(peaks) {
+		n := 64
+		for n < len(peaks) {
+			n <<= 1
+		}
+		s.qint = make([]uint16, n)
+	}
+	s.qint = s.qint[:len(peaks)]
+	maxI := 0.0
+	for _, p := range peaks {
+		if p.Intensity > maxI {
+			maxI = p.Intensity
+		}
+	}
+	scale, invScale := quantScales(maxI)
+	for i, p := range peaks {
+		s.qint[i] = quantizeIntensity(p.Intensity, scale)
+	}
+	return invScale
 }
 
 // Search queries one preprocessed experimental spectrum against the index
@@ -71,8 +128,15 @@ func (s *Scratch) ensure(rows int) {
 //
 // The query's peaks must be sorted by m/z (see spectrum.Preprocess).
 //
+// On a mapped index the first Search triggers the deferred content
+// validation (see Verify) and panics if the file is corrupt; callers
+// that need an error instead must call Verify themselves first.
+//
 //lbe:hotpath
 func (ix *Index) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]Match, Work) {
+	if err := ix.Verify(); err != nil {
+		panic(err)
+	}
 	if scratch == nil {
 		scratch = &Scratch{}
 	}
@@ -92,10 +156,13 @@ func (ix *Index) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]
 //lbe:hotpath
 func (ix *Index) searchScratch(q spectrum.Experimental, scratch *Scratch) ([]Match, Work) {
 	scratch.ensure(len(ix.rows))
+	invScale := scratch.quantize(q.Peaks)
 	var work Work
 
-	// Phase 1: shared-peak counting over the CSR postings.
-	for _, p := range q.Peaks {
+	// Phase 1: shared-peak counting over the CSR postings, accumulating
+	// quantized intensities.
+	for pi, p := range q.Peaks {
+		qi := uint32(scratch.qint[pi])
 		lo, hi := ix.bucketRange(p.MZ)
 		for i := lo; i < hi; i++ {
 			rid := ix.ids[i]
@@ -104,7 +171,7 @@ func (ix *Index) searchScratch(q spectrum.Experimental, scratch *Scratch) ([]Mat
 				scratch.inten[rid] = 0
 			}
 			scratch.counts[rid]++
-			scratch.inten[rid] += p.Intensity
+			scratch.inten[rid] += qi
 		}
 		work.IonHits += int64(hi - lo)
 	}
@@ -129,7 +196,7 @@ func (ix *Index) searchScratch(q spectrum.Experimental, scratch *Scratch) ([]Mat
 			Row:       rid,
 			Peptide:   row.Peptide,
 			Shared:    c,
-			Score:     hyperscore(c, scratch.inten[rid], int(row.NumIons)),
+			Score:     hyperscore(c, float64(scratch.inten[rid])*invScale, int(row.NumIons)),
 			Precursor: row.Precursor,
 		})
 	}

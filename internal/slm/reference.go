@@ -18,6 +18,21 @@ func BruteForce(peptides []string, params Params, q spectrum.Experimental) ([]Ma
 	qmass := q.PrecursorMass()
 	capB := params.capBucket()
 
+	// Mirror the index kernel's intensity quantization exactly — same
+	// u16 levels, same integer accumulation, same single dequantization —
+	// so the oracle and Index.Search produce bit-identical scores.
+	maxI := 0.0
+	for _, p := range q.Peaks {
+		if p.Intensity > maxI {
+			maxI = p.Intensity
+		}
+	}
+	scale, invScale := quantScales(maxI)
+	qint := make([]uint16, len(q.Peaks))
+	for i, p := range q.Peaks {
+		qint[i] = quantizeIntensity(p.Intensity, scale)
+	}
+
 	var matches []Match
 	rid := uint32(0)
 	for pi, seq := range peptides {
@@ -38,8 +53,8 @@ func BruteForce(peptides []string, params Params, q spectrum.Experimental) ([]Ma
 				}
 			}
 			shared := 0
-			intensity := 0.0
-			for _, p := range q.Peaks {
+			var intenAcc uint32
+			for qi, p := range q.Peaks {
 				blo, bhi := bucketer.Range(p.MZ, params.FragmentTol)
 				if bhi > capB {
 					bhi = capB
@@ -52,9 +67,7 @@ func BruteForce(peptides []string, params Params, q spectrum.Experimental) ([]Ma
 					}
 				}
 				shared += hits
-				if hits > 0 {
-					intensity += p.Intensity * float64(hits)
-				}
+				intenAcc += uint32(qint[qi]) * uint32(hits)
 			}
 			if shared >= params.MinSharedPeaks &&
 				params.PrecursorTol.Contains(qmass, th.Precursor) {
@@ -62,7 +75,7 @@ func BruteForce(peptides []string, params Params, q spectrum.Experimental) ([]Ma
 					Row:       rid,
 					Peptide:   uint32(pi),
 					Shared:    uint16(shared),
-					Score:     hyperscore(uint16(shared), intensity, len(ions)),
+					Score:     hyperscore(uint16(shared), float64(intenAcc)*invScale, len(ions)),
 					Precursor: th.Precursor,
 				})
 			}

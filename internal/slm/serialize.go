@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"unsafe"
 
 	"lbe/internal/mass"
 	"lbe/internal/mods"
@@ -19,27 +20,52 @@ import (
 // a compact, checksummed serialization so partial indexes can be spilled
 // and reloaded.
 //
-// Layout (little-endian):
+// Version 2 layout (little-endian), written by WriteTo:
 //
-//	magic "SLMX" | version u32 | params block | rows | offsets | ids | crc32
+//	magic "SLMX" | version u32 | params block | numBuckets u32 |
+//	section table (3 × {offset u64, count u64, crc32 u32}) | header crc32 |
+//	padding | rows section | padding | offsets section | padding | ids section
 //
-// The CRC covers everything between the magic and the checksum itself.
+// The header CRC covers everything between the magic and itself. Each
+// data section starts at a 64-byte-aligned file offset recorded in the
+// table, holds count fixed-size records (rows are the in-memory 16-byte
+// Row layout; offsets and ids are u32), and carries its own CRC. Section
+// offsets are canonical — derivable from the header size alone — so a
+// stream reader needs no seeking and a table naming overlapping,
+// misordered or misaligned sections is rejected outright. The fixed
+// aligned layout is what lets OpenIndexMapped back an index with
+// zero-copy views of a memory mapping.
 //
-// Every variable-length section is preceded by a u32 count. Counts come
-// from the (not yet checksum-verified) input, so the reader treats them as
-// hostile: each is bounded by an absolute cap AND, when the input's size
-// is knowable (regular files, in-memory readers), by the bytes actually
-// present; array payloads are then read in fixed-size chunks so the
-// decoder never allocates more than a small multiple of the bytes it has
-// actually consumed, even on a pure stream.
+// Version 1 (magic | version | params | rows | offsets | ids | crc32,
+// with u32 count prefixes and a single trailing CRC) remains readable.
+//
+// Counts come from the (not yet checksum-verified) input, so the reader
+// treats them as hostile: each is bounded by an absolute cap AND, when
+// the input's size is knowable (regular files, in-memory readers), by the
+// bytes actually present. On sized input the arrays are then allocated
+// exactly and bulk-read; on an opaque stream payloads are read in
+// fixed-size chunks so the decoder never allocates more than a small
+// multiple of the bytes it has actually consumed.
 
 const (
-	indexMagic   = "SLMX"
-	indexVersion = 1
+	indexMagic     = "SLMX"
+	indexVersion   = 2
+	indexVersionV1 = 1
 
 	// Wire sizes of the variable-length record types.
-	rowWireBytes     = 4 + 8 + 2 + 1 // Peptide u32, Precursor f64, NumIons u16, Modified u8
+	rowWireBytesV1   = 4 + 8 + 2 + 1 // v1: Peptide u32, Precursor f64, NumIons u16, Modified u8
+	rowWireBytes     = rowMemBytes   // v2: the in-memory Row layout
 	postingWireBytes = 4
+
+	// sectionAlign is the file-offset alignment of every v2 data section:
+	// a cache line, and a divisor of the page size, so a page-aligned
+	// mapping yields aligned (and cache-line-friendly) array views.
+	sectionAlign = 64
+
+	// sectionTableEntries and sectionEntryBytes fix the v2 table shape:
+	// rows, offsets, ids — each {offset u64, count u64, crc32 u32}.
+	sectionTableEntries = 3
+	sectionEntryBytes   = 8 + 8 + 4
 
 	// Absolute sanity caps on count fields, enforced before any
 	// allocation. They bound a single shard file at sizes far beyond the
@@ -52,6 +78,33 @@ const (
 	maxBucketCount  = 1 << 30
 	maxPostingCount = 1 << 30
 )
+
+// isLittleEndian reports whether the host lays out multi-byte integers
+// the way the SLMX wire format does; when true, v2 section payloads are
+// bulk-copied (and memory-mapped) without per-element decoding.
+var isLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// rowsBytes returns the raw little-endian byte view of a Row slice. Only
+// valid on little-endian hosts, where the in-memory layout is the v2
+// wire layout.
+func rowsBytes(rows []Row) []byte {
+	if len(rows) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&rows[0])), rowMemBytes*len(rows))
+}
+
+// u32sBytes returns the raw little-endian byte view of a uint32 slice.
+// Only valid on little-endian hosts.
+func u32sBytes(vs []uint32) []byte {
+	if len(vs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), 4*len(vs))
+}
 
 // countWriter counts the bytes the underlying writer actually accepted,
 // so WriteTo can report a faithful running total on mid-stream errors.
@@ -115,6 +168,12 @@ func (e *indexEncoder) u32(v uint32) {
 	e.write(b[:])
 }
 
+func (e *indexEncoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.write(b[:])
+}
+
 func (e *indexEncoder) f64(v float64) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
@@ -128,8 +187,14 @@ func (e *indexEncoder) str(s string) {
 	}
 }
 
-// rows encodes the row records through a reusable fixed-layout buffer.
+// rows encodes the row records in the 16-byte v2 layout through a
+// reusable fixed buffer; on little-endian hosts the records are the
+// in-memory bytes and are written directly.
 func (e *indexEncoder) rows(rows []Row) {
+	if isLittleEndian {
+		e.write(rowsBytes(rows))
+		return
+	}
 	var b [rowWireBytes]byte
 	le := binary.LittleEndian
 	for i := range rows {
@@ -137,19 +202,21 @@ func (e *indexEncoder) rows(rows []Row) {
 			return
 		}
 		r := &rows[i]
-		le.PutUint32(b[0:4], r.Peptide)
-		le.PutUint64(b[4:12], math.Float64bits(r.Precursor))
+		le.PutUint64(b[0:8], math.Float64bits(r.Precursor))
+		le.PutUint32(b[8:12], r.Peptide)
 		le.PutUint16(b[12:14], r.NumIons)
-		b[14] = 0
-		if r.Modified {
-			b[14] = 1
-		}
+		le.PutUint16(b[14:16], r.Flags)
 		e.write(b[:])
 	}
 }
 
-// u32s encodes a uint32 slice in fixed-size chunks.
+// u32s encodes a uint32 slice; bulk on little-endian hosts, otherwise in
+// fixed-size chunks.
 func (e *indexEncoder) u32s(vs []uint32) {
+	if isLittleEndian {
+		e.write(u32sBytes(vs))
+		return
+	}
 	var b [4 << 10]byte
 	le := binary.LittleEndian
 	for len(vs) > 0 && e.err == nil {
@@ -159,6 +226,40 @@ func (e *indexEncoder) u32s(vs []uint32) {
 		}
 		e.write(b[:4*n])
 		vs = vs[n:]
+	}
+}
+
+// pad writes n zero bytes.
+func (e *indexEncoder) pad(n int64) {
+	var zeros [sectionAlign]byte
+	for n > 0 && e.err == nil {
+		take := min(n, int64(len(zeros)))
+		e.write(zeros[:take])
+		n -= take
+	}
+}
+
+// params encodes the params block (identical field order in v1 and v2).
+func (e *indexEncoder) params(p Params) {
+	e.f64(p.Resolution)
+	e.f64(p.FragmentTol.Value)
+	e.u8(uint8(p.FragmentTol.Unit))
+	e.f64(p.PrecursorTol.Value)
+	e.u8(uint8(p.PrecursorTol.Unit))
+	e.u32(uint32(p.MinSharedPeaks))
+	e.u32(uint32(p.MaxQueryPeaks))
+	e.f64(p.MaxFragmentMZ)
+	e.u32(uint32(p.Mods.MaxPerPep))
+	e.u32(uint32(p.Mods.MaxVariant))
+	e.u32(uint32(len(p.Mods.Mods)))
+	e.u32(uint32(len(p.IonSeries)))
+	for _, k := range p.IonSeries {
+		e.u8(uint8(k))
+	}
+	for _, m := range p.Mods.Mods {
+		e.str(m.Name)
+		e.str(m.Residues)
+		e.f64(m.Delta)
 	}
 }
 
@@ -190,62 +291,126 @@ func (ix *Index) checkEncodable() error {
 	return nil
 }
 
-// WriteTo serializes the index. It implements io.WriterTo: on error it
-// returns the number of bytes the underlying writer actually accepted
-// before the failure, not zero.
+// sectionLayout is the computed v2 file geometry: canonical aligned
+// section offsets derived from the header size.
+type sectionLayout struct {
+	rowsOff    int64
+	offsetsOff int64
+	idsOff     int64
+	end        int64 // total file size
+}
+
+// alignUp rounds n up to the next multiple of sectionAlign.
+func alignUp(n int64) int64 {
+	return (n + sectionAlign - 1) &^ (sectionAlign - 1)
+}
+
+// v2Layout derives the canonical section offsets for an index whose
+// header (magic through header CRC) spans headerLen bytes.
+func v2Layout(headerLen int64, nrows, noffsets, nids int64) sectionLayout {
+	var l sectionLayout
+	l.rowsOff = alignUp(headerLen)
+	l.offsetsOff = alignUp(l.rowsOff + rowWireBytes*nrows)
+	l.idsOff = alignUp(l.offsetsOff + 4*noffsets)
+	l.end = l.idsOff + 4*nids
+	return l
+}
+
+// paramsBlockLen returns the encoded byte length of the params block.
+func paramsBlockLen(p Params) int64 {
+	n := int64(8 + 8 + 1 + 8 + 1 + 4 + 4 + 8 + 4 + 4 + 4 + 4)
+	n += int64(len(p.IonSeries))
+	for _, m := range p.Mods.Mods {
+		n += 4 + int64(len(m.Name)) + 4 + int64(len(m.Residues)) + 8
+	}
+	return n
+}
+
+// sectionCRC computes the CRC an encoder pass produces for one section's
+// payload without retaining it: the section is streamed into a discard
+// writer through the same encoder used for the real write.
+func sectionCRC(fill func(e *indexEncoder)) (uint32, error) {
+	cw := &crcWriter{w: io.Discard}
+	e := &indexEncoder{cw: cw}
+	fill(e)
+	return cw.crc, e.err
+}
+
+// WriteTo serializes the index in the v2 section-table format. It
+// implements io.WriterTo: on error it returns the number of bytes the
+// underlying writer actually accepted before the failure, not zero.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	// A mapped index defers content validation; run it before
+	// re-encoding, or a corrupt mapping would be rewritten under fresh
+	// CRCs that bless the corruption.
+	if err := ix.Verify(); err != nil {
+		return 0, err
+	}
 	if err := ix.checkEncodable(); err != nil {
 		return 0, err
 	}
+	headerLen := int64(len(indexMagic)) + 4 + paramsBlockLen(ix.params) + 4 +
+		sectionTableEntries*sectionEntryBytes + 4
+	layout := v2Layout(headerLen, int64(len(ix.rows)), int64(len(ix.offsets)), int64(len(ix.ids)))
+
+	// Pass 1: per-section CRCs (streamed, nothing buffered).
+	rowsCRC, err := sectionCRC(func(e *indexEncoder) { e.rows(ix.rows) })
+	if err != nil {
+		return 0, err
+	}
+	offsetsCRC, err := sectionCRC(func(e *indexEncoder) { e.u32s(ix.offsets) })
+	if err != nil {
+		return 0, err
+	}
+	idsCRC, err := sectionCRC(func(e *indexEncoder) { e.u32s(ix.ids) })
+	if err != nil {
+		return 0, err
+	}
+
+	// Pass 2: the actual write.
 	bot := &countWriter{w: w}
 	bw := bufio.NewWriter(bot)
 	if _, err := bw.WriteString(indexMagic); err != nil {
+		bw.Flush()
 		return bot.n, err
 	}
 	cw := &crcWriter{w: bw}
 	e := &indexEncoder{cw: cw}
 
-	p := ix.params
 	e.u32(indexVersion)
-	e.f64(p.Resolution)
-	e.f64(p.FragmentTol.Value)
-	e.u8(uint8(p.FragmentTol.Unit))
-	e.f64(p.PrecursorTol.Value)
-	e.u8(uint8(p.PrecursorTol.Unit))
-	e.u32(uint32(p.MinSharedPeaks))
-	e.u32(uint32(p.MaxQueryPeaks))
-	e.f64(p.MaxFragmentMZ)
-	e.u32(uint32(p.Mods.MaxPerPep))
-	e.u32(uint32(p.Mods.MaxVariant))
-	e.u32(uint32(len(p.Mods.Mods)))
-	e.u32(uint32(len(p.IonSeries)))
-	for _, k := range p.IonSeries {
-		e.u8(uint8(k))
-	}
-	for _, m := range p.Mods.Mods {
-		e.str(m.Name)
-		e.str(m.Residues)
-		e.f64(m.Delta)
-	}
-
-	e.u32(uint32(len(ix.rows)))
-	e.rows(ix.rows)
+	e.params(ix.params)
 	e.u32(uint32(ix.numBuckets))
-	e.u32(uint32(len(ix.offsets)))
+	for _, sec := range []struct {
+		off   int64
+		count int
+		crc   uint32
+	}{
+		{layout.rowsOff, len(ix.rows), rowsCRC},
+		{layout.offsetsOff, len(ix.offsets), offsetsCRC},
+		{layout.idsOff, len(ix.ids), idsCRC},
+	} {
+		e.u64(uint64(sec.off))
+		e.u64(uint64(sec.count))
+		e.u32(sec.crc)
+	}
+	e.u32(cw.crc) // header CRC: covers version..section table
+
+	pos := func() int64 { return int64(len(indexMagic)) + cw.n }
+	e.pad(layout.rowsOff - pos())
+	e.rows(ix.rows)
+	e.pad(layout.offsetsOff - pos())
 	e.u32s(ix.offsets)
-	e.u32(uint32(len(ix.ids)))
+	e.pad(layout.idsOff - pos())
 	e.u32s(ix.ids)
 	if e.err != nil {
+		bw.Flush()
 		return bot.n, e.err
-	}
-
-	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], cw.crc)
-	if _, err := bw.Write(tail[:]); err != nil {
-		return bot.n, err
 	}
 	if err := bw.Flush(); err != nil {
 		return bot.n, err
+	}
+	if got := pos(); got != layout.end {
+		return bot.n, fmt.Errorf("slm: internal: wrote %d bytes, layout says %d", got, layout.end)
 	}
 	return bot.n, nil
 }
@@ -275,11 +440,12 @@ func inputSize(r io.Reader) int64 {
 }
 
 // indexDecoder reads the wire fields, treating every length prefix as
-// untrusted until the trailing CRC verifies.
+// untrusted until a CRC verifies.
 type indexDecoder struct {
 	cr *crcReader
 	// payload is the decoder's byte budget — the input size minus the
-	// magic and the trailing checksum — or -1 when the size is unknown.
+	// magic (and, for v1, the trailing checksum) — or -1 when the size is
+	// unknown.
 	payload int64
 }
 
@@ -293,6 +459,11 @@ func (d *indexDecoder) remaining() int64 {
 	}
 	return 0
 }
+
+// sized reports whether the input size is known, enabling the bulk fast
+// path: exact-size allocation and a single large read per array, instead
+// of the chunked defensive copies the hostile-stream path uses.
+func (d *indexDecoder) sized() bool { return d.payload >= 0 }
 
 // checkCount validates a decoded length field before anything is
 // allocated for it: n elements of elem wire bytes each must fit under the
@@ -325,6 +496,12 @@ func (d *indexDecoder) u32() (uint32, error) {
 	return binary.LittleEndian.Uint32(b[:]), err
 }
 
+func (d *indexDecoder) u64() (uint64, error) {
+	var b [8]byte
+	err := d.full(b[:])
+	return binary.LittleEndian.Uint64(b[:]), err
+}
+
 func (d *indexDecoder) f64() (float64, error) {
 	var b [8]byte
 	err := d.full(b[:])
@@ -354,11 +531,44 @@ func (d *indexDecoder) str() (string, error) {
 	return string(b), nil
 }
 
-// u32s reads n little-endian uint32s in fixed-size chunks, growing the
-// output as bytes actually arrive: a corrupt count on an unsized stream
-// stalls at the first short read instead of provoking one huge upfront
-// allocation.
+// discardZero consumes n bytes of v2 section padding, requiring every
+// byte to be zero: padding is the one region no section CRC covers, so
+// this check keeps "any flipped byte is detected" true for the whole
+// file.
+func (d *indexDecoder) discardZero(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("slm: corrupt section layout")
+	}
+	var b [sectionAlign]byte
+	for n > 0 {
+		take := min(n, int64(len(b)))
+		if err := d.full(b[:take]); err != nil {
+			return err
+		}
+		for _, v := range b[:take] {
+			if v != 0 {
+				return fmt.Errorf("slm: nonzero section padding")
+			}
+		}
+		n -= take
+	}
+	return nil
+}
+
+// u32s reads n little-endian uint32s. On sized input the output is
+// allocated exactly and filled with one bulk read (zero per-element
+// decoding on little-endian hosts); on an opaque stream it is read in
+// fixed-size chunks, growing as bytes actually arrive, so a corrupt
+// count stalls at the first short read instead of provoking one huge
+// upfront allocation.
 func (d *indexDecoder) u32s(n int) ([]uint32, error) {
+	if isLittleEndian && d.sized() {
+		out := make([]uint32, n)
+		if err := d.full(u32sBytes(out)); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	const chunkElems = (16 << 10) / 4
 	var b [16 << 10]byte
 	le := binary.LittleEndian
@@ -375,9 +585,62 @@ func (d *indexDecoder) u32s(n int) ([]uint32, error) {
 	return out, nil
 }
 
-// rowRecords reads n fixed-layout row records with the same chunked
-// allocation discipline as u32s.
+// rowRecordsV1 reads n v1 15-byte row records. Sized input is decoded
+// into an exactly-sized slice; opaque streams keep the chunked
+// allocation discipline.
+func (d *indexDecoder) rowRecordsV1(n int) ([]Row, error) {
+	const chunkRows = 1024
+	var b [chunkRows * rowWireBytesV1]byte
+	le := binary.LittleEndian
+	decode := func(rec []byte) Row {
+		var flags uint16
+		if rec[14] != 0 {
+			flags |= rowFlagModified
+		}
+		return Row{
+			Peptide:   le.Uint32(rec[0:4]),
+			Precursor: math.Float64frombits(le.Uint64(rec[4:12])),
+			NumIons:   le.Uint16(rec[12:14]),
+			Flags:     flags,
+		}
+	}
+	if d.sized() {
+		out := make([]Row, n)
+		for done := 0; done < n; {
+			take := min(n-done, chunkRows)
+			if err := d.full(b[:take*rowWireBytesV1]); err != nil {
+				return nil, err
+			}
+			for i := 0; i < take; i++ {
+				out[done+i] = decode(b[i*rowWireBytesV1:])
+			}
+			done += take
+		}
+		return out, nil
+	}
+	out := make([]Row, 0, min(n, chunkRows))
+	for len(out) < n {
+		take := min(n-len(out), chunkRows)
+		if err := d.full(b[:take*rowWireBytesV1]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < take; i++ {
+			out = append(out, decode(b[i*rowWireBytesV1:]))
+		}
+	}
+	return out, nil
+}
+
+// rowRecords reads n v2 16-byte row records. On sized little-endian
+// input the records are bulk-read straight into the Row array.
 func (d *indexDecoder) rowRecords(n int) ([]Row, error) {
+	if isLittleEndian && d.sized() {
+		out := make([]Row, n)
+		if err := d.full(rowsBytes(out)); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	const chunkRows = 1024
 	var b [chunkRows * rowWireBytes]byte
 	le := binary.LittleEndian
@@ -390,51 +653,18 @@ func (d *indexDecoder) rowRecords(n int) ([]Row, error) {
 		for i := 0; i < take; i++ {
 			rec := b[i*rowWireBytes:]
 			out = append(out, Row{
-				Peptide:   le.Uint32(rec[0:4]),
-				Precursor: math.Float64frombits(le.Uint64(rec[4:12])),
+				Precursor: math.Float64frombits(le.Uint64(rec[0:8])),
+				Peptide:   le.Uint32(rec[8:12]),
 				NumIons:   le.Uint16(rec[12:14]),
-				Modified:  rec[14] != 0,
+				Flags:     le.Uint16(rec[14:16]),
 			})
 		}
 	}
 	return out, nil
 }
 
-// ReadIndex deserializes an index written by WriteTo, verifying the
-// checksum and format version. Length fields are bounded against both
-// absolute caps and (when r's size is knowable) the input size, so a
-// truncated or corrupted file can never force an allocation larger than
-// a small multiple of the bytes actually present.
-func ReadIndex(r io.Reader) (*Index, error) {
-	size := inputSize(r) // before bufio wraps r and reads ahead
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(indexMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("slm: reading magic: %w", err)
-	}
-	if string(magic) != indexMagic {
-		return nil, fmt.Errorf("slm: bad magic %q", magic)
-	}
-	d := &indexDecoder{cr: &crcReader{r: br}, payload: -1}
-	if size >= 0 {
-		// Budget for the CRC-covered payload: total minus magic and the
-		// trailing checksum.
-		if size < int64(len(indexMagic))+4 {
-			return nil, fmt.Errorf("slm: input of %d bytes is too short for an index", size)
-		}
-		d.payload = size - int64(len(indexMagic)) - 4
-	}
-
-	version, err := d.u32()
-	if err != nil {
-		return nil, err
-	}
-	if version != indexVersion {
-		return nil, fmt.Errorf("slm: unsupported index version %d (want %d)", version, indexVersion)
-	}
-
-	ix := &Index{}
-	p := &ix.params
+// readParams decodes the params block (shared by v1 and v2).
+func (d *indexDecoder) readParams(p *Params) error {
 	var fail error
 	get := func(dst *float64) {
 		if fail == nil {
@@ -469,18 +699,18 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	nmods := getU32()
 	nseries := getU32()
 	if fail != nil {
-		return nil, fail
+		return fail
 	}
 	if err := d.checkCount(uint64(nmods), 16, maxModCount, "mod"); err != nil {
-		return nil, err
+		return err
 	}
 	if err := d.checkCount(uint64(nseries), 1, maxSeriesCount, "ion series"); err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint32(0); i < nseries; i++ {
 		k, err := d.u8()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.IonSeries = append(p.IonSeries, spectrum.IonKind(k))
 	}
@@ -488,32 +718,214 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		var m mods.Mod
 		var err error
 		if m.Name, err = d.str(); err != nil {
-			return nil, err
+			return err
 		}
 		if m.Residues, err = d.str(); err != nil {
-			return nil, err
+			return err
 		}
 		if m.Delta, err = d.f64(); err != nil {
-			return nil, err
+			return err
 		}
 		p.Mods.Mods = append(p.Mods.Mods, m)
+	}
+	return nil
+}
+
+// validateShape runs the cross-array sanity checks shared by every
+// decode path: monotone offsets ending at the posting count and sane row
+// precursors.
+func (ix *Index) validateShape() error {
+	for i := 1; i < len(ix.offsets); i++ {
+		if ix.offsets[i] < ix.offsets[i-1] {
+			return fmt.Errorf("slm: corrupt offsets at %d", i)
+		}
+	}
+	if len(ix.offsets) > 0 && ix.offsets[len(ix.offsets)-1] != uint32(len(ix.ids)) {
+		return fmt.Errorf("slm: offsets end %d != %d postings", ix.offsets[len(ix.offsets)-1], len(ix.ids))
+	}
+	for _, r := range ix.rows {
+		if math.IsNaN(r.Precursor) || r.Precursor < 0 {
+			return fmt.Errorf("slm: corrupt row precursor")
+		}
+	}
+	return nil
+}
+
+// sectionEntry is one decoded v2 section-table record.
+type sectionEntry struct {
+	off   uint64
+	count uint64
+	crc   uint32
+}
+
+// v2Header is the decoded v2 header: everything before the first data
+// section.
+type v2Header struct {
+	params     Params
+	numBuckets uint32
+	secs       [sectionTableEntries]sectionEntry // rows, offsets, ids
+	headerLen  int64                             // magic through header CRC
+}
+
+// readHeaderV2 decodes and validates the v2 header from d, which must be
+// positioned just after the version field. The header CRC is verified
+// and the section table checked against the canonical layout: ordered,
+// 64-byte aligned, non-overlapping offsets derived from the header size,
+// with counts under the absolute caps (and the input size when known).
+func readHeaderV2(d *indexDecoder) (*v2Header, error) {
+	h := &v2Header{}
+	if err := d.readParams(&h.params); err != nil {
+		return nil, err
+	}
+	var fail error
+	if h.numBuckets, fail = d.u32(); fail != nil {
+		return nil, fail
+	}
+	for i := range h.secs {
+		s := &h.secs[i]
+		if s.off, fail = d.u64(); fail != nil {
+			return nil, fail
+		}
+		if s.count, fail = d.u64(); fail != nil {
+			return nil, fail
+		}
+		if s.crc, fail = d.u32(); fail != nil {
+			return nil, fail
+		}
+	}
+	want := d.cr.crc
+	got, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if got != want {
+		return nil, fmt.Errorf("slm: header checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	h.headerLen = int64(len(indexMagic)) + d.cr.n
+
+	rows, offs, ids := h.secs[0], h.secs[1], h.secs[2]
+	if err := d.checkCount(rows.count, rowWireBytes, maxRowCount, "row"); err != nil {
+		return nil, err
+	}
+	if err := d.checkCount(uint64(h.numBuckets), 4, maxBucketCount, "bucket"); err != nil {
+		return nil, err
+	}
+	if offs.count != uint64(h.numBuckets)+1 && !(h.numBuckets == 0 && offs.count <= 1) {
+		return nil, fmt.Errorf("slm: offsets length %d does not match %d buckets", offs.count, h.numBuckets)
+	}
+	if err := d.checkCount(offs.count, 4, maxBucketCount+1, "offset"); err != nil {
+		return nil, err
+	}
+	if err := d.checkCount(ids.count, postingWireBytes, maxPostingCount, "posting"); err != nil {
+		return nil, err
+	}
+	layout := v2Layout(h.headerLen, int64(rows.count), int64(offs.count), int64(ids.count))
+	if int64(rows.off) != layout.rowsOff || int64(offs.off) != layout.offsetsOff || int64(ids.off) != layout.idsOff {
+		return nil, fmt.Errorf("slm: section table names offsets %d/%d/%d, canonical layout is %d/%d/%d (overlapping, misordered or misaligned sections)",
+			rows.off, offs.off, ids.off, layout.rowsOff, layout.offsetsOff, layout.idsOff)
+	}
+	if rem := d.remaining(); rem >= 0 && layout.end-h.headerLen > rem {
+		return nil, fmt.Errorf("slm: sections need %d bytes but only %d remain (truncated or corrupt)",
+			layout.end-h.headerLen, rem)
+	}
+	return h, nil
+}
+
+// readIndexV2 decodes the v2 body from a stream already past the version
+// field: header, then each aligned section in file order with its CRC
+// verified as it streams by.
+func readIndexV2(d *indexDecoder) (*Index, error) {
+	h, err := readHeaderV2(d)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{params: h.params, numBuckets: int(h.numBuckets)}
+
+	pos := func() int64 { return int64(len(indexMagic)) + d.cr.n }
+
+	// Sections stream in file order. Each one's CRC must cover exactly
+	// its payload bytes, so the typed readers run through a dedicated
+	// section-scoped checksum reader that is reset at each section start.
+	sec := &crcReader{r: d.cr}
+	sd := &indexDecoder{cr: sec, payload: -1}
+	nextSection := func(entry sectionEntry) error {
+		if err := d.discardZero(int64(entry.off) - pos()); err != nil {
+			return err
+		}
+		sec.crc = 0
+		if d.sized() {
+			sd.payload = sec.n + d.remaining()
+		}
+		return nil
+	}
+	checkSection := func(entry sectionEntry, what string) error {
+		if sec.crc != entry.crc {
+			return fmt.Errorf("slm: %s section checksum mismatch: file %08x, computed %08x", what, entry.crc, sec.crc)
+		}
+		return nil
+	}
+
+	if err := nextSection(h.secs[0]); err != nil {
+		return nil, err
+	}
+	if ix.rows, err = sd.rowRecords(int(h.secs[0].count)); err != nil {
+		return nil, err
+	}
+	if err := checkSection(h.secs[0], "rows"); err != nil {
+		return nil, err
+	}
+	if err := nextSection(h.secs[1]); err != nil {
+		return nil, err
+	}
+	if ix.offsets, err = sd.u32s(int(h.secs[1].count)); err != nil {
+		return nil, err
+	}
+	if err := checkSection(h.secs[1], "offsets"); err != nil {
+		return nil, err
+	}
+	if err := nextSection(h.secs[2]); err != nil {
+		return nil, err
+	}
+	if ix.ids, err = sd.u32s(int(h.secs[2].count)); err != nil {
+		return nil, err
+	}
+	if err := checkSection(h.secs[2], "ids"); err != nil {
+		return nil, err
+	}
+
+	if err := ix.validateShape(); err != nil {
+		return nil, err
+	}
+	ix.buildPeak = ix.MemoryBytes()
+	return ix, nil
+}
+
+// readIndexV1 decodes the legacy v1 body (count-prefixed arrays, single
+// trailing CRC) from a stream already past the version field.
+func readIndexV1(d *indexDecoder, br io.Reader) (*Index, error) {
+	ix := &Index{}
+	if err := d.readParams(&ix.params); err != nil {
+		return nil, err
 	}
 
 	nrows, err := d.u32()
 	if err != nil {
 		return nil, err
 	}
-	if err := d.checkCount(uint64(nrows), rowWireBytes, maxRowCount, "row"); err != nil {
+	if err := d.checkCount(uint64(nrows), rowWireBytesV1, maxRowCount, "row"); err != nil {
 		return nil, err
 	}
-	if ix.rows, err = d.rowRecords(int(nrows)); err != nil {
+	if ix.rows, err = d.rowRecordsV1(int(nrows)); err != nil {
 		return nil, err
 	}
 
-	numBuckets := getU32()
-	noffsets := getU32()
-	if fail != nil {
-		return nil, fail
+	numBuckets, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	noffsets, err := d.u32()
+	if err != nil {
+		return nil, err
 	}
 	if err := d.checkCount(uint64(numBuckets), 4, maxBucketCount, "bucket"); err != nil {
 		return nil, err
@@ -547,22 +959,57 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if got := binary.LittleEndian.Uint32(gotb[:]); got != want {
 		return nil, fmt.Errorf("slm: checksum mismatch: file %08x, computed %08x", got, want)
 	}
-	// Sanity: offsets must be monotone and end at len(ids).
-	for i := 1; i < len(ix.offsets); i++ {
-		if ix.offsets[i] < ix.offsets[i-1] {
-			return nil, fmt.Errorf("slm: corrupt offsets at %d", i)
-		}
-	}
-	if len(ix.offsets) > 0 && ix.offsets[len(ix.offsets)-1] != uint32(len(ix.ids)) {
-		return nil, fmt.Errorf("slm: offsets end %d != %d postings", ix.offsets[len(ix.offsets)-1], len(ix.ids))
-	}
-	for _, r := range ix.rows {
-		if math.IsNaN(r.Precursor) || r.Precursor < 0 {
-			return nil, fmt.Errorf("slm: corrupt row precursor")
-		}
+	if err := ix.validateShape(); err != nil {
+		return nil, err
 	}
 	ix.buildPeak = ix.MemoryBytes()
 	return ix, nil
+}
+
+// ReadIndex deserializes an index written by WriteTo (v2) or by the v1
+// writer, verifying checksums and the format version. Length fields are
+// bounded against both absolute caps and (when r's size is knowable) the
+// input size, so a truncated or corrupted file can never force an
+// allocation larger than a small multiple of the bytes actually present.
+// Sized, trusted input (regular files, in-memory readers) additionally
+// takes a bulk fast path: arrays are allocated exactly once and filled
+// with single large reads instead of chunked defensive copies.
+func ReadIndex(r io.Reader) (*Index, error) {
+	size := inputSize(r) // before bufio wraps r and reads ahead
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("slm: reading magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("slm: bad magic %q", magic)
+	}
+	d := &indexDecoder{cr: &crcReader{r: br}, payload: -1}
+
+	version, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	switch version {
+	case indexVersion:
+		if size >= 0 {
+			d.payload = size - int64(len(indexMagic))
+		}
+		return readIndexV2(d)
+	case indexVersionV1:
+		if size >= 0 {
+			// Budget for the CRC-covered payload: total minus magic and
+			// the trailing checksum.
+			if size < int64(len(indexMagic))+4 {
+				return nil, fmt.Errorf("slm: input of %d bytes is too short for an index", size)
+			}
+			d.payload = size - int64(len(indexMagic)) - 4
+		}
+		return readIndexV1(d, br)
+	default:
+		return nil, fmt.Errorf("slm: unsupported index version %d (want %d or %d)",
+			version, indexVersion, indexVersionV1)
+	}
 }
 
 // SaveFile writes the index to the named file.

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
 	"path/filepath"
-	"runtime"
 	"testing"
 
 	"lbe/internal/mass"
@@ -162,114 +164,125 @@ type opaqueReader struct{ r io.Reader }
 
 func (o opaqueReader) Read(p []byte) (int, error) { return o.r.Read(p) }
 
-// TestSerializeCorruptLengthFields patches individual untrusted count
-// fields in a valid stream and asserts ReadIndex fails cleanly — both
-// when the input size is knowable and when it is an opaque stream.
-func TestSerializeCorruptLengthFields(t *testing.T) {
-	ix := buildPlainIndex(t)
+// v2HeaderOffsets computes the fixed v2 header geometry for ix's stream:
+// the file offsets of the section table and the header CRC, and the
+// total header length.
+func v2HeaderOffsets(ix *Index) (tableOff, crcOff, headerLen int) {
+	tableOff = len(indexMagic) + 4 + int(paramsBlockLen(ix.params)) + 4
+	crcOff = tableOff + sectionTableEntries*sectionEntryBytes
+	headerLen = crcOff + 4
+	return
+}
+
+// refixV2HeaderCRC recomputes the header CRC after a test mutates header
+// bytes, so the mutation under test — not the CRC — is what the reader
+// trips on.
+func refixV2HeaderCRC(data []byte, crcOff int) {
+	crc := crc32.ChecksumIEEE(data[len(indexMagic):crcOff])
+	binary.LittleEndian.PutUint32(data[crcOff:], crc)
+}
+
+// mustRejectV2 asserts every decode path — the sized reader, the opaque
+// stream reader, and the mapped open — refuses the corrupt v2 image.
+// The mapped open validates the header eagerly and section content
+// lazily, so its rejection surface is OpenIndexMapped + Verify.
+func mustRejectV2(t *testing.T, name string, data []byte) {
+	t.Helper()
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Errorf("%s: ReadIndex (sized) accepted corrupt input", name)
+	}
+	if _, err := ReadIndex(opaqueReader{bytes.NewReader(data)}); err == nil {
+		t.Errorf("%s: ReadIndex (opaque) accepted corrupt input", name)
+	}
+	path := filepath.Join(t.TempDir(), "bad.slm")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := OpenIndexMapped(path)
+	if err == nil {
+		err = ix.Verify()
+		ix.Close()
+	}
+	if err == nil {
+		t.Errorf("%s: OpenIndexMapped+Verify accepted corrupt input", name)
+	}
+}
+
+// TestSerializeV2CorruptSectionTable drives the v2 defenses: a corrupt
+// section CRC, overlapping / misordered / misaligned section offsets,
+// forged counts, a violated header CRC and nonzero padding must all be
+// rejected by both the streaming reader and OpenIndexMapped.
+func TestSerializeV2CorruptSectionTable(t *testing.T) {
+	ix := buildTestIndex(t)
 	var buf bytes.Buffer
 	if _, err := ix.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
 	valid := buf.Bytes()
+	tableOff, crcOff, headerLen := v2HeaderOffsets(ix)
+	layout := v2Layout(int64(headerLen), int64(len(ix.rows)), int64(len(ix.offsets)), int64(len(ix.ids)))
 
-	// Fixed offsets of the count fields in the mods-free layout.
-	const nrowsOff = 66
-	rowsStart := nrowsOff + 4
-	numBucketsOff := rowsStart + rowWireBytes*len(ix.rows)
-	noffsetsOff := numBucketsOff + 4
-	offsetsStart := noffsetsOff + 4
-	nidsOff := offsetsStart + 4*len(ix.offsets)
-
-	// Sanity-check the computed layout against the real stream before
-	// mutating it: the u32s at those offsets must hold the known counts.
 	le := binary.LittleEndian
-	if got := le.Uint32(valid[nrowsOff:]); got != uint32(len(ix.rows)) {
-		t.Fatalf("layout drift: nrows field holds %d, want %d", got, len(ix.rows))
-	}
-	if got := le.Uint32(valid[nidsOff:]); got != uint32(len(ix.ids)) {
-		t.Fatalf("layout drift: nids field holds %d, want %d", got, len(ix.ids))
+	// Layout sanity: entry 0's offset field must hold the canonical
+	// rows offset before we start mutating.
+	if got := le.Uint64(valid[tableOff:]); got != uint64(layout.rowsOff) {
+		t.Fatalf("layout drift: rows offset field holds %d, want %d", got, layout.rowsOff)
 	}
 
-	patch := func(off int, v uint32) func([]byte) []byte {
-		return func(data []byte) []byte {
-			le.PutUint32(data[off:], v)
-			return data
-		}
-	}
+	entry := func(data []byte, i int) []byte { return data[tableOff+i*sectionEntryBytes:] }
 	cases := []struct {
 		name   string
-		mutate func([]byte) []byte
+		mutate func(data []byte)
 	}{
-		{"nrows max u32", patch(nrowsOff, 0xFFFFFFFF)},
-		{"nrows over input size", patch(nrowsOff, uint32(len(ix.rows)+10_000))},
-		{"nrows truncated after count", func(d []byte) []byte {
-			le.PutUint32(d[nrowsOff:], 1<<27)
-			return d[:nrowsOff+4]
+		{"rows section CRC flipped", func(d []byte) {
+			le.PutUint32(entry(d, 0)[16:], le.Uint32(entry(d, 0)[16:])^0xDEADBEEF)
 		}},
-		{"row payload truncated", func(d []byte) []byte { return d[:rowsStart+rowWireBytes/2] }},
-		{"bucket count max u32", patch(numBucketsOff, 0xFFFFFFFF)},
-		{"offsets length mismatch", patch(noffsetsOff, uint32(len(ix.offsets)+1))},
-		{"nids max u32", patch(nidsOff, 0xFFFFFFFF)},
-		{"nids huge then truncated", func(d []byte) []byte {
-			le.PutUint32(d[nidsOff:], 0xFFFFFFF0)
-			return d[:nidsOff+4]
+		{"ids section CRC flipped", func(d []byte) {
+			le.PutUint32(entry(d, 2)[16:], le.Uint32(entry(d, 2)[16:])^1)
 		}},
-		{"nids undercount", patch(nidsOff, uint32(len(ix.ids)-1))},
+		{"sections overlap", func(d []byte) {
+			le.PutUint64(entry(d, 1)[0:], uint64(layout.rowsOff)) // offsets atop rows
+		}},
+		{"sections misordered", func(d []byte) {
+			le.PutUint64(entry(d, 0)[0:], uint64(layout.idsOff))
+			le.PutUint64(entry(d, 2)[0:], uint64(layout.rowsOff))
+		}},
+		{"section misaligned", func(d []byte) {
+			le.PutUint64(entry(d, 0)[0:], uint64(layout.rowsOff)+8)
+		}},
+		{"section beyond input", func(d []byte) {
+			le.PutUint64(entry(d, 2)[0:], 1<<40)
+		}},
+		{"rows count forged", func(d []byte) {
+			le.PutUint64(entry(d, 0)[8:], uint64(len(ix.rows))+7)
+		}},
+		{"offsets count vs buckets", func(d []byte) {
+			le.PutUint64(entry(d, 1)[8:], uint64(len(ix.offsets))+1)
+		}},
 	}
 	for _, tc := range cases {
-		data := tc.mutate(append([]byte(nil), valid...))
-		if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
-			t.Errorf("%s (sized reader): ReadIndex accepted corrupt input", tc.name)
-		}
-		if _, err := ReadIndex(opaqueReader{bytes.NewReader(data)}); err == nil {
-			t.Errorf("%s (opaque stream): ReadIndex accepted corrupt input", tc.name)
-		}
+		data := append([]byte(nil), valid...)
+		tc.mutate(data)
+		refixV2HeaderCRC(data, crcOff)
+		mustRejectV2(t, tc.name, data)
 	}
-}
 
-// TestSerializeCorruptStringLength targets the mod-name string length in
-// an index that carries modifications.
-func TestSerializeCorruptStringLength(t *testing.T) {
-	ix := buildTestIndex(t) // default params: three mods, no explicit series
-	var buf bytes.Buffer
-	if _, err := ix.WriteTo(&buf); err != nil {
-		t.Fatal(err)
-	}
-	data := buf.Bytes()
-	// With nseries == 0 the first mod's name length sits right after the
-	// params block: magic 4 + version 4 + params 54 + nseries 4.
-	const nameLenOff = 66
-	binary.LittleEndian.PutUint32(data[nameLenOff:], 0xFFFFFF)
-	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
-		t.Error("huge string length must fail")
-	}
-}
+	// Header CRC itself violated (no re-fix).
+	data := append([]byte(nil), valid...)
+	data[tableOff] ^= 0xFF
+	mustRejectV2(t, "header CRC mismatch", data)
 
-// TestReadIndexAllocationBounded asserts the core promise of the
-// hardened reader: a tiny input claiming a gigantic array provokes only
-// a small allocation, not one proportional to the forged count.
-func TestReadIndexAllocationBounded(t *testing.T) {
-	ix := buildPlainIndex(t)
-	var buf bytes.Buffer
-	if _, err := ix.WriteTo(&buf); err != nil {
-		t.Fatal(err)
+	// Nonzero padding: the byte right after the header is inside the
+	// alignment gap (the params block guarantees headerLen < rowsOff).
+	if int64(headerLen) < layout.rowsOff {
+		data = append([]byte(nil), valid...)
+		data[headerLen] = 0xAA
+		mustRejectV2(t, "nonzero padding", data)
 	}
-	const nrowsOff = 66
-	data := append([]byte(nil), buf.Bytes()[:nrowsOff+4]...)
-	binary.LittleEndian.PutUint32(data[nrowsOff:], 1<<27) // claims ~3 GiB of rows
 
-	runtime.GC()
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	for i := 0; i < 8; i++ {
-		if _, err := ReadIndex(opaqueReader{bytes.NewReader(data)}); err == nil {
-			t.Fatal("truncated huge-count input must fail")
-		}
-	}
-	runtime.ReadMemStats(&after)
-	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
-		t.Errorf("8 corrupt reads allocated %d bytes; the forged count leaked into allocation", grew)
+	// Truncated map: every prefix must be rejected by the mapped open.
+	for _, cut := range []int{7, headerLen - 1, headerLen, int(layout.idsOff), len(valid) - 1} {
+		mustRejectV2(t, fmt.Sprintf("truncated at %d", cut), append([]byte(nil), valid[:cut]...))
 	}
 }
 

@@ -1,0 +1,219 @@
+package slm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// writeToV1 emits the legacy v1 stream (count-prefixed arrays, 15-byte
+// row records, single trailing CRC) so the v1 read path — and its
+// hostile-count defenses — stay covered now that WriteTo produces v2.
+func writeToV1(ix *Index, w io.Writer) error {
+	if _, err := io.WriteString(w, indexMagic); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: w}
+	e := &indexEncoder{cw: cw}
+	e.u32(indexVersionV1)
+	e.params(ix.params)
+	e.u32(uint32(len(ix.rows)))
+	for _, r := range ix.rows {
+		e.u32(r.Peptide)
+		e.f64(r.Precursor)
+		var b [3]byte
+		binary.LittleEndian.PutUint16(b[0:2], r.NumIons)
+		if r.Modified() {
+			b[2] = 1
+		}
+		e.write(b[:])
+	}
+	e.u32(uint32(ix.numBuckets))
+	e.u32(uint32(len(ix.offsets)))
+	e.u32s(ix.offsets)
+	e.u32(uint32(len(ix.ids)))
+	e.u32s(ix.ids)
+	if e.err != nil {
+		return e.err
+	}
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], cw.crc)
+	_, err := w.Write(crcb[:])
+	return err
+}
+
+func encodeV1(t *testing.T, ix *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeToV1(ix, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSerializeV1RoundTrip(t *testing.T) {
+	ix := buildTestIndex(t)
+	got, err := ReadIndex(bytes.NewReader(encodeV1(t, ix)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != ix.NumRows() || got.NumIons() != ix.NumIons() {
+		t.Fatalf("shape: %d/%d rows, %d/%d ions",
+			got.NumRows(), ix.NumRows(), got.NumIons(), ix.NumIons())
+	}
+	q := queryFor(t, "PEPTIDEK")
+	a, wa := ix.Search(q, 0, nil)
+	b, wb := got.Search(q, 0, nil)
+	if len(a) != len(b) || wa != wb {
+		t.Fatalf("results differ after v1 round trip: %d vs %d matches", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("match %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if got.Params().Mods.MaxPerPep != 1 || len(got.Params().Mods.Mods) != 3 {
+		t.Errorf("params not preserved: %+v", got.Params().Mods)
+	}
+}
+
+func TestSerializeV1DetectsCorruption(t *testing.T) {
+	data := encodeV1(t, buildTestIndex(t))
+	data[len(data)/2] ^= 0xFF
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted v1 index must fail the checksum")
+	}
+}
+
+// TestSerializeV1CorruptLengthFields patches individual untrusted count
+// fields in a valid v1 stream and asserts ReadIndex fails cleanly — both
+// when the input size is knowable and when it is an opaque stream.
+//
+// With no mods and no explicit ion series the v1 stream has a fixed
+// header layout:
+//
+//	magic 4 | version 4 | params 54 | nseries 4 | nrows 4 | rows ... |
+//	numBuckets 4 | noffsets 4 | offsets ... | nids 4 | ids ... | crc 4
+func TestSerializeV1CorruptLengthFields(t *testing.T) {
+	ix := buildPlainIndex(t)
+	valid := encodeV1(t, ix)
+
+	// Fixed offsets of the count fields in the mods-free layout.
+	const nrowsOff = 66
+	rowsStart := nrowsOff + 4
+	numBucketsOff := rowsStart + rowWireBytesV1*len(ix.rows)
+	noffsetsOff := numBucketsOff + 4
+	offsetsStart := noffsetsOff + 4
+	nidsOff := offsetsStart + 4*len(ix.offsets)
+
+	// Sanity-check the computed layout against the real stream before
+	// mutating it: the u32s at those offsets must hold the known counts.
+	le := binary.LittleEndian
+	if got := le.Uint32(valid[nrowsOff:]); got != uint32(len(ix.rows)) {
+		t.Fatalf("layout drift: nrows field holds %d, want %d", got, len(ix.rows))
+	}
+	if got := le.Uint32(valid[nidsOff:]); got != uint32(len(ix.ids)) {
+		t.Fatalf("layout drift: nids field holds %d, want %d", got, len(ix.ids))
+	}
+
+	patch := func(off int, v uint32) func([]byte) []byte {
+		return func(data []byte) []byte {
+			le.PutUint32(data[off:], v)
+			return data
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"nrows max u32", patch(nrowsOff, 0xFFFFFFFF)},
+		{"nrows over input size", patch(nrowsOff, uint32(len(ix.rows)+10_000))},
+		{"nrows truncated after count", func(d []byte) []byte {
+			le.PutUint32(d[nrowsOff:], 1<<27)
+			return d[:nrowsOff+4]
+		}},
+		{"row payload truncated", func(d []byte) []byte { return d[:rowsStart+rowWireBytesV1/2] }},
+		{"bucket count max u32", patch(numBucketsOff, 0xFFFFFFFF)},
+		{"offsets length mismatch", patch(noffsetsOff, uint32(len(ix.offsets)+1))},
+		{"nids max u32", patch(nidsOff, 0xFFFFFFFF)},
+		{"nids huge then truncated", func(d []byte) []byte {
+			le.PutUint32(d[nidsOff:], 0xFFFFFFF0)
+			return d[:nidsOff+4]
+		}},
+		{"nids undercount", patch(nidsOff, uint32(len(ix.ids)-1))},
+	}
+	for _, tc := range cases {
+		data := tc.mutate(append([]byte(nil), valid...))
+		if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s (sized reader): ReadIndex accepted corrupt input", tc.name)
+		}
+		if _, err := ReadIndex(opaqueReader{bytes.NewReader(data)}); err == nil {
+			t.Errorf("%s (opaque stream): ReadIndex accepted corrupt input", tc.name)
+		}
+	}
+}
+
+// TestSerializeV1CorruptStringLength targets the mod-name string length
+// in a v1 index that carries modifications.
+func TestSerializeV1CorruptStringLength(t *testing.T) {
+	data := encodeV1(t, buildTestIndex(t)) // three mods, no explicit series
+	// With nseries == 0 the first mod's name length sits right after the
+	// params block: magic 4 + version 4 + params 54 + nseries 4.
+	const nameLenOff = 66
+	binary.LittleEndian.PutUint32(data[nameLenOff:], 0xFFFFFF)
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Error("huge string length must fail")
+	}
+}
+
+// TestReadIndexAllocationBounded asserts the core promise of the
+// hardened reader: a tiny input claiming a gigantic array provokes only
+// a small allocation, not one proportional to the forged count. Both the
+// v1 count-prefix and the v2 section-table variants are exercised.
+func TestReadIndexAllocationBounded(t *testing.T) {
+	ix := buildPlainIndex(t)
+
+	// v1: forge the nrows count prefix and truncate right after it.
+	const nrowsOff = 66
+	v1 := append([]byte(nil), encodeV1(t, ix)[:nrowsOff+4]...)
+	binary.LittleEndian.PutUint32(v1[nrowsOff:], 1<<27) // claims ~2 GiB of rows
+
+	// v2: forge a gigantic rows count in the section table — with the
+	// other entries moved to the matching canonical offsets and the header
+	// CRC re-fixed, so the decoder gets past the layout checks and must
+	// survive the forged count itself — then truncate the sections away.
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tableOff, crcOff, headerLen := v2HeaderOffsets(ix)
+	v2 := append([]byte(nil), buf.Bytes()[:headerLen]...)
+	forged := v2Layout(int64(headerLen), 1<<27, int64(len(ix.offsets)), int64(len(ix.ids)))
+	le2 := binary.LittleEndian
+	le2.PutUint64(v2[tableOff:], uint64(forged.rowsOff))
+	le2.PutUint64(v2[tableOff+8:], 1<<27) // claims ~2 GiB of rows
+	le2.PutUint64(v2[tableOff+sectionEntryBytes:], uint64(forged.offsetsOff))
+	le2.PutUint64(v2[tableOff+2*sectionEntryBytes:], uint64(forged.idsOff))
+	refixV2HeaderCRC(v2, crcOff)
+	// Supply the padding and the first 64 KiB of (zero) row bytes so the
+	// decoder genuinely enters the rows section before hitting EOF.
+	v2 = append(v2, make([]byte, int(forged.rowsOff)-headerLen+64<<10)...)
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < 8; i++ {
+		if _, err := ReadIndex(opaqueReader{bytes.NewReader(v1)}); err == nil {
+			t.Fatal("truncated huge-count v1 input must fail")
+		}
+		if _, err := ReadIndex(opaqueReader{bytes.NewReader(v2)}); err == nil {
+			t.Fatal("truncated huge-count v2 input must fail")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
+		t.Errorf("16 corrupt reads allocated %d bytes; the forged count leaked into allocation", grew)
+	}
+}

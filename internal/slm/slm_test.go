@@ -77,7 +77,7 @@ func TestBuildWithModsRowCount(t *testing.T) {
 	// Unmodified rows and modified rows both present.
 	mod, unmod := 0, 0
 	for rid := uint32(0); rid < uint32(ix.NumRows()); rid++ {
-		if ix.Row(rid).Modified {
+		if ix.Row(rid).Modified() {
 			mod++
 		} else {
 			unmod++
