@@ -35,7 +35,7 @@ func main() {
 	log.SetPrefix("lbe-bench: ")
 
 	var (
-		fig     = flag.String("fig", "all", "which experiment: all|setup|5|6|7|8|9|10|11|grouping|transport|hetero|filtration|session|serve|coldstart|steal|route|cache|scatter")
+		fig     = flag.String("fig", "all", "which experiment: all|setup|5|6|7|8|9|10|11|grouping|transport|hetero|filtration|kernel|session|serve|coldstart|steal|route|cache|scatter")
 		scale   = flag.Float64("scale", 1.0/1000, "fraction of the paper's index sizes")
 		ranks   = flag.Int("ranks", 16, "partitions for the LI figures")
 		queries = flag.Int("queries", 800, "query spectra per run")
@@ -70,6 +70,7 @@ func main() {
 		"transport":  bench.AblationTransport,
 		"hetero":     bench.AblationHeterogeneous,
 		"filtration": bench.FiltrationComparison,
+		"kernel":     bench.Kernel,
 		"session":    bench.SessionThroughput,
 		"serve":      bench.ServeThroughput,
 		"coldstart":  bench.ColdStart,
@@ -95,7 +96,7 @@ func main() {
 	} else {
 		run, ok := runners[*fig]
 		if !ok {
-			log.Fatalf("unknown -fig %q; options: all setup 5 6 7 8 9 10 11 grouping transport hetero filtration session serve coldstart steal route cache scatter", *fig)
+			log.Fatalf("unknown -fig %q; options: all setup 5 6 7 8 9 10 11 grouping transport hetero filtration kernel session serve coldstart steal route cache scatter", *fig)
 		}
 		f, err := run(o)
 		if err != nil {

@@ -22,6 +22,7 @@ import (
 
 	"lbe"
 	"lbe/internal/cliutil"
+	"lbe/internal/mass"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		maxMods  = flag.Int("max-mods", 5, "maximum modified residues per peptide")
 		resol    = flag.Float64("resolution", 0.01, "bucket resolution r (Da)")
 		fragTol  = flag.Float64("frag-tol", 0.05, "fragment mass tolerance ∆F (Da)")
+		precTol  = flag.String("prec-tol", "open", "precursor mass tolerance ∆M: e.g. 0.5Da, 20ppm, or open (paper default)")
 		maxFrag  = flag.Float64("max-frag-mz", 2000, "instrument scan range upper bound (Da)")
 		outDir   = flag.String("out", "", "emit a persistent session store into this directory instead of the stats report")
 		ranks    = flag.Int("ranks", 4, "shards in the emitted store (with -out)")
@@ -45,6 +47,10 @@ func main() {
 	flag.Parse()
 	if *in == "" {
 		log.Fatal("-in is required")
+	}
+	precursorTol, err := mass.ParseTolerance(*precTol)
+	if err != nil {
+		log.Fatal(err)
 	}
 	if *outDir == "" {
 		// Mirror the -index flag discipline of lbe-serve/lbe-search:
@@ -73,7 +79,7 @@ func main() {
 	}
 
 	if *outDir != "" {
-		emitStore(peptides, *outDir, *ranks, *policy, *seed, *topK, *maxMods, *resol, *fragTol, *maxFrag, *sets)
+		emitStore(peptides, *outDir, *ranks, *policy, *seed, *topK, *maxMods, *resol, *fragTol, precursorTol, *maxFrag, *sets)
 		return
 	}
 
@@ -82,6 +88,7 @@ func main() {
 	params.Resolution = *resol
 	params.MaxFragmentMZ = *maxFrag
 	params.FragmentTol.Value = *fragTol
+	params.PrecursorTol = precursorTol
 
 	start := time.Now()
 	ix, err := lbe.BuildIndex(peptides, params)
@@ -107,12 +114,13 @@ func main() {
 // from the same inputs are interchangeable. With sets > 0 the store is
 // emitted as a partitioned cluster (one self-contained shard-set store
 // per set-NN directory plus cluster.json) for scatter/gather serving.
-func emitStore(peptides []string, dir string, ranks int, policy string, seed int64, topK, maxMods int, resol, fragTol, maxFrag float64, sets int) {
+func emitStore(peptides []string, dir string, ranks int, policy string, seed int64, topK, maxMods int, resol, fragTol float64, precTol mass.Tolerance, maxFrag float64, sets int) {
 	scfg := lbe.DefaultSessionConfig()
 	scfg.Params.Mods.MaxPerPep = maxMods
 	scfg.Params.Resolution = resol
 	scfg.Params.MaxFragmentMZ = maxFrag
 	scfg.Params.FragmentTol.Value = fragTol
+	scfg.Params.PrecursorTol = precTol
 	scfg.Seed = seed
 	scfg.TopK = topK
 	pol, err := lbe.ParsePolicy(policy)

@@ -59,6 +59,7 @@ func (m *metricsWriter) appendStats(st *StatsResponse) {
 	m.simple("lbe_index_bytes", "Resident shard-index bytes.", "gauge", float64(st.IndexBytes))
 	m.simple("lbe_mapping_bytes", "Master mapping table bytes.", "gauge", float64(st.MappingBytes))
 	m.simple("lbe_queries_searched_total", "Queries served over the session lifetime.", "counter", float64(st.Searched))
+	m.simple("lbe_pruned_postings_total", "Postings skipped by the precursor-windowed scan (full-scan work avoided).", "counter", float64(st.PrunedPostings))
 	m.simple("lbe_session_batches_total", "Merged pipeline batches the engine executed.", "counter", float64(st.SessionBatches))
 	m.simple("lbe_requests_accepted_total", "Requests admitted through the bounded queue.", "counter", float64(st.Accepted))
 
@@ -92,6 +93,10 @@ func (m *metricsWriter) appendStats(st *StatsResponse) {
 		for _, sh := range st.PerShard {
 			m.value("lbe_shard_work_units_total", fmt.Sprintf(`shard="%d"`, sh.Rank), float64(sh.WorkUnits))
 		}
+		m.header("lbe_shard_pruned_postings_total", "Postings skipped by the precursor-windowed scan, per shard.", "counter")
+		for _, sh := range st.PerShard {
+			m.value("lbe_shard_pruned_postings_total", fmt.Sprintf(`shard="%d"`, sh.Rank), float64(sh.PrunedPostings))
+		}
 		m.header("lbe_shard_query_seconds_total", "Query wall time per shard.", "counter")
 		for _, sh := range st.PerShard {
 			m.value("lbe_shard_query_seconds_total", fmt.Sprintf(`shard="%d"`, sh.Rank), sh.QueryMillis/1e3)
@@ -121,6 +126,10 @@ func (m *metricsWriter) appendStats(st *StatsResponse) {
 		m.header("lbe_worker_work_units_total", "Deterministic work units per scheduler worker.", "counter")
 		for _, w := range sc.PerWorker {
 			m.value("lbe_worker_work_units_total", fmt.Sprintf(`worker="%d"`, w.Worker), float64(w.WorkUnits))
+		}
+		m.header("lbe_worker_pruned_postings_total", "Postings skipped by the precursor-windowed scan, per scheduler worker.", "counter")
+		for _, w := range sc.PerWorker {
+			m.value("lbe_worker_pruned_postings_total", fmt.Sprintf(`worker="%d"`, w.Worker), float64(w.PrunedPostings))
 		}
 		m.header("lbe_worker_busy_seconds_total", "Busy wall time per scheduler worker.", "counter")
 		for _, w := range sc.PerWorker {

@@ -146,25 +146,30 @@ type HealthResponse struct {
 }
 
 // ShardStatsJSON is one shard's lifetime load in /stats.
+// PrunedPostings counts postings the precursor-windowed kernel skipped —
+// work the full scan would have paid; it is not part of work_units, which
+// stay the deterministic balance figure.
 type ShardStatsJSON struct {
-	Rank        int     `json:"rank"`
-	Peptides    int     `json:"peptides"`
-	Rows        int     `json:"rows"`
-	IndexBytes  int     `json:"index_bytes"`
-	WorkUnits   int64   `json:"work_units"`
-	QueryMillis float64 `json:"query_ms"`
+	Rank           int     `json:"rank"`
+	Peptides       int     `json:"peptides"`
+	Rows           int     `json:"rows"`
+	IndexBytes     int     `json:"index_bytes"`
+	WorkUnits      int64   `json:"work_units"`
+	PrunedPostings int64   `json:"pruned_postings"`
+	QueryMillis    float64 `json:"query_ms"`
 }
 
 // WorkerStatsJSON is one scheduler worker's lifetime share in /stats.
 // The spread of work_units across workers is the intra-node balance the
 // work-stealing execution layer exists to flatten.
 type WorkerStatsJSON struct {
-	Worker     int     `json:"worker"`
-	Chunks     int     `json:"chunks"`
-	Stolen     int     `json:"chunks_stolen"`
-	Steals     int     `json:"steals"`
-	WorkUnits  int64   `json:"work_units"`
-	BusyMillis float64 `json:"busy_ms"`
+	Worker         int     `json:"worker"`
+	Chunks         int     `json:"chunks"`
+	Stolen         int     `json:"chunks_stolen"`
+	Steals         int     `json:"steals"`
+	WorkUnits      int64   `json:"work_units"`
+	PrunedPostings int64   `json:"pruned_postings"`
+	BusyMillis     float64 `json:"busy_ms"`
 }
 
 // SchedulerStatsJSON summarizes a session's work-stealing execution
@@ -219,6 +224,7 @@ type StatsResponse struct {
 	IndexBytes     int                `json:"index_bytes"`
 	MappingBytes   int                `json:"mapping_bytes"`
 	Searched       int64              `json:"searched"`
+	PrunedPostings int64              `json:"pruned_postings"`
 	SessionBatches int64              `json:"session_batches"`
 	Accepted       int64              `json:"requests_accepted"`
 	RejectedQueue  int64              `json:"requests_rejected_queue_full"`

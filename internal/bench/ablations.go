@@ -184,6 +184,7 @@ func All(o Options) ([]Figure, error) {
 		{"ablation-transport", AblationTransport},
 		{"ablation-heterogeneous", AblationHeterogeneous},
 		{"filtration", FiltrationComparison},
+		{"kernel", Kernel},
 		{"session", SessionThroughput},
 		{"serve", ServeThroughput},
 		{"coldstart", ColdStart},

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"lbe/internal/mass"
+	"lbe/internal/slm"
+	"lbe/internal/spectrum"
+)
+
+// kernelSweepPoint is one precursor-tolerance notch of the kernel sweep,
+// from very narrow to fully open.
+type kernelSweepPoint struct {
+	label string
+	tol   mass.Tolerance
+}
+
+// Kernel measures the precursor-windowed phase-1 kernel against the
+// flattened full scan it replaces, on the same index, across a
+// narrow-to-open tolerance sweep. For each notch it reports postings
+// visited per query (IonHits), the pruning ratio (postings skipped /
+// postings a full scan would visit), P50/P95 query latency for both scan
+// strategies, and the windowed-over-full speedup. Every query's matches
+// are compared across the two strategies in-run: the figure fails if they
+// are not byte-identical, so the reported speedup can never come from a
+// scan that changed results. At mass.Open the window degenerates and both
+// strategies are the same code path — the expected speedup is 1x and the
+// pruning ratio 0, which anchors the sweep.
+func Kernel(o Options) (Figure, error) {
+	fig := Figure{
+		ID:     "kernel",
+		Title:  "Precursor-windowed postings scan vs full scan",
+		XLabel: "tolerance notch (narrow → open)",
+		YLabel: "value",
+	}
+	c, err := o.corpusAt(paperSizesM[1])
+	if err != nil {
+		return fig, err
+	}
+	params := engineConfig().Params
+	params.PrecursorTol = mass.Open()
+	ix, err := slm.Build(c.Peptides, params)
+	if err != nil {
+		return fig, err
+	}
+	qs := spectrum.PreprocessAll(c.Queries, params.MaxQueryPeaks)
+
+	sweep := []kernelSweepPoint{
+		{"0.01Da", mass.Da(0.01)},
+		{"0.5Da", mass.Da(0.5)},
+		{"3Da", mass.Da(3)},
+		{"100ppm", mass.Ppm(100)},
+		{"open", mass.Open()},
+	}
+
+	ionsWin := Series{Label: "IonHits/query (windowed)"}
+	ionsFull := Series{Label: "IonHits/query (full scan)"}
+	pruneRatio := Series{Label: "pruning ratio"}
+	p50Win := Series{Label: "p50 us (windowed)"}
+	p95Win := Series{Label: "p95 us (windowed)"}
+	p50Full := Series{Label: "p50 us (full scan)"}
+	p95Full := Series{Label: "p95 us (full scan)"}
+	speedup := Series{Label: "speedup (full/windowed wall)"}
+
+	identical := 1.0
+	var labels []string
+	for pi, pt := range sweep {
+		if err := o.ctx().Err(); err != nil {
+			return fig, err
+		}
+		windowed, err := ix.WithPrecursorTol(pt.tol)
+		if err != nil {
+			return fig, err
+		}
+		full, err := ix.WithPrecursorTol(pt.tol)
+		if err != nil {
+			return fig, err
+		}
+		full.SetFullScan(true)
+
+		run := func(view *slm.Index) (work slm.Work, total time.Duration, lat []float64, results [][]slm.Match) {
+			var scratch slm.Scratch
+			lat = make([]float64, len(qs))
+			results = make([][]slm.Match, len(qs))
+			for i, q := range qs {
+				start := time.Now()
+				ms, w := view.Search(q, 0, &scratch)
+				d := time.Since(start)
+				total += d
+				lat[i] = float64(d.Nanoseconds()) / 1e3
+				work.Add(w)
+				results[i] = ms
+			}
+			return work, total, lat, results
+		}
+		winWork, winWall, winLat, winRes := run(windowed)
+		fullWork, fullWall, fullLat, fullRes := run(full)
+
+		for i := range winRes {
+			if !reflect.DeepEqual(winRes[i], fullRes[i]) {
+				identical = 0
+				return fig, fmt.Errorf("bench: kernel: %s query %d: windowed and full-scan matches differ", pt.label, i)
+			}
+		}
+		if winWork.IonHits+winWork.Pruned != fullWork.IonHits {
+			return fig, fmt.Errorf("bench: kernel: %s: windowed IonHits %d + Pruned %d != full IonHits %d",
+				pt.label, winWork.IonHits, winWork.Pruned, fullWork.IonHits)
+		}
+
+		nq := float64(len(qs))
+		x := float64(pi)
+		ratio := 0.0
+		if fullWork.IonHits > 0 {
+			ratio = float64(winWork.Pruned) / float64(fullWork.IonHits)
+		}
+		ionsWin.X, ionsWin.Y = append(ionsWin.X, x), append(ionsWin.Y, float64(winWork.IonHits)/nq)
+		ionsFull.X, ionsFull.Y = append(ionsFull.X, x), append(ionsFull.Y, float64(fullWork.IonHits)/nq)
+		pruneRatio.X, pruneRatio.Y = append(pruneRatio.X, x), append(pruneRatio.Y, ratio)
+		p50Win.X, p50Win.Y = append(p50Win.X, x), append(p50Win.Y, percentile(winLat, 0.50))
+		p95Win.X, p95Win.Y = append(p95Win.X, x), append(p95Win.Y, percentile(winLat, 0.95))
+		p50Full.X, p50Full.Y = append(p50Full.X, x), append(p50Full.Y, percentile(fullLat, 0.50))
+		p95Full.X, p95Full.Y = append(p95Full.X, x), append(p95Full.Y, percentile(fullLat, 0.95))
+		sp := 1.0
+		if winWall > 0 {
+			sp = float64(fullWall) / float64(winWall)
+		}
+		speedup.X, speedup.Y = append(speedup.X, x), append(speedup.Y, sp)
+		labels = append(labels, pt.label)
+
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"%s: %.0f vs %.0f IonHits/query, pruning ratio %.3f, p50 %.1f vs %.1f us, p95 %.1f vs %.1f us, %.2fx",
+			pt.label, float64(winWork.IonHits)/nq, float64(fullWork.IonHits)/nq, ratio,
+			percentile(winLat, 0.50), percentile(fullLat, 0.50),
+			percentile(winLat, 0.95), percentile(fullLat, 0.95), sp))
+	}
+
+	fig.Series = []Series{ionsWin, ionsFull, pruneRatio, p50Win, p95Win, p50Full, p95Full, speedup}
+	fig.Metrics = map[string]float64{
+		"identical":                 identical,
+		"pruning_ratio_narrow":      pruneRatio.Y[0],
+		"pruning_ratio_open":        pruneRatio.Y[len(pruneRatio.Y)-1],
+		"ion_hits_per_query_narrow": ionsWin.Y[0],
+		"ion_hits_per_query_full":   ionsFull.Y[0],
+		"speedup_narrow":            speedup.Y[0],
+		"p50_us_windowed_narrow":    p50Win.Y[0],
+		"p95_us_windowed_narrow":    p95Win.Y[0],
+		"p50_us_full_narrow":        p50Full.Y[0],
+		"p95_us_full_narrow":        p95Full.Y[0],
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("sweep notches: %v; every query verified byte-identical between windowed and full scans", labels))
+	return fig, nil
+}

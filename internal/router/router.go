@@ -677,6 +677,7 @@ func (rt *Router) Stats() api.RouterStatsResponse {
 			agg.IndexBytes += st.IndexBytes
 			agg.MappingBytes += st.MappingBytes
 			agg.Searched += st.Searched
+			agg.PrunedPostings += st.PrunedPostings
 			agg.SessionBatches += st.SessionBatches
 			agg.Accepted += st.Accepted
 			agg.RejectedQueue += st.RejectedQueue

@@ -366,13 +366,15 @@ func (s *Server) Stats() api.StatsResponse {
 	}
 	st.Cache = s.cacheStats()
 	for _, rs := range s.sess.Stats() {
+		st.PrunedPostings += rs.Work.Pruned
 		st.PerShard = append(st.PerShard, api.ShardStatsJSON{
-			Rank:        rs.Rank,
-			Peptides:    rs.Peptides,
-			Rows:        rs.Rows,
-			IndexBytes:  rs.IndexBytes,
-			WorkUnits:   rs.Work.IonHits + rs.Work.Scored,
-			QueryMillis: float64(rs.QueryNanos) / 1e6,
+			Rank:           rs.Rank,
+			Peptides:       rs.Peptides,
+			Rows:           rs.Rows,
+			IndexBytes:     rs.IndexBytes,
+			WorkUnits:      rs.Work.IonHits + rs.Work.Scored,
+			PrunedPostings: rs.Work.Pruned,
+			QueryMillis:    float64(rs.QueryNanos) / 1e6,
 		})
 	}
 	ss := s.sess.SchedulerStats()
@@ -386,12 +388,13 @@ func (s *Server) Stats() api.StatsResponse {
 	}
 	for _, w := range ss.Workers {
 		st.Scheduler.PerWorker = append(st.Scheduler.PerWorker, api.WorkerStatsJSON{
-			Worker:     w.Worker,
-			Chunks:     w.Chunks,
-			Stolen:     w.Stolen,
-			Steals:     w.Steals,
-			WorkUnits:  w.Work.IonHits + w.Work.Scored,
-			BusyMillis: float64(w.Nanos) / 1e6,
+			Worker:         w.Worker,
+			Chunks:         w.Chunks,
+			Stolen:         w.Stolen,
+			Steals:         w.Steals,
+			WorkUnits:      w.Work.IonHits + w.Work.Scored,
+			PrunedPostings: w.Work.Pruned,
+			BusyMillis:     float64(w.Nanos) / 1e6,
 		})
 	}
 	return st

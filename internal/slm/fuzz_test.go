@@ -3,6 +3,7 @@ package slm
 import (
 	"bytes"
 	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"lbe/internal/mods"
@@ -66,21 +67,65 @@ func FuzzReadIndex(f *testing.F) {
 	hugeName := append([]byte(nil), validV1.Bytes()[:70]...)
 	binary.LittleEndian.PutUint32(hugeName[66:], 0xFFFFFFFF)
 	f.Add(hugeName)
-	// v2 seeds: a forged section table — gigantic rows count at the
+	// v3 seeds: a forged section table — gigantic rows count at the
 	// canonical offsets with a re-fixed header CRC — and a corrupt
 	// section CRC in an otherwise intact file.
-	tableOff, crcOff, headerLen := v2HeaderOffsets(plain)
-	var plainV2 bytes.Buffer
-	if _, err := plain.WriteTo(&plainV2); err != nil {
+	tableOff, crcOff, headerLen := headerOffsets(plain, sectionTableEntries)
+	var plainV3 bytes.Buffer
+	if _, err := plain.WriteTo(&plainV3); err != nil {
 		f.Fatal(err)
 	}
-	forged := append([]byte(nil), plainV2.Bytes()[:headerLen]...)
+	forged := append([]byte(nil), plainV3.Bytes()[:headerLen]...)
 	binary.LittleEndian.PutUint64(forged[tableOff+8:], 1<<27)
-	refixV2HeaderCRC(forged, crcOff)
+	refixHeaderCRC(forged, crcOff)
 	f.Add(forged)
-	badSec := append([]byte(nil), plainV2.Bytes()...)
+	badSec := append([]byte(nil), plainV3.Bytes()...)
 	badSec[len(badSec)-1] ^= 0xFF
 	f.Add(badSec)
+
+	// A v2 stream (raw row-id postings, three sections): keeps the
+	// legacy decode-and-resort path under fuzz.
+	var plainV2 bytes.Buffer
+	if _, err := plain.WriteToVersion(&plainV2, indexVersionV2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plainV2.Bytes())
+	f.Add(plainV2.Bytes()[:len(plainV2.Bytes())/2])
+
+	// v3 semantic-corruption seeds: bytes whose CRCs all verify but whose
+	// precursor-order invariants are broken. The decoder must reject, not
+	// mis-serve, each of them.
+	//   entry 4 (precs): first two entries swapped — non-monotone column,
+	//   and one that also disagrees with the rows it mirrors.
+	//   entry 3 (perm): first entry duplicated — not a permutation.
+	//   entry 3 (perm): count forged to mismatch rows.
+	v3 := plainV3.Bytes()
+	secCorrupt := func(sec int, mutate func(d []byte, lo int64)) []byte {
+		d := append([]byte(nil), v3...)
+		entry := d[tableOff+sec*sectionEntryBytes:]
+		lo := int64(binary.LittleEndian.Uint64(entry[0:8]))
+		count := int64(binary.LittleEndian.Uint64(entry[8:16]))
+		mutate(d, lo)
+		binary.LittleEndian.PutUint32(entry[16:20],
+			crc32.ChecksumIEEE(d[lo:lo+sectionElemBytes[sec]*count]))
+		refixHeaderCRC(d, crcOff)
+		return d
+	}
+	if plain.NumRows() >= 2 {
+		f.Add(secCorrupt(4, func(d []byte, lo int64) {
+			a := binary.LittleEndian.Uint64(d[lo : lo+8])
+			b := binary.LittleEndian.Uint64(d[lo+8 : lo+16])
+			binary.LittleEndian.PutUint64(d[lo:lo+8], b)
+			binary.LittleEndian.PutUint64(d[lo+8:lo+16], a)
+		}))
+		f.Add(secCorrupt(3, func(d []byte, lo int64) {
+			binary.LittleEndian.PutUint32(d[lo:lo+4], binary.LittleEndian.Uint32(d[lo+4:lo+8]))
+		}))
+	}
+	permMismatch := append([]byte(nil), v3...)
+	binary.LittleEndian.PutUint64(permMismatch[tableOff+3*sectionEntryBytes+8:], uint64(plain.NumRows())+1)
+	refixHeaderCRC(permMismatch, crcOff)
+	f.Add(permMismatch)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := ReadIndex(bytes.NewReader(data))

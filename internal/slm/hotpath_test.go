@@ -70,20 +70,24 @@ func recvQualified(fd *ast.FuncDecl) string {
 // the functions whose zero-alloc behavior the AllocsPerRun guards in
 // alloc_test.go actually exercise (Search and ChunkedIndex.Search drive
 // the full annotated call tree: searchScratch, ensure, bucketRange,
-// hyperscore, sortMatches, copyMatches). Annotating a new function here
-// without extending the runtime guards — or vice versa — fails this
-// test, keeping the static gate and the dynamic gate in lockstep.
+// bucketSpan, precursorWindow, postingsLowerBound, hyperscore,
+// sortMatches, copyMatches). Annotating a new function here without
+// extending the runtime guards — or vice versa — fails this test,
+// keeping the static gate and the dynamic gate in lockstep.
 func TestHotpathAnnotationsMatchAllocGuards(t *testing.T) {
 	got := hotpathFuncs(t, ".")
 	want := []string{
 		"ChunkedIndex.Search",
 		"Index.Search",
 		"Index.bucketRange",
+		"Index.bucketSpan",
+		"Index.precursorWindow",
 		"Index.searchScratch",
 		"Scratch.ensure",
 		"Scratch.quantize",
 		"copyMatches",
 		"hyperscore",
+		"postingsLowerBound",
 		"sortMatches",
 	}
 	sort.Strings(want)

@@ -13,8 +13,10 @@
 package slm
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -129,12 +131,27 @@ type Index struct {
 	rows []Row
 
 	// CSR ion index: for bucket b, rows with an ion in b are
-	// ids[offsets[b]:offsets[b+1]].
+	// ids[offsets[b]:offsets[b+1]]. Postings hold *mass-sorted row
+	// positions* (indexes into perm/precs, not into rows), and each
+	// bucket's list is ascending — so a narrow precursor window, which is
+	// one contiguous range of sorted positions, can be intersected with a
+	// bucket by binary search (see precursorWindow / searchScratch).
 	offsets []uint32
 	ids     []uint32
 
+	// Precursor-mass order over the rows: perm[s] is the original row id
+	// of the s-th lightest row (ties broken by row id), and precs[s] is
+	// its neutral precursor mass, ascending. rows itself stays in build
+	// order so row ids in Match.Row and Row() are stable across versions.
+	perm  []uint32
+	precs []float64
+
 	numBuckets int
 	buildPeak  int // peak transient bytes observed during construction
+
+	// fullScan forces the flattened full-bucket phase-1 scan even under a
+	// narrow precursor tolerance (see SetFullScan).
+	fullScan bool
 
 	// mapping is non-nil when rows/offsets/ids are zero-copy views into a
 	// memory-mapped store file (see OpenIndexMapped); Close releases it.
@@ -367,6 +384,8 @@ func BuildWorkers(peptides []string, params Params, workers int) (*Index, error)
 	}
 	wg.Wait()
 
+	ix.sortByPrecursor()
+
 	// The transient footprint during construction is the pending ion
 	// lists plus the final arrays — the "2x index memory" effect the
 	// paper describes for distributed SLM construction.
@@ -375,33 +394,117 @@ func BuildWorkers(peptides []string, params Params, workers int) (*Index, error)
 	return ix, nil
 }
 
+// sortByPrecursor derives the precursor-mass order over the rows and
+// rewrites the postings in terms of it: perm/precs are built by sorting
+// row ids on (precursor, id), every posting is remapped from row id to
+// sorted position, and each bucket's posting list is re-sorted ascending.
+// It runs once at the end of every build and when loading a pre-v3 file
+// (v3 files persist the result). The input postings may be in any order;
+// the output is deterministic — byte-identical for any build worker
+// count, and for a v2 file identical to rebuilding from its peptides.
+func (ix *Index) sortByPrecursor() {
+	n := len(ix.rows)
+	rows := ix.rows
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	slices.SortFunc(perm, func(a, b uint32) int {
+		if rows[a].Precursor != rows[b].Precursor {
+			if rows[a].Precursor < rows[b].Precursor {
+				return -1
+			}
+			return 1
+		}
+		return cmp.Compare(a, b)
+	})
+	inv := make([]uint32, n)
+	precs := make([]float64, n)
+	for s, o := range perm {
+		inv[o] = uint32(s)
+		precs[s] = rows[o].Precursor
+	}
+	for i, rid := range ix.ids {
+		ix.ids[i] = inv[rid]
+	}
+	for b := 0; b < ix.numBuckets; b++ {
+		slices.Sort(ix.ids[ix.offsets[b]:ix.offsets[b+1]])
+	}
+	ix.perm = perm
+	ix.precs = precs
+}
+
 // MemoryBytes returns the resident size of the index structures in bytes:
-// packed 16-byte rows, offsets (4 per bucket) and ion postings (4 each).
-// This is the quantity reported by the Fig. 5 experiment. For a mapped
-// index (OpenIndexMapped) it is the mapped footprint: the bytes are
-// page-cache backed and shared across co-located processes.
+// packed 16-byte rows, offsets (4 per bucket), ion postings (4 each) and
+// the precursor-order columns (12 per row). This is the quantity reported
+// by the Fig. 5 experiment. For a mapped index (OpenIndexMapped) it is
+// the mapped footprint: the bytes are page-cache backed and shared across
+// co-located processes.
 func (ix *Index) MemoryBytes() int {
-	return rowMemBytes*len(ix.rows) + 4*len(ix.offsets) + 4*len(ix.ids)
+	return rowMemBytes*len(ix.rows) + 4*len(ix.offsets) + 4*len(ix.ids) +
+		4*len(ix.perm) + 8*len(ix.precs)
 }
 
 // BuildPeakBytes returns the peak transient memory observed while the
 // index was constructed (index plus staging ion lists).
 func (ix *Index) BuildPeakBytes() int { return ix.buildPeak }
 
-// bucketRange returns the posting range for the fragment window around mz.
+// bucketSpan returns the inclusive bucket index range for the fragment
+// window around mz, clamped to the index; blo > bhi means no buckets.
 //
 //lbe:hotpath
-func (ix *Index) bucketRange(mz float64) (lo, hi uint32) {
+func (ix *Index) bucketSpan(mz float64) (blo, bhi int) {
 	bucketer := mass.NewBucketer(ix.params.Resolution)
-	blo, bhi := bucketer.Range(mz, ix.params.FragmentTol)
+	blo, bhi = bucketer.Range(mz, ix.params.FragmentTol)
 	if blo < 0 {
 		blo = 0
 	}
 	if bhi >= ix.numBuckets {
 		bhi = ix.numBuckets - 1
 	}
+	return blo, bhi
+}
+
+// bucketRange returns the flattened posting range for the fragment window
+// around mz, for the full scan that walks postings across buckets.
+//
+//lbe:hotpath
+func (ix *Index) bucketRange(mz float64) (lo, hi uint32) {
+	blo, bhi := ix.bucketSpan(mz)
 	if blo > bhi {
 		return 0, 0
 	}
 	return ix.offsets[blo], ix.offsets[bhi+1]
+}
+
+// SetFullScan forces every query on this index to run the flattened
+// full-bucket phase-1 scan even when a narrow precursor tolerance would
+// admit the windowed scan. Results are byte-identical either way — the
+// windowed scan is a strict fast path — so the toggle exists only for
+// benchmarks and equivalence tests that measure the two strategies
+// against each other. It must not be flipped concurrently with Search.
+func (ix *Index) SetFullScan(v bool) { ix.fullScan = v }
+
+// WithPrecursorTol returns a read-only view of the index whose searches
+// run under tol instead of the built-in precursor tolerance, sharing
+// every array with the receiver (nothing is copied or rebuilt — the
+// index's content does not depend on the query-time precursor window).
+// The view does not own the receiver's mapping, so it must not outlive
+// it; a mapped receiver is verified here so the view never needs to.
+func (ix *Index) WithPrecursorTol(tol mass.Tolerance) (*Index, error) {
+	if err := ix.Verify(); err != nil {
+		return nil, err
+	}
+	p := ix.params
+	p.PrecursorTol = tol
+	return &Index{
+		params:     p,
+		rows:       ix.rows,
+		offsets:    ix.offsets,
+		ids:        ix.ids,
+		perm:       ix.perm,
+		precs:      ix.precs,
+		numBuckets: ix.numBuckets,
+		buildPeak:  ix.buildPeak,
+	}, nil
 }

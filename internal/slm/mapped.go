@@ -15,11 +15,11 @@ import (
 // unaligned heap-fallback buffer).
 var errNotZeroCopy = errors.New("slm: mapping cannot back zero-copy views")
 
-// OpenIndexMapped opens a v2 SLMX file with its rows/offsets/ids arrays
-// backed by zero-copy views of a read-only memory mapping: no array is
-// allocated or decoded, no section byte is read at open, and the index's
-// resident bytes are kernel page cache shared with every co-located
-// process serving the same store.
+// OpenIndexMapped opens a v3 SLMX file with its rows/offsets/ids and
+// precursor-order (perm/precs) arrays backed by zero-copy views of a
+// read-only memory mapping: no array is allocated or decoded, no section
+// byte is read at open, and the index's resident bytes are kernel page
+// cache shared with every co-located process serving the same store.
 //
 // Validation is split so warm-start stays O(header) instead of O(file):
 // the header CRC, the canonical aligned section layout, every count cap
@@ -32,9 +32,10 @@ var errNotZeroCopy = errors.New("slm: mapping cannot back zero-copy views")
 //
 // The returned index owns the mapping: it stays valid until the index is
 // garbage-collected or Close is called, and must not be used after
-// Close. v1 files, big-endian hosts, and platforms without usable mmap
-// fall back to a heap-loaded index (identical results; Mapped reports
-// false, Verify is a no-op because the decode already checked everything).
+// Close. Pre-v3 files (whose postings must be rewritten into the sorted
+// layout), big-endian hosts, and platforms without usable mmap fall back
+// to a heap-loaded index (identical results; Mapped reports false,
+// Verify is a no-op because the decode already checked everything).
 func OpenIndexMapped(path string) (*Index, error) {
 	m, err := mmapio.Open(path)
 	if err != nil {
@@ -61,7 +62,7 @@ func OpenIndexMapped(path string) (*Index, error) {
 	return ix, nil
 }
 
-// indexFromMappedBytes validates the v2 header in m and builds an Index
+// indexFromMappedBytes validates the v3 header in m and builds an Index
 // whose arrays alias the mapped bytes, leaving section content checks to
 // the deferred verifyFn. It returns errNotZeroCopy when the bytes are
 // valid but cannot be aliased on this host.
@@ -87,23 +88,26 @@ func indexFromMappedBytes(m *mmapio.Mapping) (*Index, error) {
 		return nil, err
 	}
 	if version != indexVersion {
-		// v1 has no section table to map; the caller falls back to the
-		// streaming reader.
+		// v1 has no section table to map; v2 postings hold raw row ids
+		// and must be rewritten into the sorted layout, which a read-only
+		// mapping cannot back. Both re-load on the heap.
 		return nil, fmt.Errorf("version %d cannot be memory-mapped%w", version, errNotZeroCopy)
 	}
-	h, err := readHeaderV2(d)
+	h, err := readHeader(d, version)
 	if err != nil {
 		return nil, err
 	}
 
-	section := func(i int, elem int64) []byte {
+	section := func(i int) []byte {
 		e := h.secs[i]
-		// Bounds proven by readHeaderV2 against len(data).
-		return data[e.off : int64(e.off)+elem*int64(e.count)]
+		// Bounds proven by readHeader against len(data).
+		return data[e.off : int64(e.off)+sectionElemBytes[i]*int64(e.count)]
 	}
-	rowsSec := section(0, rowWireBytes)
-	offsSec := section(1, 4)
-	idsSec := section(2, 4)
+	rowsSec := section(0)
+	offsSec := section(1)
+	idsSec := section(2)
+	permSec := section(3)
+	precsSec := section(4)
 
 	if !isLittleEndian {
 		return nil, errNotZeroCopy
@@ -111,7 +115,7 @@ func indexFromMappedBytes(m *mmapio.Mapping) (*Index, error) {
 	aligned := func(b []byte) bool {
 		return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0
 	}
-	if !aligned(rowsSec) || !aligned(offsSec) || !aligned(idsSec) {
+	if !aligned(rowsSec) || !aligned(offsSec) || !aligned(idsSec) || !aligned(permSec) || !aligned(precsSec) {
 		// mmap is page-aligned, so this only happens on the heap-read
 		// fallback with an unaligned buffer.
 		return nil, errNotZeroCopy
@@ -120,6 +124,8 @@ func indexFromMappedBytes(m *mmapio.Mapping) (*Index, error) {
 	ix := &Index{params: h.params, numBuckets: int(h.numBuckets)}
 	if n := int(h.secs[0].count); n > 0 {
 		ix.rows = unsafe.Slice((*Row)(unsafe.Pointer(&rowsSec[0])), n)
+		ix.perm = unsafe.Slice((*uint32)(unsafe.Pointer(&permSec[0])), n)
+		ix.precs = unsafe.Slice((*float64)(unsafe.Pointer(&precsSec[0])), n)
 	}
 	if n := int(h.secs[1].count); n > 0 {
 		ix.offsets = unsafe.Slice((*uint32)(unsafe.Pointer(&offsSec[0])), n)
@@ -129,7 +135,10 @@ func indexFromMappedBytes(m *mmapio.Mapping) (*Index, error) {
 	}
 	ix.buildPeak = ix.MemoryBytes()
 	ix.mapping = m
-	shape := Index{rows: ix.rows, offsets: ix.offsets, ids: ix.ids, numBuckets: ix.numBuckets}
+	shape := Index{
+		rows: ix.rows, offsets: ix.offsets, ids: ix.ids,
+		perm: ix.perm, precs: ix.precs, numBuckets: ix.numBuckets,
+	}
 	ix.verifyFn = func() error {
 		if err := verifyMappedSections(m, h, data); err != nil {
 			return err
@@ -144,11 +153,10 @@ func indexFromMappedBytes(m *mmapio.Mapping) (*Index, error) {
 // alignment padding between sections (the one region no section CRC
 // covers) to be zero. The pass faults in the whole file, so the first
 // Search after it runs against a warm mapping.
-func verifyMappedSections(m *mmapio.Mapping, h *v2Header, data []byte) error {
+func verifyMappedSections(m *mmapio.Mapping, h *fileHeader, data []byte) error {
 	m.Advise(mmapio.AdviceSequential)
 	defer m.Advise(mmapio.AdviceRandom)
 	end := h.headerLen // end of the previously verified region
-	elems := [sectionTableEntries]int64{rowWireBytes, 4, 4}
 	for i, e := range h.secs {
 		lo := int64(e.off)
 		for _, v := range data[end:lo] {
@@ -156,7 +164,7 @@ func verifyMappedSections(m *mmapio.Mapping, h *v2Header, data []byte) error {
 				return errors.New("nonzero section padding")
 			}
 		}
-		end = lo + elems[i]*int64(e.count)
+		end = lo + sectionElemBytes[i]*int64(e.count)
 		sec := data[lo:end]
 		if crc := crc32.ChecksumIEEE(sec); crc != e.crc {
 			return fmt.Errorf("section %d checksum mismatch: file %08x, computed %08x", i, e.crc, crc)
@@ -223,5 +231,6 @@ func (ix *Index) Close() error {
 	ix.verifyMu.Unlock()
 	ix.mapping = nil
 	ix.rows, ix.offsets, ix.ids = nil, nil, nil
+	ix.perm, ix.precs = nil, nil
 	return m.Close()
 }

@@ -56,7 +56,9 @@ func TestQuantizedScoreBounded(t *testing.T) {
 			for _, p := range q.Peaks {
 				lo, hi := ix.bucketRange(p.MZ)
 				for i := lo; i < hi; i++ {
-					if ix.ids[i] == m.Row {
+					// Postings hold mass-sorted positions; perm maps
+					// them back to the row id a Match reports.
+					if ix.perm[ix.ids[i]] == m.Row {
 						exact += p.Intensity
 					}
 				}

@@ -22,6 +22,7 @@ type Match struct {
 // units rather than noisy wall-clock.
 type Work struct {
 	IonHits    int64 // postings visited during shared-peak counting
+	Pruned     int64 // postings skipped by the precursor-windowed scan
 	Candidates int64 // rows that reached the shared-peak threshold
 	Scored     int64 // candidates surviving the precursor filter and scored
 }
@@ -29,6 +30,7 @@ type Work struct {
 // Add accumulates w2 into w.
 func (w *Work) Add(w2 Work) {
 	w.IonHits += w2.IonHits
+	w.Pruned += w2.Pruned
 	w.Candidates += w2.Candidates
 	w.Scored += w2.Scored
 }
@@ -150,43 +152,139 @@ func (ix *Index) Search(q spectrum.Experimental, topK int, scratch *Scratch) ([]
 	return copyMatches(matches), work
 }
 
+// precursorWindow resolves the query's precursor tolerance to the
+// contiguous range [rlo, rhi) of mass-sorted row positions it admits, via
+// two binary searches over the ascending precursor column. windowed is
+// false when the window does not narrow the scan — open search, an empty
+// index, a window at least as wide as the indexed mass range, or a forced
+// full scan — and the caller must fall back to the flattened full scan.
+// The range is exactly the set PrecursorTol.Contains accepts (both are
+// inclusive on both ends), so intersecting phase 1 with it never changes
+// which rows can score.
+//
+//lbe:hotpath
+func (ix *Index) precursorWindow(qmass float64) (windowed bool, rlo, rhi uint32) {
+	if ix.fullScan || len(ix.precs) == 0 || ix.params.PrecursorTol.IsOpen() {
+		return false, 0, 0
+	}
+	wlo, whi := ix.params.PrecursorTol.Window(qmass)
+	precs := ix.precs
+	// First sorted position with precs >= wlo.
+	lo, hi := 0, len(precs)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if precs[m] < wlo {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	first := lo
+	// First sorted position with precs > whi.
+	hi = len(precs)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if precs[m] <= whi {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if first == 0 && lo == len(precs) {
+		// The window admits every row: the flattened scan is cheaper.
+		return false, 0, 0
+	}
+	return true, uint32(first), uint32(lo)
+}
+
+// postingsLowerBound returns the first position in ids[lo:hi) holding a
+// value >= v. Posting counts are capped at 1<<30, so lo+hi cannot
+// overflow.
+//
+//lbe:hotpath
+func postingsLowerBound(ids []uint32, lo, hi, v uint32) uint32 {
+	for lo < hi {
+		m := (lo + hi) >> 1
+		if ids[m] < v {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
 // searchScratch runs the two search phases and returns matches backed by
 // scratch.matches: valid only until the next search with this Scratch.
+//
+// Phase 1 has two strategies with byte-identical results: the flattened
+// full scan walks every posting in the fragment window, while the
+// windowed scan (narrow precursor tolerance) binary-searches each
+// bucket's ascending posting list down to the precursor-eligible range of
+// sorted row positions first, skipping postings that could never survive
+// phase 2's precursor filter. Both visit the surviving postings in the
+// same order, so phase 2 sees identical accumulators either way.
 //
 //lbe:hotpath
 func (ix *Index) searchScratch(q spectrum.Experimental, scratch *Scratch) ([]Match, Work) {
 	scratch.ensure(len(ix.rows))
 	invScale := scratch.quantize(q.Peaks)
 	var work Work
+	qmass := q.PrecursorMass()
 
 	// Phase 1: shared-peak counting over the CSR postings, accumulating
-	// quantized intensities.
-	for pi, p := range q.Peaks {
-		qi := uint32(scratch.qint[pi])
-		lo, hi := ix.bucketRange(p.MZ)
-		for i := lo; i < hi; i++ {
-			rid := ix.ids[i]
-			if scratch.counts[rid] == 0 {
-				scratch.touched = append(scratch.touched, rid)
-				scratch.inten[rid] = 0
+	// quantized intensities. Postings are mass-sorted row positions.
+	if windowed, rlo, rhi := ix.precursorWindow(qmass); windowed {
+		for pi, p := range q.Peaks {
+			qi := uint32(scratch.qint[pi])
+			blo, bhi := ix.bucketSpan(p.MZ)
+			for b := blo; b <= bhi; b++ {
+				s, e := ix.offsets[b], ix.offsets[b+1]
+				lo := postingsLowerBound(ix.ids, s, e, rlo)
+				hi := postingsLowerBound(ix.ids, lo, e, rhi)
+				for i := lo; i < hi; i++ {
+					srid := ix.ids[i]
+					if scratch.counts[srid] == 0 {
+						scratch.touched = append(scratch.touched, srid)
+						scratch.inten[srid] = 0
+					}
+					scratch.counts[srid]++
+					scratch.inten[srid] += qi
+				}
+				work.IonHits += int64(hi - lo)
+				work.Pruned += int64(e-s) - int64(hi-lo)
 			}
-			scratch.counts[rid]++
-			scratch.inten[rid] += qi
 		}
-		work.IonHits += int64(hi - lo)
+	} else {
+		for pi, p := range q.Peaks {
+			qi := uint32(scratch.qint[pi])
+			lo, hi := ix.bucketRange(p.MZ)
+			for i := lo; i < hi; i++ {
+				srid := ix.ids[i]
+				if scratch.counts[srid] == 0 {
+					scratch.touched = append(scratch.touched, srid)
+					scratch.inten[srid] = 0
+				}
+				scratch.counts[srid]++
+				scratch.inten[srid] += qi
+			}
+			work.IonHits += int64(hi - lo)
+		}
 	}
 
-	// Phase 2: threshold + precursor filter + scoring.
+	// Phase 2: threshold + precursor filter + scoring. touched holds
+	// sorted positions; perm maps them back to the stable row ids every
+	// caller (and every PSM byte downstream) sees.
 	matches := scratch.matches[:0]
-	qmass := q.PrecursorMass()
 	minShared := uint16(ix.params.MinSharedPeaks)
-	for _, rid := range scratch.touched {
-		c := scratch.counts[rid]
-		scratch.counts[rid] = 0 // reset as we go
+	for _, srid := range scratch.touched {
+		c := scratch.counts[srid]
+		scratch.counts[srid] = 0 // reset as we go
 		if c < minShared {
 			continue
 		}
 		work.Candidates++
+		rid := ix.perm[srid]
 		row := ix.rows[rid]
 		if !ix.params.PrecursorTol.Contains(qmass, row.Precursor) {
 			continue
@@ -196,7 +294,7 @@ func (ix *Index) searchScratch(q spectrum.Experimental, scratch *Scratch) ([]Mat
 			Row:       rid,
 			Peptide:   row.Peptide,
 			Shared:    c,
-			Score:     hyperscore(c, float64(scratch.inten[rid])*invScale, int(row.NumIons)),
+			Score:     hyperscore(c, float64(scratch.inten[srid])*invScale, int(row.NumIons)),
 			Precursor: row.Precursor,
 		})
 	}

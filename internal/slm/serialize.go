@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"slices"
 	"unsafe"
 
 	"lbe/internal/mass"
@@ -20,24 +21,31 @@ import (
 // a compact, checksummed serialization so partial indexes can be spilled
 // and reloaded.
 //
-// Version 2 layout (little-endian), written by WriteTo:
+// Version 3 layout (little-endian), written by WriteTo:
 //
 //	magic "SLMX" | version u32 | params block | numBuckets u32 |
-//	section table (3 × {offset u64, count u64, crc32 u32}) | header crc32 |
-//	padding | rows section | padding | offsets section | padding | ids section
+//	section table (5 × {offset u64, count u64, crc32 u32}) | header crc32 |
+//	padding | rows | padding | offsets | padding | ids |
+//	padding | perm | padding | precs
 //
 // The header CRC covers everything between the magic and itself. Each
 // data section starts at a 64-byte-aligned file offset recorded in the
 // table, holds count fixed-size records (rows are the in-memory 16-byte
-// Row layout; offsets and ids are u32), and carries its own CRC. Section
-// offsets are canonical — derivable from the header size alone — so a
-// stream reader needs no seeking and a table naming overlapping,
-// misordered or misaligned sections is rejected outright. The fixed
-// aligned layout is what lets OpenIndexMapped back an index with
-// zero-copy views of a memory mapping.
+// Row layout; offsets, ids and perm are u32; precs is f64), and carries
+// its own CRC. Section offsets are canonical — derivable from the header
+// size alone — so a stream reader needs no seeking and a table naming
+// overlapping, misordered or misaligned sections is rejected outright.
+// The fixed aligned layout is what lets OpenIndexMapped back an index
+// with zero-copy views of a memory mapping.
 //
-// Version 1 (magic | version | params | rows | offsets | ids | crc32,
-// with u32 count prefixes and a single trailing CRC) remains readable.
+// v3 adds the precursor-mass order: ids postings hold mass-sorted row
+// positions (each bucket ascending), perm maps sorted position → row id,
+// and precs is the ascending precursor column the windowed scan binary
+// searches. Version 2 (the same layout with three sections — rows,
+// offsets, ids — and postings holding raw row ids) and version 1 (magic |
+// version | params | rows | offsets | ids | crc32, with u32 count
+// prefixes and a single trailing CRC) remain readable; both derive the
+// precursor order at load time (see sortByPrecursor).
 //
 // Counts come from the (not yet checksum-verified) input, so the reader
 // treats them as hostile: each is bounded by an absolute cap AND, when
@@ -49,23 +57,26 @@ import (
 
 const (
 	indexMagic     = "SLMX"
-	indexVersion   = 2
+	indexVersion   = 3
+	indexVersionV2 = 2
 	indexVersionV1 = 1
 
 	// Wire sizes of the variable-length record types.
 	rowWireBytesV1   = 4 + 8 + 2 + 1 // v1: Peptide u32, Precursor f64, NumIons u16, Modified u8
-	rowWireBytes     = rowMemBytes   // v2: the in-memory Row layout
+	rowWireBytes     = rowMemBytes   // v2+: the in-memory Row layout
 	postingWireBytes = 4
 
-	// sectionAlign is the file-offset alignment of every v2 data section:
+	// sectionAlign is the file-offset alignment of every v2+ data section:
 	// a cache line, and a divisor of the page size, so a page-aligned
 	// mapping yields aligned (and cache-line-friendly) array views.
 	sectionAlign = 64
 
-	// sectionTableEntries and sectionEntryBytes fix the v2 table shape:
-	// rows, offsets, ids — each {offset u64, count u64, crc32 u32}.
-	sectionTableEntries = 3
-	sectionEntryBytes   = 8 + 8 + 4
+	// sectionTableEntries and sectionEntryBytes fix the table shape: rows,
+	// offsets, ids, perm, precs — each {offset u64, count u64, crc32 u32}.
+	// v2 tables carry only the first three sections.
+	sectionTableEntries   = 5
+	sectionTableEntriesV2 = 3
+	sectionEntryBytes     = 8 + 8 + 4
 
 	// Absolute sanity caps on count fields, enforced before any
 	// allocation. They bound a single shard file at sizes far beyond the
@@ -105,6 +116,19 @@ func u32sBytes(vs []uint32) []byte {
 	}
 	return unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), 4*len(vs))
 }
+
+// f64sBytes returns the raw little-endian byte view of a float64 slice.
+// Only valid on little-endian hosts.
+func f64sBytes(vs []float64) []byte {
+	if len(vs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), 8*len(vs))
+}
+
+// sectionElemBytes[i] is the wire size of one element of section i:
+// rows, offsets, ids, perm, precs.
+var sectionElemBytes = [sectionTableEntries]int64{rowWireBytes, 4, 4, 4, 8}
 
 // countWriter counts the bytes the underlying writer actually accepted,
 // so WriteTo can report a faithful running total on mid-stream errors.
@@ -229,6 +253,25 @@ func (e *indexEncoder) u32s(vs []uint32) {
 	}
 }
 
+// f64s encodes a float64 slice; bulk on little-endian hosts, otherwise in
+// fixed-size chunks.
+func (e *indexEncoder) f64s(vs []float64) {
+	if isLittleEndian {
+		e.write(f64sBytes(vs))
+		return
+	}
+	var b [4 << 10]byte
+	le := binary.LittleEndian
+	for len(vs) > 0 && e.err == nil {
+		n := min(len(vs), len(b)/8)
+		for i := 0; i < n; i++ {
+			le.PutUint64(b[8*i:], math.Float64bits(vs[i]))
+		}
+		e.write(b[:8*n])
+		vs = vs[n:]
+	}
+}
+
 // pad writes n zero bytes.
 func (e *indexEncoder) pad(n int64) {
 	var zeros [sectionAlign]byte
@@ -291,13 +334,12 @@ func (ix *Index) checkEncodable() error {
 	return nil
 }
 
-// sectionLayout is the computed v2 file geometry: canonical aligned
-// section offsets derived from the header size.
+// sectionLayout is the computed file geometry: canonical aligned section
+// offsets derived from the header size. Only the first nsecs entries of
+// offs are meaningful for a v2 file.
 type sectionLayout struct {
-	rowsOff    int64
-	offsetsOff int64
-	idsOff     int64
-	end        int64 // total file size
+	offs [sectionTableEntries]int64
+	end  int64 // total file size
 }
 
 // alignUp rounds n up to the next multiple of sectionAlign.
@@ -305,14 +347,18 @@ func alignUp(n int64) int64 {
 	return (n + sectionAlign - 1) &^ (sectionAlign - 1)
 }
 
-// v2Layout derives the canonical section offsets for an index whose
-// header (magic through header CRC) spans headerLen bytes.
-func v2Layout(headerLen int64, nrows, noffsets, nids int64) sectionLayout {
+// fileLayout derives the canonical section offsets for an index whose
+// header (magic through header CRC) spans headerLen bytes and whose first
+// nsecs sections hold counts[i] elements each.
+func fileLayout(nsecs int, headerLen int64, counts []int64) sectionLayout {
 	var l sectionLayout
-	l.rowsOff = alignUp(headerLen)
-	l.offsetsOff = alignUp(l.rowsOff + rowWireBytes*nrows)
-	l.idsOff = alignUp(l.offsetsOff + 4*noffsets)
-	l.end = l.idsOff + 4*nids
+	off := headerLen
+	for i := 0; i < nsecs; i++ {
+		off = alignUp(off)
+		l.offs[i] = off
+		off += sectionElemBytes[i] * counts[i]
+	}
+	l.end = off
 	return l
 }
 
@@ -336,10 +382,41 @@ func sectionCRC(fill func(e *indexEncoder)) (uint32, error) {
 	return cw.crc, e.err
 }
 
-// WriteTo serializes the index in the v2 section-table format. It
+// legacyIDs reconstructs the v2 postings array: raw row ids, each
+// bucket's list ascending — the exact bytes the v2 encoder produced for
+// the same build, so a v2 round trip is lossless.
+func (ix *Index) legacyIDs() []uint32 {
+	ids := make([]uint32, len(ix.ids))
+	for i, srid := range ix.ids {
+		ids[i] = ix.perm[srid]
+	}
+	for b := 0; b < ix.numBuckets; b++ {
+		slices.Sort(ids[ix.offsets[b]:ix.offsets[b+1]])
+	}
+	return ids
+}
+
+// WriteTo serializes the index in the v3 section-table format. It
 // implements io.WriterTo: on error it returns the number of bytes the
 // underlying writer actually accepted before the failure, not zero.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	return ix.writeTo(w, indexVersion)
+}
+
+// WriteToVersion serializes the index in an older SLMX format version so
+// compatibility fixtures and downgrade tooling can produce stores older
+// readers accept: version 2 emits the three-section layout with postings
+// holding raw row ids (re-reading it derives the identical precursor
+// order back); version 3 is WriteTo.
+func (ix *Index) WriteToVersion(w io.Writer, version uint32) (int64, error) {
+	if version != indexVersion && version != indexVersionV2 {
+		return 0, fmt.Errorf("slm: cannot write index version %d (want %d or %d)",
+			version, indexVersion, indexVersionV2)
+	}
+	return ix.writeTo(w, version)
+}
+
+func (ix *Index) writeTo(w io.Writer, version uint32) (int64, error) {
 	// A mapped index defers content validation; run it before
 	// re-encoding, or a corrupt mapping would be rewritten under fresh
 	// CRCs that bless the corruption.
@@ -349,22 +426,35 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := ix.checkEncodable(); err != nil {
 		return 0, err
 	}
+	nsecs := sectionTableEntries
+	ids := ix.ids
+	if version == indexVersionV2 {
+		nsecs = sectionTableEntriesV2
+		ids = ix.legacyIDs()
+	}
+	fills := [sectionTableEntries]func(e *indexEncoder){
+		func(e *indexEncoder) { e.rows(ix.rows) },
+		func(e *indexEncoder) { e.u32s(ix.offsets) },
+		func(e *indexEncoder) { e.u32s(ids) },
+		func(e *indexEncoder) { e.u32s(ix.perm) },
+		func(e *indexEncoder) { e.f64s(ix.precs) },
+	}
+	counts := [sectionTableEntries]int64{
+		int64(len(ix.rows)), int64(len(ix.offsets)), int64(len(ids)),
+		int64(len(ix.perm)), int64(len(ix.precs)),
+	}
 	headerLen := int64(len(indexMagic)) + 4 + paramsBlockLen(ix.params) + 4 +
-		sectionTableEntries*sectionEntryBytes + 4
-	layout := v2Layout(headerLen, int64(len(ix.rows)), int64(len(ix.offsets)), int64(len(ix.ids)))
+		int64(nsecs)*sectionEntryBytes + 4
+	layout := fileLayout(nsecs, headerLen, counts[:nsecs])
 
 	// Pass 1: per-section CRCs (streamed, nothing buffered).
-	rowsCRC, err := sectionCRC(func(e *indexEncoder) { e.rows(ix.rows) })
-	if err != nil {
-		return 0, err
-	}
-	offsetsCRC, err := sectionCRC(func(e *indexEncoder) { e.u32s(ix.offsets) })
-	if err != nil {
-		return 0, err
-	}
-	idsCRC, err := sectionCRC(func(e *indexEncoder) { e.u32s(ix.ids) })
-	if err != nil {
-		return 0, err
+	var crcs [sectionTableEntries]uint32
+	for i := 0; i < nsecs; i++ {
+		crc, err := sectionCRC(fills[i])
+		if err != nil {
+			return 0, err
+		}
+		crcs[i] = crc
 	}
 
 	// Pass 2: the actual write.
@@ -377,31 +467,21 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	cw := &crcWriter{w: bw}
 	e := &indexEncoder{cw: cw}
 
-	e.u32(indexVersion)
+	e.u32(version)
 	e.params(ix.params)
 	e.u32(uint32(ix.numBuckets))
-	for _, sec := range []struct {
-		off   int64
-		count int
-		crc   uint32
-	}{
-		{layout.rowsOff, len(ix.rows), rowsCRC},
-		{layout.offsetsOff, len(ix.offsets), offsetsCRC},
-		{layout.idsOff, len(ix.ids), idsCRC},
-	} {
-		e.u64(uint64(sec.off))
-		e.u64(uint64(sec.count))
-		e.u32(sec.crc)
+	for i := 0; i < nsecs; i++ {
+		e.u64(uint64(layout.offs[i]))
+		e.u64(uint64(counts[i]))
+		e.u32(crcs[i])
 	}
 	e.u32(cw.crc) // header CRC: covers version..section table
 
 	pos := func() int64 { return int64(len(indexMagic)) + cw.n }
-	e.pad(layout.rowsOff - pos())
-	e.rows(ix.rows)
-	e.pad(layout.offsetsOff - pos())
-	e.u32s(ix.offsets)
-	e.pad(layout.idsOff - pos())
-	e.u32s(ix.ids)
+	for i := 0; i < nsecs; i++ {
+		e.pad(layout.offs[i] - pos())
+		fills[i](e)
+	}
 	if e.err != nil {
 		bw.Flush()
 		return bot.n, e.err
@@ -585,6 +665,32 @@ func (d *indexDecoder) u32s(n int) ([]uint32, error) {
 	return out, nil
 }
 
+// f64s reads n little-endian float64s under the same allocation
+// discipline as u32s: bulk on sized input, chunked on opaque streams.
+func (d *indexDecoder) f64s(n int) ([]float64, error) {
+	if isLittleEndian && d.sized() {
+		out := make([]float64, n)
+		if err := d.full(f64sBytes(out)); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	const chunkElems = (16 << 10) / 8
+	var b [16 << 10]byte
+	le := binary.LittleEndian
+	out := make([]float64, 0, min(n, chunkElems))
+	for len(out) < n {
+		take := min(n-len(out), chunkElems)
+		if err := d.full(b[:8*take]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < take; i++ {
+			out = append(out, math.Float64frombits(le.Uint64(b[8*i:])))
+		}
+	}
+	return out, nil
+}
+
 // rowRecordsV1 reads n v1 15-byte row records. Sized input is decoded
 // into an exactly-sized slice; opaque streams keep the chunked
 // allocation discipline.
@@ -732,8 +838,13 @@ func (d *indexDecoder) readParams(p *Params) error {
 }
 
 // validateShape runs the cross-array sanity checks shared by every
-// decode path: monotone offsets ending at the posting count and sane row
-// precursors.
+// decode path: monotone offsets ending at the posting count, in-range
+// postings, sane row precursors — and, when the precursor-order columns
+// are present (v3 files; derived columns are correct by construction),
+// their own invariants: perm a true permutation, precs ascending and
+// agreeing with the rows, every bucket's posting list sorted. The
+// windowed scan trusts all of these, so a corrupt file claiming them
+// must be rejected here rather than silently dropping matches.
 func (ix *Index) validateShape() error {
 	for i := 1; i < len(ix.offsets); i++ {
 		if ix.offsets[i] < ix.offsets[i-1] {
@@ -743,37 +854,79 @@ func (ix *Index) validateShape() error {
 	if len(ix.offsets) > 0 && ix.offsets[len(ix.offsets)-1] != uint32(len(ix.ids)) {
 		return fmt.Errorf("slm: offsets end %d != %d postings", ix.offsets[len(ix.offsets)-1], len(ix.ids))
 	}
+	for i, v := range ix.ids {
+		if v >= uint32(len(ix.rows)) {
+			return fmt.Errorf("slm: posting %d references row %d of %d", i, v, len(ix.rows))
+		}
+	}
 	for _, r := range ix.rows {
 		if math.IsNaN(r.Precursor) || r.Precursor < 0 {
 			return fmt.Errorf("slm: corrupt row precursor")
 		}
 	}
+	if ix.perm == nil && ix.precs == nil {
+		return nil // pre-v3 decode: the columns are derived after this check
+	}
+	if len(ix.perm) != len(ix.rows) || len(ix.precs) != len(ix.rows) {
+		return fmt.Errorf("slm: precursor-order columns of %d/%d entries do not match %d rows",
+			len(ix.perm), len(ix.precs), len(ix.rows))
+	}
+	seen := make([]bool, len(ix.perm))
+	for s, o := range ix.perm {
+		if int(o) >= len(seen) || seen[o] {
+			return fmt.Errorf("slm: perm is not a permutation at %d", s)
+		}
+		seen[o] = true
+		if ix.rows[o].Precursor != ix.precs[s] {
+			return fmt.Errorf("slm: precursor column disagrees with row %d", o)
+		}
+	}
+	for i := 1; i < len(ix.precs); i++ {
+		if ix.precs[i] < ix.precs[i-1] {
+			return fmt.Errorf("slm: precursor column not monotone at %d", i)
+		}
+	}
+	for b := 0; b < ix.numBuckets; b++ {
+		for i := ix.offsets[b] + 1; i < ix.offsets[b+1]; i++ {
+			if ix.ids[i] < ix.ids[i-1] {
+				return fmt.Errorf("slm: bucket %d posting list not sorted", b)
+			}
+		}
+	}
 	return nil
 }
 
-// sectionEntry is one decoded v2 section-table record.
+// sectionEntry is one decoded section-table record.
 type sectionEntry struct {
 	off   uint64
 	count uint64
 	crc   uint32
 }
 
-// v2Header is the decoded v2 header: everything before the first data
-// section.
-type v2Header struct {
+// fileHeader is the decoded v2/v3 header: everything before the first
+// data section.
+type fileHeader struct {
+	version    uint32
 	params     Params
 	numBuckets uint32
-	secs       [sectionTableEntries]sectionEntry // rows, offsets, ids
-	headerLen  int64                             // magic through header CRC
+	secs       []sectionEntry // rows, offsets, ids[, perm, precs]
+	headerLen  int64          // magic through header CRC
 }
 
-// readHeaderV2 decodes and validates the v2 header from d, which must be
-// positioned just after the version field. The header CRC is verified
+// readHeader decodes and validates a v2 or v3 header from d, which must
+// be positioned just after the version field. The header CRC is verified
 // and the section table checked against the canonical layout: ordered,
 // 64-byte aligned, non-overlapping offsets derived from the header size,
 // with counts under the absolute caps (and the input size when known).
-func readHeaderV2(d *indexDecoder) (*v2Header, error) {
-	h := &v2Header{}
+// For v3, the perm and precs sections must hold exactly one entry per
+// row. All of this is O(header) — no section byte is touched — so a
+// mapped open stays cheap.
+func readHeader(d *indexDecoder, version uint32) (*fileHeader, error) {
+	nsecs := sectionTableEntries
+	if version == indexVersionV2 {
+		nsecs = sectionTableEntriesV2
+	}
+	h := &fileHeader{version: version, secs: make([]sectionEntry, nsecs)}
 	if err := d.readParams(&h.params); err != nil {
 		return nil, err
 	}
@@ -819,10 +972,29 @@ func readHeaderV2(d *indexDecoder) (*v2Header, error) {
 	if err := d.checkCount(ids.count, postingWireBytes, maxPostingCount, "posting"); err != nil {
 		return nil, err
 	}
-	layout := v2Layout(h.headerLen, int64(rows.count), int64(offs.count), int64(ids.count))
-	if int64(rows.off) != layout.rowsOff || int64(offs.off) != layout.offsetsOff || int64(ids.off) != layout.idsOff {
-		return nil, fmt.Errorf("slm: section table names offsets %d/%d/%d, canonical layout is %d/%d/%d (overlapping, misordered or misaligned sections)",
-			rows.off, offs.off, ids.off, layout.rowsOff, layout.offsetsOff, layout.idsOff)
+	if nsecs > sectionTableEntriesV2 {
+		perm, precs := h.secs[3], h.secs[4]
+		if perm.count != rows.count || precs.count != rows.count {
+			return nil, fmt.Errorf("slm: precursor-order sections of %d/%d entries do not match %d rows",
+				perm.count, precs.count, rows.count)
+		}
+		if err := d.checkCount(perm.count, 4, maxRowCount, "perm"); err != nil {
+			return nil, err
+		}
+		if err := d.checkCount(precs.count, 8, maxRowCount, "precursor"); err != nil {
+			return nil, err
+		}
+	}
+	counts := make([]int64, nsecs)
+	for i, s := range h.secs {
+		counts[i] = int64(s.count)
+	}
+	layout := fileLayout(nsecs, h.headerLen, counts)
+	for i, s := range h.secs {
+		if int64(s.off) != layout.offs[i] {
+			return nil, fmt.Errorf("slm: section %d at offset %d, canonical layout says %d (overlapping, misordered or misaligned sections)",
+				i, s.off, layout.offs[i])
+		}
 	}
 	if rem := d.remaining(); rem >= 0 && layout.end-h.headerLen > rem {
 		return nil, fmt.Errorf("slm: sections need %d bytes but only %d remain (truncated or corrupt)",
@@ -831,11 +1003,13 @@ func readHeaderV2(d *indexDecoder) (*v2Header, error) {
 	return h, nil
 }
 
-// readIndexV2 decodes the v2 body from a stream already past the version
-// field: header, then each aligned section in file order with its CRC
-// verified as it streams by.
-func readIndexV2(d *indexDecoder) (*Index, error) {
-	h, err := readHeaderV2(d)
+// readIndexBody decodes a v2 or v3 body from a stream already past the
+// version field: header, then each aligned section in file order with its
+// CRC verified as it streams by. A v2 body derives the precursor-order
+// columns after validation, so the returned index always serves the
+// windowed scan.
+func readIndexBody(d *indexDecoder, version uint32) (*Index, error) {
+	h, err := readHeader(d, version)
 	if err != nil {
 		return nil, err
 	}
@@ -864,37 +1038,54 @@ func readIndexV2(d *indexDecoder) (*Index, error) {
 		}
 		return nil
 	}
+	section := func(i int, what string, read func(count int) error) error {
+		if err := nextSection(h.secs[i]); err != nil {
+			return err
+		}
+		if err := read(int(h.secs[i].count)); err != nil {
+			return err
+		}
+		return checkSection(h.secs[i], what)
+	}
 
-	if err := nextSection(h.secs[0]); err != nil {
+	if err := section(0, "rows", func(n int) (err error) {
+		ix.rows, err = sd.rowRecords(n)
+		return
+	}); err != nil {
 		return nil, err
 	}
-	if ix.rows, err = sd.rowRecords(int(h.secs[0].count)); err != nil {
+	if err := section(1, "offsets", func(n int) (err error) {
+		ix.offsets, err = sd.u32s(n)
+		return
+	}); err != nil {
 		return nil, err
 	}
-	if err := checkSection(h.secs[0], "rows"); err != nil {
+	if err := section(2, "ids", func(n int) (err error) {
+		ix.ids, err = sd.u32s(n)
+		return
+	}); err != nil {
 		return nil, err
 	}
-	if err := nextSection(h.secs[1]); err != nil {
-		return nil, err
-	}
-	if ix.offsets, err = sd.u32s(int(h.secs[1].count)); err != nil {
-		return nil, err
-	}
-	if err := checkSection(h.secs[1], "offsets"); err != nil {
-		return nil, err
-	}
-	if err := nextSection(h.secs[2]); err != nil {
-		return nil, err
-	}
-	if ix.ids, err = sd.u32s(int(h.secs[2].count)); err != nil {
-		return nil, err
-	}
-	if err := checkSection(h.secs[2], "ids"); err != nil {
-		return nil, err
+	if version >= indexVersion {
+		if err := section(3, "perm", func(n int) (err error) {
+			ix.perm, err = sd.u32s(n)
+			return
+		}); err != nil {
+			return nil, err
+		}
+		if err := section(4, "precs", func(n int) (err error) {
+			ix.precs, err = sd.f64s(n)
+			return
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	if err := ix.validateShape(); err != nil {
 		return nil, err
+	}
+	if version < indexVersion {
+		ix.sortByPrecursor()
 	}
 	ix.buildPeak = ix.MemoryBytes()
 	return ix, nil
@@ -962,12 +1153,15 @@ func readIndexV1(d *indexDecoder, br io.Reader) (*Index, error) {
 	if err := ix.validateShape(); err != nil {
 		return nil, err
 	}
+	ix.sortByPrecursor()
 	ix.buildPeak = ix.MemoryBytes()
 	return ix, nil
 }
 
-// ReadIndex deserializes an index written by WriteTo (v2) or by the v1
-// writer, verifying checksums and the format version. Length fields are
+// ReadIndex deserializes an index written by WriteTo (v3), by a v2
+// writer, or by the v1 writer, verifying checksums and the format
+// version. Pre-v3 inputs derive the precursor-mass order at load time,
+// so every returned index serves the windowed scan. Length fields are
 // bounded against both absolute caps and (when r's size is knowable) the
 // input size, so a truncated or corrupted file can never force an
 // allocation larger than a small multiple of the bytes actually present.
@@ -991,11 +1185,11 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		return nil, err
 	}
 	switch version {
-	case indexVersion:
+	case indexVersion, indexVersionV2:
 		if size >= 0 {
 			d.payload = size - int64(len(indexMagic))
 		}
-		return readIndexV2(d)
+		return readIndexBody(d, version)
 	case indexVersionV1:
 		if size >= 0 {
 			// Budget for the CRC-covered payload: total minus magic and
@@ -1007,8 +1201,8 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		}
 		return readIndexV1(d, br)
 	default:
-		return nil, fmt.Errorf("slm: unsupported index version %d (want %d or %d)",
-			version, indexVersion, indexVersionV1)
+		return nil, fmt.Errorf("slm: unsupported index version %d (want %d, %d or %d)",
+			version, indexVersion, indexVersionV2, indexVersionV1)
 	}
 }
 

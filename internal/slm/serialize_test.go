@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -164,29 +165,30 @@ type opaqueReader struct{ r io.Reader }
 
 func (o opaqueReader) Read(p []byte) (int, error) { return o.r.Read(p) }
 
-// v2HeaderOffsets computes the fixed v2 header geometry for ix's stream:
-// the file offsets of the section table and the header CRC, and the
-// total header length.
-func v2HeaderOffsets(ix *Index) (tableOff, crcOff, headerLen int) {
+// headerOffsets computes the fixed header geometry for ix's stream with
+// nsecs section-table entries (sectionTableEntries for WriteTo's v3,
+// sectionTableEntriesV2 for WriteToVersion's v2): the file offsets of the
+// section table and the header CRC, and the total header length.
+func headerOffsets(ix *Index, nsecs int) (tableOff, crcOff, headerLen int) {
 	tableOff = len(indexMagic) + 4 + int(paramsBlockLen(ix.params)) + 4
-	crcOff = tableOff + sectionTableEntries*sectionEntryBytes
+	crcOff = tableOff + nsecs*sectionEntryBytes
 	headerLen = crcOff + 4
 	return
 }
 
-// refixV2HeaderCRC recomputes the header CRC after a test mutates header
+// refixHeaderCRC recomputes the header CRC after a test mutates header
 // bytes, so the mutation under test — not the CRC — is what the reader
 // trips on.
-func refixV2HeaderCRC(data []byte, crcOff int) {
+func refixHeaderCRC(data []byte, crcOff int) {
 	crc := crc32.ChecksumIEEE(data[len(indexMagic):crcOff])
 	binary.LittleEndian.PutUint32(data[crcOff:], crc)
 }
 
-// mustRejectV2 asserts every decode path — the sized reader, the opaque
-// stream reader, and the mapped open — refuses the corrupt v2 image.
-// The mapped open validates the header eagerly and section content
-// lazily, so its rejection surface is OpenIndexMapped + Verify.
-func mustRejectV2(t *testing.T, name string, data []byte) {
+// mustReject asserts every decode path — the sized reader, the opaque
+// stream reader, and the mapped open — refuses the corrupt image. The
+// mapped open validates the header eagerly and section content lazily,
+// so its rejection surface is OpenIndexMapped + Verify.
+func mustReject(t *testing.T, name string, data []byte) {
 	t.Helper()
 	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
 		t.Errorf("%s: ReadIndex (sized) accepted corrupt input", name)
@@ -208,25 +210,28 @@ func mustRejectV2(t *testing.T, name string, data []byte) {
 	}
 }
 
-// TestSerializeV2CorruptSectionTable drives the v2 defenses: a corrupt
-// section CRC, overlapping / misordered / misaligned section offsets,
-// forged counts, a violated header CRC and nonzero padding must all be
-// rejected by both the streaming reader and OpenIndexMapped.
-func TestSerializeV2CorruptSectionTable(t *testing.T) {
+// TestSerializeCorruptSectionTable drives the section-table defenses: a
+// corrupt section CRC, overlapping / misordered / misaligned section
+// offsets, forged counts, a violated header CRC and nonzero padding must
+// all be rejected by both the streaming reader and OpenIndexMapped.
+func TestSerializeCorruptSectionTable(t *testing.T) {
 	ix := buildTestIndex(t)
 	var buf bytes.Buffer
 	if _, err := ix.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
 	valid := buf.Bytes()
-	tableOff, crcOff, headerLen := v2HeaderOffsets(ix)
-	layout := v2Layout(int64(headerLen), int64(len(ix.rows)), int64(len(ix.offsets)), int64(len(ix.ids)))
+	tableOff, crcOff, headerLen := headerOffsets(ix, sectionTableEntries)
+	layout := fileLayout(sectionTableEntries, int64(headerLen), []int64{
+		int64(len(ix.rows)), int64(len(ix.offsets)), int64(len(ix.ids)),
+		int64(len(ix.perm)), int64(len(ix.precs)),
+	})
 
 	le := binary.LittleEndian
 	// Layout sanity: entry 0's offset field must hold the canonical
 	// rows offset before we start mutating.
-	if got := le.Uint64(valid[tableOff:]); got != uint64(layout.rowsOff) {
-		t.Fatalf("layout drift: rows offset field holds %d, want %d", got, layout.rowsOff)
+	if got := le.Uint64(valid[tableOff:]); got != uint64(layout.offs[0]) {
+		t.Fatalf("layout drift: rows offset field holds %d, want %d", got, layout.offs[0])
 	}
 
 	entry := func(data []byte, i int) []byte { return data[tableOff+i*sectionEntryBytes:] }
@@ -240,18 +245,24 @@ func TestSerializeV2CorruptSectionTable(t *testing.T) {
 		{"ids section CRC flipped", func(d []byte) {
 			le.PutUint32(entry(d, 2)[16:], le.Uint32(entry(d, 2)[16:])^1)
 		}},
+		{"perm section CRC flipped", func(d []byte) {
+			le.PutUint32(entry(d, 3)[16:], le.Uint32(entry(d, 3)[16:])^1)
+		}},
+		{"precs section CRC flipped", func(d []byte) {
+			le.PutUint32(entry(d, 4)[16:], le.Uint32(entry(d, 4)[16:])^1)
+		}},
 		{"sections overlap", func(d []byte) {
-			le.PutUint64(entry(d, 1)[0:], uint64(layout.rowsOff)) // offsets atop rows
+			le.PutUint64(entry(d, 1)[0:], uint64(layout.offs[0])) // offsets atop rows
 		}},
 		{"sections misordered", func(d []byte) {
-			le.PutUint64(entry(d, 0)[0:], uint64(layout.idsOff))
-			le.PutUint64(entry(d, 2)[0:], uint64(layout.rowsOff))
+			le.PutUint64(entry(d, 0)[0:], uint64(layout.offs[2]))
+			le.PutUint64(entry(d, 2)[0:], uint64(layout.offs[0]))
 		}},
 		{"section misaligned", func(d []byte) {
-			le.PutUint64(entry(d, 0)[0:], uint64(layout.rowsOff)+8)
+			le.PutUint64(entry(d, 0)[0:], uint64(layout.offs[0])+8)
 		}},
 		{"section beyond input", func(d []byte) {
-			le.PutUint64(entry(d, 2)[0:], 1<<40)
+			le.PutUint64(entry(d, 4)[0:], 1<<40)
 		}},
 		{"rows count forged", func(d []byte) {
 			le.PutUint64(entry(d, 0)[8:], uint64(len(ix.rows))+7)
@@ -259,30 +270,139 @@ func TestSerializeV2CorruptSectionTable(t *testing.T) {
 		{"offsets count vs buckets", func(d []byte) {
 			le.PutUint64(entry(d, 1)[8:], uint64(len(ix.offsets))+1)
 		}},
+		{"perm count vs rows", func(d []byte) {
+			le.PutUint64(entry(d, 3)[8:], uint64(len(ix.perm))+1)
+		}},
+		{"precs count vs rows", func(d []byte) {
+			le.PutUint64(entry(d, 4)[8:], uint64(len(ix.precs))-1)
+		}},
 	}
 	for _, tc := range cases {
 		data := append([]byte(nil), valid...)
 		tc.mutate(data)
-		refixV2HeaderCRC(data, crcOff)
-		mustRejectV2(t, tc.name, data)
+		refixHeaderCRC(data, crcOff)
+		mustReject(t, tc.name, data)
 	}
 
 	// Header CRC itself violated (no re-fix).
 	data := append([]byte(nil), valid...)
 	data[tableOff] ^= 0xFF
-	mustRejectV2(t, "header CRC mismatch", data)
+	mustReject(t, "header CRC mismatch", data)
 
 	// Nonzero padding: the byte right after the header is inside the
-	// alignment gap (the params block guarantees headerLen < rowsOff).
-	if int64(headerLen) < layout.rowsOff {
+	// alignment gap (the params block guarantees headerLen < rows offset).
+	if int64(headerLen) < layout.offs[0] {
 		data = append([]byte(nil), valid...)
 		data[headerLen] = 0xAA
-		mustRejectV2(t, "nonzero padding", data)
+		mustReject(t, "nonzero padding", data)
 	}
 
 	// Truncated map: every prefix must be rejected by the mapped open.
-	for _, cut := range []int{7, headerLen - 1, headerLen, int(layout.idsOff), len(valid) - 1} {
-		mustRejectV2(t, fmt.Sprintf("truncated at %d", cut), append([]byte(nil), valid[:cut]...))
+	for _, cut := range []int{7, headerLen - 1, headerLen, int(layout.offs[2]), int(layout.offs[4]), len(valid) - 1} {
+		mustReject(t, fmt.Sprintf("truncated at %d", cut), append([]byte(nil), valid[:cut]...))
+	}
+}
+
+// corruptSection applies mutate to section sec of a valid v3 image, then
+// re-fixes that section's table CRC and the header CRC — so the bytes
+// are internally consistent and only the semantic validation (eager for
+// the streaming readers, deferred to Verify for the mapped open) can
+// catch the corruption.
+func corruptSection(t *testing.T, ix *Index, valid []byte, sec int, mutate func(data []byte, lo int64)) []byte {
+	t.Helper()
+	tableOff, crcOff, _ := headerOffsets(ix, sectionTableEntries)
+	le := binary.LittleEndian
+	data := append([]byte(nil), valid...)
+	entry := data[tableOff+sec*sectionEntryBytes:]
+	lo := int64(le.Uint64(entry[0:8]))
+	count := int64(le.Uint64(entry[8:16]))
+	mutate(data, lo)
+	crc := crc32.ChecksumIEEE(data[lo : lo+sectionElemBytes[sec]*count])
+	le.PutUint32(entry[16:20], crc)
+	refixHeaderCRC(data, crcOff)
+	return data
+}
+
+// TestSerializeCorruptPrecursorOrder crafts v3 images whose bytes pass
+// every CRC but violate the invariants the windowed scan relies on: a
+// non-monotone precursor column, a precursor column disagreeing with the
+// rows, a perm that is not a permutation, out-of-range postings and an
+// unsorted bucket posting list. All must fail at open (streaming) or
+// Verify (mapped) — never serve.
+func TestSerializeCorruptPrecursorOrder(t *testing.T) {
+	ix := buildTestIndex(t)
+	if len(ix.rows) < 3 || len(ix.ids) < 2 {
+		t.Fatal("test index too small to corrupt meaningfully")
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	le := binary.LittleEndian
+
+	// Swap the first two precs entries (distinct by construction of the
+	// test corpus): the column is no longer monotone.
+	if ix.precs[0] == ix.precs[1] {
+		t.Fatal("first two precursors equal; pick a corpus with distinct masses")
+	}
+	mustReject(t, "non-monotone precursor column",
+		corruptSection(t, ix, valid, 4, func(d []byte, lo int64) {
+			a := le.Uint64(d[lo : lo+8])
+			b := le.Uint64(d[lo+8 : lo+16])
+			le.PutUint64(d[lo:lo+8], b)
+			le.PutUint64(d[lo+8:lo+16], a)
+		}))
+
+	// Nudge one precs entry without breaking monotonicity: it now
+	// disagrees with the row it claims to mirror.
+	mustReject(t, "precursor column disagrees with rows",
+		corruptSection(t, ix, valid, 4, func(d []byte, lo int64) {
+			v := math.Float64frombits(le.Uint64(d[lo : lo+8]))
+			le.PutUint64(d[lo:lo+8], math.Float64bits(v-0.25))
+		}))
+
+	// Duplicate a perm entry: no longer a permutation.
+	mustReject(t, "perm is not a permutation",
+		corruptSection(t, ix, valid, 3, func(d []byte, lo int64) {
+			le.PutUint32(d[lo:lo+4], le.Uint32(d[lo+4:lo+8]))
+		}))
+
+	// Out-of-range perm entry.
+	mustReject(t, "perm entry out of range",
+		corruptSection(t, ix, valid, 3, func(d []byte, lo int64) {
+			le.PutUint32(d[lo:lo+4], uint32(len(ix.rows)))
+		}))
+
+	// Out-of-range posting.
+	mustReject(t, "posting out of range",
+		corruptSection(t, ix, valid, 2, func(d []byte, lo int64) {
+			le.PutUint32(d[lo:lo+4], uint32(len(ix.rows)))
+		}))
+
+	// Reverse a bucket's posting list (the first bucket holding two
+	// distinct sorted positions): the windowed binary search would skip
+	// real matches, so the file must be rejected.
+	swapped := false
+	for b := 0; b < ix.numBuckets && !swapped; b++ {
+		s, e := ix.offsets[b], ix.offsets[b+1]
+		for i := s + 1; i < e; i++ {
+			if ix.ids[i] != ix.ids[i-1] {
+				mustReject(t, "unsorted bucket posting list",
+					corruptSection(t, ix, valid, 2, func(d []byte, lo int64) {
+						pa, pb := lo+4*int64(i-1), lo+4*int64(i)
+						a := le.Uint32(d[pa : pa+4])
+						bv := le.Uint32(d[pb : pb+4])
+						le.PutUint32(d[pa:pa+4], bv)
+						le.PutUint32(d[pb:pb+4], a)
+					}))
+				swapped = true
+				break
+			}
+		}
+	}
+	if !swapped {
+		t.Error("no bucket with two distinct postings; unsorted-bucket case not exercised")
 	}
 }
 

@@ -10,7 +10,10 @@ import (
 
 // writeToV1 emits the legacy v1 stream (count-prefixed arrays, 15-byte
 // row records, single trailing CRC) so the v1 read path — and its
-// hostile-count defenses — stay covered now that WriteTo produces v2.
+// hostile-count defenses — stay covered now that WriteTo produces v3.
+// v1 postings are raw row ids, so the in-memory sorted positions are
+// mapped back through perm first (legacyIDs), exactly as the v2 writer
+// does.
 func writeToV1(ix *Index, w io.Writer) error {
 	if _, err := io.WriteString(w, indexMagic); err != nil {
 		return err
@@ -33,8 +36,12 @@ func writeToV1(ix *Index, w io.Writer) error {
 	e.u32(uint32(ix.numBuckets))
 	e.u32(uint32(len(ix.offsets)))
 	e.u32s(ix.offsets)
-	e.u32(uint32(len(ix.ids)))
-	e.u32s(ix.ids)
+	ids := ix.ids
+	if len(ix.perm) > 0 {
+		ids = ix.legacyIDs()
+	}
+	e.u32(uint32(len(ids)))
+	e.u32s(ids)
 	if e.err != nil {
 		return e.err
 	}
@@ -180,26 +187,29 @@ func TestReadIndexAllocationBounded(t *testing.T) {
 	v1 := append([]byte(nil), encodeV1(t, ix)[:nrowsOff+4]...)
 	binary.LittleEndian.PutUint32(v1[nrowsOff:], 1<<27) // claims ~2 GiB of rows
 
-	// v2: forge a gigantic rows count in the section table — with the
-	// other entries moved to the matching canonical offsets and the header
-	// CRC re-fixed, so the decoder gets past the layout checks and must
-	// survive the forged count itself — then truncate the sections away.
+	// v3: forge a gigantic rows count in the section table — the header
+	// requires perm and precs counts to match rows, so forge all three,
+	// with every entry moved to its matching canonical offset and the
+	// header CRC re-fixed, so the decoder gets past the layout checks and
+	// must survive the forged counts themselves — then truncate the
+	// sections away.
 	var buf bytes.Buffer
 	if _, err := ix.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	tableOff, crcOff, headerLen := v2HeaderOffsets(ix)
+	tableOff, crcOff, headerLen := headerOffsets(ix, sectionTableEntries)
 	v2 := append([]byte(nil), buf.Bytes()[:headerLen]...)
-	forged := v2Layout(int64(headerLen), 1<<27, int64(len(ix.offsets)), int64(len(ix.ids)))
+	counts := []int64{1 << 27, int64(len(ix.offsets)), int64(len(ix.ids)), 1 << 27, 1 << 27}
+	forged := fileLayout(sectionTableEntries, int64(headerLen), counts)
 	le2 := binary.LittleEndian
-	le2.PutUint64(v2[tableOff:], uint64(forged.rowsOff))
-	le2.PutUint64(v2[tableOff+8:], 1<<27) // claims ~2 GiB of rows
-	le2.PutUint64(v2[tableOff+sectionEntryBytes:], uint64(forged.offsetsOff))
-	le2.PutUint64(v2[tableOff+2*sectionEntryBytes:], uint64(forged.idsOff))
-	refixV2HeaderCRC(v2, crcOff)
+	for i := 0; i < sectionTableEntries; i++ {
+		le2.PutUint64(v2[tableOff+i*sectionEntryBytes:], uint64(forged.offs[i]))
+		le2.PutUint64(v2[tableOff+i*sectionEntryBytes+8:], uint64(counts[i])) // rows/perm/precs claim ~2 GiB
+	}
+	refixHeaderCRC(v2, crcOff)
 	// Supply the padding and the first 64 KiB of (zero) row bytes so the
 	// decoder genuinely enters the rows section before hitting EOF.
-	v2 = append(v2, make([]byte, int(forged.rowsOff)-headerLen+64<<10)...)
+	v2 = append(v2, make([]byte, int(forged.offs[0])-headerLen+64<<10)...)
 
 	runtime.GC()
 	var before, after runtime.MemStats

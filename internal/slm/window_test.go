@@ -1,0 +1,245 @@
+package slm
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lbe/internal/mass"
+)
+
+// TestWindowedScanMatchesFullScan is the core equivalence property of the
+// precursor-windowed kernel: for every tolerance — narrow, ppm-relative,
+// wider than the indexed mass range, and fully open — the windowed scan
+// and the forced full scan must return byte-identical matches in the same
+// order, at topK=0 (raw emission order) and topK>0 (ranked). The work
+// accounting must also tie out: windowed IonHits + Pruned equals the full
+// scan's IonHits, and the scored-set size never changes.
+func TestWindowedScanMatchesFullScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	peps := chunkTestPeptides(rng, 50)
+	for _, tol := range []mass.Tolerance{
+		mass.Da(0.01), mass.Da(0.5), mass.Da(3.0),
+		mass.Ppm(10), mass.Ppm(500),
+		mass.Da(1e7), // wider than any indexed mass range: must fall back
+		mass.Open(),
+	} {
+		params := DefaultParams()
+		params.Mods.MaxPerPep = 1
+		params.PrecursorTol = tol
+		ix, err := Build(peps, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Build(peps, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full.SetFullScan(true)
+		for trial := 0; trial < 20; trial++ {
+			q := noisyQuery(rng, peps[rng.Intn(len(peps))])
+			for _, topK := range []int{0, 5} {
+				a, wa := ix.Search(q, topK, nil)
+				b, wb := full.Search(q, topK, nil)
+				if len(a) != len(b) {
+					t.Fatalf("tol %+v topK %d trial %d: %d vs %d matches", tol, topK, trial, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("tol %+v topK %d trial %d match %d: %+v vs %+v", tol, topK, trial, i, a[i], b[i])
+					}
+				}
+				if wa.IonHits+wa.Pruned != wb.IonHits {
+					t.Fatalf("tol %+v trial %d: windowed IonHits %d + Pruned %d != full IonHits %d",
+						tol, trial, wa.IonHits, wa.Pruned, wb.IonHits)
+				}
+				if wa.Scored != wb.Scored {
+					t.Fatalf("tol %+v trial %d: Scored %d vs %d", tol, trial, wa.Scored, wb.Scored)
+				}
+				if wb.Pruned != 0 {
+					t.Fatalf("tol %+v trial %d: full scan reported Pruned = %d", tol, trial, wb.Pruned)
+				}
+				if tol.IsOpen() && wa.Pruned != 0 {
+					t.Fatalf("open search must not prune, got %d", wa.Pruned)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowedScanPrunes asserts the windowed scan actually skips work at
+// a narrow tolerance on a corpus with spread-out precursor masses — the
+// point of the layout, not just its safety.
+func TestWindowedScanPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	peps := chunkTestPeptides(rng, 80)
+	params := DefaultParams()
+	params.PrecursorTol = mass.Da(0.5)
+	ix, err := Build(peps, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total Work
+	for trial := 0; trial < 20; trial++ {
+		_, w := ix.Search(noisyQuery(rng, peps[rng.Intn(len(peps))]), 0, nil)
+		total.Add(w)
+	}
+	if total.Pruned == 0 {
+		t.Error("narrow tolerance on a spread corpus pruned nothing")
+	}
+	if total.Pruned < total.IonHits {
+		t.Logf("pruned %d vs visited %d (corpus-dependent; informational)", total.Pruned, total.IonHits)
+	}
+}
+
+// TestWindowedScanMapped runs the equivalence check against a mapped v3
+// store: the zero-copy perm/precs views must drive the same windowed
+// results as the heap index that produced the file.
+func TestWindowedScanMapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	peps := chunkTestPeptides(rng, 40)
+	params := DefaultParams()
+	params.PrecursorTol = mass.Da(0.5)
+	ix, err := Build(peps, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "win.slm")
+	if err := ix.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenIndexMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if err := mapped.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := OpenIndexMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	full.SetFullScan(true)
+	for trial := 0; trial < 10; trial++ {
+		q := noisyQuery(rng, peps[rng.Intn(len(peps))])
+		a, _ := mapped.Search(q, 0, nil)
+		b, _ := full.Search(q, 0, nil)
+		c, _ := ix.Search(q, 0, nil)
+		if len(a) != len(b) || len(a) != len(c) {
+			t.Fatalf("trial %d: mapped windowed %d, mapped full %d, heap %d matches", trial, len(a), len(b), len(c))
+		}
+		for i := range a {
+			if a[i] != b[i] || a[i] != c[i] {
+				t.Fatalf("trial %d match %d: %+v / %+v / %+v", trial, i, a[i], b[i], c[i])
+			}
+		}
+	}
+}
+
+// TestWithPrecursorTol: a tolerance-overridden view must behave exactly
+// like an index built with that tolerance, and leave its parent intact.
+func TestWithPrecursorTol(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	peps := chunkTestPeptides(rng, 40)
+	open := DefaultParams()
+	open.Mods.MaxPerPep = 1
+	open.PrecursorTol = mass.Open()
+	parent, err := Build(peps, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowParams := open
+	narrowParams.PrecursorTol = mass.Da(0.5)
+	want, err := Build(peps, narrowParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := parent.WithPrecursorTol(mass.Da(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Params().PrecursorTol != (mass.Da(0.5)) {
+		t.Fatalf("view tolerance = %+v", view.Params().PrecursorTol)
+	}
+	if !parent.Params().PrecursorTol.IsOpen() {
+		t.Fatal("WithPrecursorTol mutated its parent")
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := noisyQuery(rng, peps[rng.Intn(len(peps))])
+		a, _ := view.Search(q, 0, nil)
+		b, _ := want.Search(q, 0, nil)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d vs %d matches", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d match %d: %+v vs %+v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestWriteToVersionV2RoundTrip: a v3 index re-encoded as v2 must decode
+// to an index with identical search behavior (the decode re-derives the
+// precursor order), and the v2 bytes must be stable across an
+// encode/decode/encode cycle — the property the store migration path
+// relies on.
+func TestWriteToVersionV2RoundTrip(t *testing.T) {
+	ix := buildTestIndex(t)
+	var v2 bytes.Buffer
+	if _, err := ix.WriteToVersion(&v2, indexVersionV2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != ix.NumRows() || got.NumIons() != ix.NumIons() {
+		t.Fatalf("shape: %d/%d rows, %d/%d ions", got.NumRows(), ix.NumRows(), got.NumIons(), ix.NumIons())
+	}
+	q := queryFor(t, "PEPTIDEK")
+	a, wa := ix.Search(q, 0, nil)
+	b, wb := got.Search(q, 0, nil)
+	if len(a) != len(b) || wa != wb {
+		t.Fatalf("results differ after v2 round trip: %d vs %d matches, work %+v vs %+v", len(a), len(b), wa, wb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("match %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	var again bytes.Buffer
+	if _, err := got.WriteToVersion(&again, indexVersionV2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v2.Bytes(), again.Bytes()) {
+		t.Error("v2 encoding is not stable across a round trip")
+	}
+	// A v2 file cannot back a read-only mapping (its postings must be
+	// rewritten): the mapped open must fall back to the heap, not fail.
+	path := filepath.Join(t.TempDir(), "legacy.slm")
+	if err := os.WriteFile(path, v2.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := OpenIndexMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	if legacy.Mapped() {
+		t.Error("v2 store must not report a zero-copy mapping")
+	}
+	c, _ := legacy.Search(q, 0, nil)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("heap-fallback match %d: %+v vs %+v", i, a[i], c[i])
+		}
+	}
+	if _, err := ix.WriteToVersion(&bytes.Buffer{}, 7); err == nil {
+		t.Error("WriteToVersion must reject unknown versions")
+	}
+}
